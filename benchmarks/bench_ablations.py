@@ -1,0 +1,176 @@
+"""Ablation benches for design choices DESIGN.md calls out.
+
+A1: number of FSB entries (overflow/entry-sharing cost, Section IV-A3).
+A2: CAS ordering semantics (MIPS LL/SC-style vs x86 full-fence CAS).
+A3: memory model (TSO/PSO/RMO) effect on fence stalls.
+"""
+
+from conftest import scaled
+
+from repro.algorithms.mixed import build_mixed_workload
+from repro.algorithms.workloads import build_wsq_workload
+from repro.analysis.report import format_table
+from repro.analysis.speedup import measure
+from repro.isa.instructions import FenceKind
+from repro.runtime.lang import Env
+from repro.sim.config import MemoryModel, SimConfig
+
+
+def wsq_cycles(cfg: SimConfig, scoped: bool = True) -> int:
+    env = Env(cfg.with_(scoped_fences=scoped))
+    handle = build_wsq_workload(env, iterations=scaled(20), workload_level=2)
+    res = env.run(handle.program, max_cycles=10_000_000)
+    handle.check()
+    return res.cycles
+
+
+def mixed_cycles(cfg: SimConfig, scoped: bool = True) -> int:
+    env = Env(cfg.with_(scoped_fences=scoped))
+    handle = build_mixed_workload(env, iterations=scaled(10), workload_level=2)
+    res = env.run(handle.program, max_cycles=10_000_000)
+    handle.check()
+    return res.cycles
+
+
+def test_a1_fsb_entry_count(benchmark, report):
+    """The mixed workload keeps four scoped classes in flight at once,
+    so a small FSB forces entry sharing (and a 1-slot mapping table
+    forces the overflow counter).  Sharing only ever *adds* ordering,
+    so correctness holds at every size and more entries can only help."""
+    rows = []
+    cycles = {}
+    configs = {
+        2: SimConfig(fsb_entries=2, mapping_entries=1, fss_entries=2),
+        4: SimConfig(fsb_entries=4, mapping_entries=4, fss_entries=4),
+        8: SimConfig(fsb_entries=8, mapping_entries=8, fss_entries=8),
+    }
+    for entries, cfg in configs.items():
+        cycles[entries] = mixed_cycles(cfg)
+        rows.append((entries, cycles[entries]))
+    trad = mixed_cycles(SimConfig(), scoped=False)
+    rows.append(("traditional", trad))
+    report(format_table(["FSB entries", "mixed-workload scoped cycles"], rows,
+                        title="Ablation A1 -- FSB entry count (sharing cost)"))
+    # sharing degrades gracefully: small FSB sits between the fully
+    # scoped and the traditional configuration
+    assert cycles[8] <= cycles[2] * 1.02
+    assert cycles[2] <= trad * 1.02
+    benchmark.pedantic(lambda: mixed_cycles(SimConfig()), rounds=1, iterations=1)
+
+
+def test_a2_cas_ordering_semantics(benchmark, report):
+    """x86-style full-fence CAS serialises far more than LL/SC-style."""
+    rows = []
+    cyc = {}
+    for cas_fence in (False, True):
+        cfg = SimConfig(cas_fence=cas_fence)
+        cyc[cas_fence] = wsq_cycles(cfg)
+        rows.append(("fence CAS" if cas_fence else "LL/SC CAS", cyc[cas_fence]))
+    report(format_table(["CAS semantics", "wsq scoped cycles"], rows,
+                        title="Ablation A2 -- CAS ordering semantics"))
+    assert cyc[True] >= cyc[False]
+    benchmark.pedantic(lambda: wsq_cycles(SimConfig(cas_fence=True)), rounds=1, iterations=1)
+
+
+def test_a4_speculation_interaction(benchmark, report):
+    """How much does in-window speculation add on top of scoping?
+
+    The four cells of Figure 13 for the wsq harness: scoped fences and
+    speculation attack the same stalls from different angles, so their
+    gains overlap rather than add.
+    """
+    rows = []
+    cells = {}
+    for scoped in (False, True):
+        for spec in (False, True):
+            cfg = SimConfig(in_window_speculation=spec)
+            cells[(scoped, spec)] = wsq_cycles(cfg, scoped=scoped)
+            rows.append(
+                (
+                    "S-Fence" if scoped else "traditional",
+                    "yes" if spec else "no",
+                    cells[(scoped, spec)],
+                )
+            )
+    report(format_table(
+        ["fences", "in-window speculation", "wsq cycles"],
+        rows,
+        title="Ablation A4 -- scoping x speculation",
+    ))
+    base = cells[(False, False)]
+    assert cells[(True, False)] <= base
+    assert cells[(False, True)] <= base * 1.02
+    # the combination is at least as good as scoping alone
+    assert cells[(True, True)] <= cells[(True, False)] * 1.02
+    benchmark.pedantic(
+        lambda: wsq_cycles(SimConfig(in_window_speculation=True)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_a5_false_sharing(benchmark, report):
+    """Substrate sanity: two cores ping-ponging on the *same* cache
+    line pay coherence latency that separate lines do not.  This is the
+    effect that motivates the line-per-record layouts of the apps."""
+    from repro.isa.instructions import Load, Store
+    from repro.isa.program import Program
+    from repro.sim.simulator import Simulator
+
+    def run(shared_line: bool) -> int:
+        cfg = SimConfig(n_cores=2)
+        env = Env(cfg)
+        wpl = cfg.words_per_line
+        region = env.array("fs.region", 2 * wpl)
+        a_idx = 0
+        b_idx = 1 if shared_line else wpl  # same line vs next line
+
+        def t0(tid):
+            for i in range(scaled(150)):
+                yield region.store(a_idx, i)
+                yield region.load(a_idx)
+
+        def t1(tid):
+            for i in range(scaled(150)):
+                yield region.store(b_idx, i)
+                yield region.load(b_idx)
+
+        return Simulator(cfg, Program([t0, t1]), memory=env.memory).run().cycles
+
+    packed = run(shared_line=True)
+    padded = run(shared_line=False)
+    rows = [
+        ("same line (false sharing)", packed),
+        ("separate lines (padded)", padded),
+        ("slowdown", f"{packed / padded:.2f}x"),
+    ]
+    report(format_table(["layout", "cycles"], rows,
+                        title="Ablation A5 -- false sharing cost in the substrate"))
+    assert packed > padded * 1.2
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+
+
+def test_a3_memory_models(benchmark, report):
+    """Weaker models relax more, so traditional fences stall more and
+    S-Fence recovers more."""
+    rows = []
+    speedups = {}
+    for model in (MemoryModel.TSO, MemoryModel.PSO, MemoryModel.RMO):
+        cfg = SimConfig(memory_model=model)
+        trad = wsq_cycles(cfg, scoped=False)
+        scoped = wsq_cycles(cfg, scoped=True)
+        speedups[model] = trad / scoped
+        rows.append((model.value, trad, scoped, f"{trad / scoped:.3f}"))
+    report(format_table(
+        ["memory model", "traditional cycles", "S-Fence cycles", "speedup"],
+        rows,
+        title="Ablation A3 -- memory model",
+    ))
+    assert all(s >= 0.99 for s in speedups.values())
+    # RMO leaves the most ordering on the table for S-Fence to recover
+    assert speedups[MemoryModel.RMO] >= speedups[MemoryModel.TSO] - 0.02
+    benchmark.pedantic(
+        lambda: wsq_cycles(SimConfig(memory_model=MemoryModel.TSO)),
+        rounds=1,
+        iterations=1,
+    )

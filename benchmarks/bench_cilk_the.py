@@ -1,0 +1,60 @@
+"""Extension: the Cilk-5 THE-protocol observation (paper Section II-A).
+
+Frigo et al. report that Cilk-5's THE protocol "spends half of its
+time executing a memory fence" on fine-grained workloads.  The
+fork-join fib runtime reproduces the regime: with tiny per-task work,
+fence stalls dominate, and class-scope S-Fences on the deques recover
+part of it (the join-protocol full fences remain, as in pst).
+"""
+
+from conftest import scaled
+
+from repro.analysis.report import format_table
+from repro.apps.cilk_fib import build_cilk_fib
+from repro.isa.instructions import FenceKind
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+def run(n, scope, work):
+    env = Env(SimConfig())
+    inst = build_cilk_fib(env, n=n, scope=scope, work_per_task=work)
+    res = env.run(inst.program, max_cycles=30_000_000)
+    inst.check()
+    return res
+
+
+def test_cilk_the_protocol_fence_share(benchmark, report):
+    n = 10 if scaled(10) >= 10 else 9
+    rows = []
+    results = {}
+    for work, label in ((5, "fine-grained"), (800, "coarse-grained")):
+        trad = run(n, FenceKind.GLOBAL, work)
+        scoped = run(n, FenceKind.CLASS, work)
+        results[label] = (trad, scoped)
+        rows.append(
+            (
+                label,
+                f"{trad.stats.fence_stall_fraction:.0%}",
+                f"{scoped.stats.fence_stall_fraction:.0%}",
+                f"{trad.cycles / scoped.cycles:.3f}",
+            )
+        )
+    report(format_table(
+        ["task grain", "T fence-stall share", "S share", "S-Fence speedup"],
+        rows,
+        title=(
+            "Extension -- Cilk THE protocol (paper Sec. II-A: fences eat "
+            "~half the time at fine grain)"
+        ),
+    ))
+    fine_t, fine_s = results["fine-grained"]
+    coarse_t, _ = results["coarse-grained"]
+    # fine-grained tasks spend a large share of time at fences ...
+    assert fine_t.stats.fence_stall_fraction > 0.15
+    # ... more than coarse-grained ones
+    assert fine_t.stats.fence_stall_fraction > coarse_t.stats.fence_stall_fraction
+    # and scoping helps the deque part
+    assert fine_s.stats.fence_stall_cycles <= fine_t.stats.fence_stall_cycles
+
+    benchmark.pedantic(lambda: run(9, FenceKind.CLASS, 5), rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Extension benchmarks: algorithms beyond the paper's Table IV.
+
+Treiber stack, Lamport SPSC queue, the mixed multi-class workload and
+the Cilk-style fork-join runtime all follow the same law as the
+paper's group: scoped fences skip the out-of-scope latency and never
+lose.
+"""
+
+from conftest import scaled
+
+from repro.algorithms.mixed import build_mixed_workload
+from repro.algorithms.workloads import build_lamport_workload, build_treiber_workload
+from repro.analysis.report import format_table
+from repro.apps.cilk_fib import build_cilk_fib
+from repro.isa.instructions import FenceKind
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+BUILDERS = {
+    "treiber": lambda env, scoped: build_treiber_workload(
+        env, workload_level=2, iterations=scaled(15)
+    ),
+    "lamport": lambda env, scoped: build_lamport_workload(
+        env, workload_level=2, iterations=scaled(30)
+    ),
+    "mixed": lambda env, scoped: build_mixed_workload(
+        env, workload_level=2, iterations=scaled(10)
+    ),
+    "cilk_fib": lambda env, scoped: build_cilk_fib(env, n=10),
+}
+
+
+def run(name, scoped):
+    env = Env(SimConfig(scoped_fences=scoped))
+    handle = BUILDERS[name](env, scoped)
+    res = env.run(handle.program, max_cycles=20_000_000)
+    handle.check()
+    return res
+
+
+def test_extension_benchmarks(benchmark, report):
+    rows = []
+    speedups = {}
+    for name in BUILDERS:
+        trad = run(name, scoped=False)
+        scoped = run(name, scoped=True)
+        speedups[name] = trad.cycles / scoped.cycles
+        rows.append(
+            (
+                name,
+                trad.cycles,
+                scoped.cycles,
+                f"{speedups[name]:.3f}",
+                f"{trad.stats.fence_stall_fraction:.0%} -> {scoped.stats.fence_stall_fraction:.0%}",
+            )
+        )
+    report(format_table(
+        ["benchmark", "traditional", "S-Fence", "speedup", "fence-stall share"],
+        rows,
+        title="Extensions -- algorithms beyond Table IV",
+    ))
+    for name, s in speedups.items():
+        assert s >= 0.97, f"{name}: S-Fence lost ({s:.3f})"
+    assert speedups["lamport"] > 1.1  # SPSC ring profits like wsq
+
+    benchmark.pedantic(lambda: run("treiber", True), rounds=1, iterations=1)

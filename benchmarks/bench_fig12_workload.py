@@ -1,0 +1,82 @@
+"""Figure 12: S-Fence speedup vs workload level for the lock-free group.
+
+The paper reports a rise-then-fall speedup curve per benchmark with
+peaks between 1.13x and 1.34x.  This bench sweeps workload levels 1-6
+for dekker/wsq/msn/harris and prints the measured curves next to the
+paper's qualitative expectations.
+"""
+
+from conftest import scaled
+
+from repro.algorithms.dekker import build_workload as build_dekker_workload
+from repro.algorithms.workloads import (
+    build_harris_workload,
+    build_msn_workload,
+    build_wsq_workload,
+)
+from repro.analysis.report import format_table
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+LEVELS = [1, 2, 3, 4, 5, 6]
+
+BUILDERS = {
+    "dekker": lambda env, lvl: build_dekker_workload(
+        env, workload_level=lvl, iterations=scaled(25)
+    ),
+    "wsq": lambda env, lvl: build_wsq_workload(
+        env, workload_level=lvl, iterations=scaled(30)
+    ),
+    "msn": lambda env, lvl: build_msn_workload(
+        env, workload_level=lvl, iterations=scaled(15)
+    ),
+    "harris": lambda env, lvl: build_harris_workload(
+        env, workload_level=lvl, iterations=scaled(15)
+    ),
+}
+
+#: paper peak speedups read off Figure 12 (approximate)
+PAPER_PEAKS = {"dekker": 1.14, "wsq": 1.30, "msn": 1.20, "harris": 1.26}
+
+
+def _speedup(name, level):
+    cycles = {}
+    for scoped in (False, True):
+        env = Env(SimConfig(scoped_fences=scoped))
+        handle = BUILDERS[name](env, level)
+        res = env.run(handle.program, max_cycles=10_000_000)
+        handle.check()
+        cycles[scoped] = res.cycles
+    return cycles[False] / cycles[True]
+
+
+def test_fig12_impact_of_workload(benchmark, report):
+    curves = {name: [_speedup(name, lvl) for lvl in LEVELS] for name in BUILDERS}
+
+    rows = []
+    for name, curve in curves.items():
+        peak = max(curve)
+        rows.append(
+            (
+                name,
+                " ".join(f"{s:.3f}" for s in curve),
+                f"{peak:.2f}x @L{LEVELS[curve.index(peak)]}",
+                f"~{PAPER_PEAKS[name]:.2f}x",
+            )
+        )
+    report(format_table(
+        ["benchmark", "speedup @ workload 1..6", "measured peak", "paper peak"],
+        rows,
+        title="Figure 12 -- impact of workload (S-Fence speedup over traditional)",
+    ))
+
+    # shape assertions: every curve peaks strictly after level 1 and
+    # declines from its peak to level 6 (the paper's rise-then-fall)
+    for name, curve in curves.items():
+        peak_idx = curve.index(max(curve))
+        assert peak_idx >= 1, f"{name}: no rise from level 1"
+        assert curve[-1] < max(curve), f"{name}: no fall toward level 6"
+        assert 1.05 <= max(curve) <= 1.5, f"{name}: peak {max(curve):.3f} out of band"
+        assert min(curve) >= 0.99, f"{name}: S-Fence must never lose"
+
+    benchmark.pedantic(lambda: _speedup("wsq", 2), rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""Figure 13: normalized execution time of the full applications.
+
+Four bars per application: T (traditional), S (S-Fence), T+ and S+
+(with in-window speculation), each split into fence stalls and the
+rest.  Paper headlines: pst stalls >50% under T with 1.11x S speedup;
+ptc small stalls, ~1.04x; barnes 38.8% stalls, S removes 40-50% of
+them (1.24x); radiosity 34.5% stalls, 1.19x; speculation shrinks
+stalls for both fence flavours.
+"""
+
+from conftest import scaled
+
+from repro.analysis.report import format_table
+from repro.analysis.speedup import RunPoint, measure, normalized_series
+from repro.apps.barnes import build_barnes
+from repro.apps.pst import build_pst
+from repro.apps.ptc import build_ptc
+from repro.apps.radiosity import build_radiosity
+from repro.isa.instructions import FenceKind
+from repro.sim.config import SimConfig
+
+APPS = {
+    "pst": (lambda env, k: build_pst(env, scope=k, n_vertices=scaled(160)), FenceKind.CLASS),
+    "ptc": (lambda env, k: build_ptc(env, scope=k, n_vertices=scaled(48)), FenceKind.CLASS),
+    "barnes": (lambda env, k: build_barnes(env, scope=k, n_bodies=scaled(192)), FenceKind.SET),
+    "radiosity": (lambda env, k: build_radiosity(env, scope=k, n_patches=scaled(128)), FenceKind.SET),
+}
+
+PAPER = {
+    "pst": {"S": 0.90, "T_stall": ">0.50"},
+    "ptc": {"S": 0.957, "T_stall": "small"},
+    "barnes": {"S": 0.805, "T_stall": "0.388"},
+    "radiosity": {"S": 0.842, "T_stall": "0.345"},
+}
+
+
+def run_four(name):
+    builder, kind = APPS[name]
+    points = []
+    for label, scope, spec in (
+        ("T", FenceKind.GLOBAL, False),
+        ("S", kind, False),
+        ("T+", FenceKind.GLOBAL, True),
+        ("S+", kind, True),
+    ):
+        cfg = SimConfig(in_window_speculation=spec)
+        points.append(
+            measure(lambda env: builder(env, scope), cfg, label=label,
+                    max_cycles=20_000_000)
+        )
+    return points
+
+
+def test_fig13_normalized_execution_time(benchmark, report):
+    all_rows = []
+    results = {}
+    for name in APPS:
+        points = run_four(name)
+        results[name] = points
+        series = normalized_series(points, points[0])
+        for s in series:
+            all_rows.append(
+                (
+                    name,
+                    s["label"],
+                    f"{s['normalized_time']:.3f}",
+                    f"{s['fence_stalls']:.3f}",
+                    f"{s['others']:.3f}",
+                )
+            )
+        all_rows.append(("", "", "", "", ""))
+    report(format_table(
+        ["app", "config", "normalized time", "fence stalls", "others"],
+        all_rows,
+        title=(
+            "Figure 13 -- normalized execution time "
+            "(paper: pst S=0.90, ptc S=0.957, barnes S=0.805, radiosity S=0.842)"
+        ),
+    ))
+
+    for name, points in results.items():
+        t, s, tp, sp = points
+        # S-Fence wins over the traditional fence (pst/ptc steal
+        # schedules diverge between runs, so allow 2% noise there)
+        slack = 1.02 if name in ("pst", "ptc") else 1.0
+        assert s.cycles <= t.cycles * slack, name
+        # scoped fences always reduce fence stalls
+        assert s.fence_stall_cycles <= t.fence_stall_cycles, name
+        # speculation never makes the traditional baseline slower
+        assert tp.cycles <= t.cycles * 1.05, name
+    # headline shapes
+    t, s, *_ = results["barnes"]
+    assert 0.30 <= t.fence_stall_fraction <= 0.50  # paper: 0.388
+    assert s.fence_stall_fraction <= 0.6 * t.fence_stall_fraction
+    t, s, *_ = results["radiosity"]
+    assert 1.10 <= t.cycles / s.cycles <= 1.35  # paper: 1.19x
+    t, s, *_ = results["ptc"]
+    assert t.cycles / s.cycles <= 1.15  # paper: small (1.045x)
+
+    benchmark.pedantic(lambda: run_four("ptc"), rounds=1, iterations=1)

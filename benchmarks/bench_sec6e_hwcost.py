@@ -1,0 +1,22 @@
+"""Section VI-E: hardware cost of the S-Fence structures."""
+
+from repro.analysis.report import format_table
+from repro.core.hwcost import estimate_cost
+from repro.sim.config import SimConfig
+
+
+def test_sec6e_hardware_cost(benchmark, report):
+    cfg = SimConfig()
+    cost = benchmark(estimate_cost, cfg)
+    rows = [
+        ("FSB bits on ROB entries", f"{cost.fsb_rob_bits} bits"),
+        ("FSB bits on SB entries", f"{cost.fsb_sb_bits} bits"),
+        ("mapping table", f"{cost.mapping_table_bits} bits"),
+        ("FSS + FSS'", f"{cost.fss_bits + cost.shadow_fss_bits} bits"),
+        ("overflow counter", f"{cost.overflow_counter_bits} bits"),
+        ("total", f"{cost.total_bytes:.1f} bytes / core"),
+        ("paper claim", "< 80 bytes / core"),
+    ]
+    report(format_table(["structure", "cost"], rows,
+                        title="Section VI-E -- hardware cost per core"))
+    assert cost.total_bytes < 80

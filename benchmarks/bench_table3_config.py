@@ -1,0 +1,32 @@
+"""Table III: architectural parameters of the simulated machine."""
+
+from repro.analysis.report import format_table
+from repro.sim.config import TABLE_III
+from repro.sim.simulator import run_program
+from repro.isa.instructions import Compute
+from repro.isa.program import ops_program
+
+
+def test_table3_architectural_parameters(benchmark, report):
+    cfg = TABLE_III
+    rows = [
+        ("Processor", "8 core CMP, out-of-order", f"{cfg.n_cores} core CMP, out-of-order"),
+        ("ROB size", 128, cfg.rob_size),
+        ("L1 Cache", "private 32 KB, 4 way, 2-cycle", f"private {cfg.l1_kb} KB, {cfg.l1_assoc} way, {cfg.l1_latency}-cycle"),
+        ("L2 Cache", "shared 1 MB, 8 way, 10-cycle", f"shared {cfg.l2_kb // 1024} MB, {cfg.l2_assoc} way, {cfg.l2_latency}-cycle"),
+        ("Memory", "300-cycle latency", f"{cfg.mem_latency}-cycle latency"),
+        ("# of FSB entries", 4, cfg.fsb_entries),
+        ("# of FSS entries", 4, cfg.fss_entries),
+    ]
+    assert cfg.n_cores == 8 and cfg.rob_size == 128 and cfg.mem_latency == 300
+    assert cfg.fsb_entries == 4 and cfg.fss_entries == 4
+
+    report(format_table(["parameter", "paper (Table III)", "this config"], rows,
+                        title="Table III -- architectural parameters"))
+
+    # benchmark the bare simulator overhead under this configuration
+    def tick_empty():
+        return run_program(ops_program([[Compute(1000)]]), cfg)
+
+    result = benchmark.pedantic(tick_empty, rounds=3, iterations=1)
+    assert result.cycles >= 1000

@@ -1,0 +1,45 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation section and registers a paper-vs-measured report that is
+printed in the terminal summary (so it survives pytest's output
+capture).  ``REPRO_SCALE`` (default 1.0) scales workload sizes: 0.5
+halves iteration counts for quick smoke runs, 2.0 doubles them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[str] = []
+
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 2) -> int:
+    """Scale an iteration count by REPRO_SCALE."""
+    return max(minimum, int(round(n * SCALE)))
+
+
+@pytest.fixture
+def report():
+    """Register a report block printed in the terminal summary."""
+
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+        print("\n" + text)  # also visible with -s
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("Fence Scoping reproduction: paper vs measured")
+    for block in _REPORTS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: scoped fences in 60 lines.
+
+Builds a tiny producer whose publication fence either orders *all* of
+its in-flight accesses (traditional fence) or only the accesses of its
+own class (S-Fence with class scope), and shows the stall difference
+on the simulated 8-core machine of the paper's Table III.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Env, FenceKind, Program, SimConfig, WAIT_STORES
+from repro.runtime.lang import ScopedStructure, scoped_method
+
+
+class MessageBox(ScopedStructure):
+    """A one-slot mailbox: write the payload, fence, raise the flag."""
+
+    def __init__(self, env, scope):
+        super().__init__(env, "mbox", scope)
+        self.payload = self.svar("payload")
+        self.flag = self.svar("flag")
+
+    @scoped_method
+    def publish(self, value):
+        yield self.payload.store(value)
+        # the fence only needs to order the mailbox's own accesses;
+        # with scope=CLASS that is exactly what it does
+        yield self.fence(WAIT_STORES)
+        yield self.flag.store(1)
+
+
+def run(scope: FenceKind):
+    env = Env(SimConfig())
+    box = MessageBox(env, scope)
+    # steady state: the mailbox is hot in the producer's cache
+    env.request_warm(box.payload, 0, into_l1=True)
+    env.request_warm(box.flag, 0, into_l1=True)
+    scratch = env.private_array("scratch", 0, 4096)
+
+    def producer(tid):
+        # long-latency private work the fence should NOT have to wait for
+        # (6 cold-miss stores: they fit the 8-entry store buffer and are
+        # still draining when the publication fence executes)
+        for i in range(6):
+            yield scratch.store(i * 8, i)
+        yield from box.publish(42)
+
+    def consumer(tid):
+        while not (yield box.flag.load()):
+            pass
+        value = yield box.payload.load()
+        assert value == 42, "the fence kept the mailbox consistent"
+
+    result = env.run(Program([producer, consumer], name="quickstart"))
+    return result
+
+
+def main():
+    trad = run(FenceKind.GLOBAL)
+    scoped = run(FenceKind.CLASS)
+    print("Fence Scoping quickstart (Table III machine)")
+    print(f"  traditional fence: {trad.cycles:5d} cycles, "
+          f"{trad.stats.fence_stall_cycles} stall cycles")
+    print(f"  class-scope fence: {scoped.cycles:5d} cycles, "
+          f"{scoped.stats.fence_stall_cycles} stall cycles")
+    print(f"  speedup: {trad.cycles / scoped.cycles:.2f}x "
+          f"(the scoped fence skipped the private scratch stores)")
+
+
+if __name__ == "__main__":
+    main()

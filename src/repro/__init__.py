@@ -1,0 +1,51 @@
+"""Fence Scoping (S-Fence) reproduction.
+
+Reproduction of "Fence Scoping" (Lin, Nagarajan & Gupta, SC'14): scoped
+fences -- fences whose ordering effect is confined to a class or
+variable-set scope -- evaluated on an approximate cycle-level multicore
+out-of-order simulator with a genuinely relaxed functional memory
+model.
+
+Public API tour:
+
+* :mod:`repro.sim` -- simulator configuration (Table III) and stats.
+* :mod:`repro.isa` -- the guest instruction set incl. ``class-fence``,
+  ``set-fence``, ``fs_start``/``fs_end``.
+* :mod:`repro.core` -- the S-Fence hardware model (FSB, FSS/FSS',
+  mapping table, scope tracker, Figure 5 abstract semantics).
+* :mod:`repro.runtime` -- the "language/compiler" layer: shared
+  variables, scoped classes, workload harnesses.
+* :mod:`repro.algorithms` -- Dekker, Chase-Lev, Michael-Scott, Harris
+  (+ Treiber and Lamport extensions) as guest programs.
+* :mod:`repro.apps` -- pst, ptc, barnes, radiosity and the delay-set
+  analysis.
+* :mod:`repro.litmus` -- memory-model litmus tests.
+* :mod:`repro.analysis` -- experiment drivers and reporting.
+"""
+
+from .isa import Fence, FenceKind, WAIT_BOTH, WAIT_LOADS, WAIT_STORES
+from .isa.program import Program
+from .runtime.lang import Env, ScopedStructure, scoped_method
+from .sim.config import MemoryModel, SimConfig, TABLE_III
+from .sim.simulator import SimResult, Simulator, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Env",
+    "Fence",
+    "FenceKind",
+    "MemoryModel",
+    "Program",
+    "ScopedStructure",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "TABLE_III",
+    "WAIT_BOTH",
+    "WAIT_LOADS",
+    "WAIT_STORES",
+    "run_program",
+    "scoped_method",
+    "__version__",
+]

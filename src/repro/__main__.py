@@ -1,0 +1,201 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``fig12`` / ``fig13`` / ``fig14`` / ``fig15`` / ``fig16`` — rerun one
+  of the paper's figures and print the comparison table.
+* ``hwcost`` — print the Section VI-E hardware bill of materials.
+* ``litmus <file>`` — run a textual litmus test (see
+  :mod:`repro.litmus.dsl`) and report the observed outcomes.
+
+The figure commands are thin wrappers over the same drivers the
+pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.report import format_table
+from .analysis.speedup import measure, normalized_series
+from .core.hwcost import estimate_cost
+from .isa.instructions import FenceKind
+from .runtime.lang import Env
+from .sim.config import MemoryModel, SimConfig
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(2, int(round(n * scale)))
+
+
+def cmd_fig12(scale: float) -> None:
+    from .algorithms.dekker import build_workload as dekker
+    from .algorithms.workloads import (
+        build_harris_workload,
+        build_msn_workload,
+        build_wsq_workload,
+    )
+
+    builders = {
+        "dekker": lambda env, lvl: dekker(env, workload_level=lvl, iterations=_scaled(25, scale)),
+        "wsq": lambda env, lvl: build_wsq_workload(env, workload_level=lvl, iterations=_scaled(30, scale)),
+        "msn": lambda env, lvl: build_msn_workload(env, workload_level=lvl, iterations=_scaled(15, scale)),
+        "harris": lambda env, lvl: build_harris_workload(env, workload_level=lvl, iterations=_scaled(15, scale)),
+    }
+    rows = []
+    for name, build in builders.items():
+        curve = []
+        for level in range(1, 7):
+            cycles = {}
+            for scoped in (False, True):
+                env = Env(SimConfig(scoped_fences=scoped))
+                handle = build(env, level)
+                res = env.run(handle.program)
+                handle.check()
+                cycles[scoped] = res.cycles
+            curve.append(cycles[False] / cycles[True])
+        rows.append((name, " ".join(f"{s:.3f}" for s in curve), f"{max(curve):.2f}x"))
+    print(format_table(["benchmark", "speedup @ workload 1..6", "peak"], rows,
+                       title="Figure 12 -- impact of workload"))
+
+
+def _app_builders(scale: float):
+    from .apps.barnes import build_barnes
+    from .apps.pst import build_pst
+    from .apps.ptc import build_ptc
+    from .apps.radiosity import build_radiosity
+
+    return {
+        "pst": (lambda env, k: build_pst(env, scope=k, n_vertices=_scaled(160, scale)), FenceKind.CLASS),
+        "ptc": (lambda env, k: build_ptc(env, scope=k, n_vertices=_scaled(48, min(scale, 1.3))), FenceKind.CLASS),
+        "barnes": (lambda env, k: build_barnes(env, scope=k, n_bodies=_scaled(192, scale)), FenceKind.SET),
+        "radiosity": (lambda env, k: build_radiosity(env, scope=k, n_patches=_scaled(128, scale)), FenceKind.SET),
+    }
+
+
+def cmd_fig13(scale: float) -> None:
+    rows = []
+    for name, (builder, kind) in _app_builders(scale).items():
+        points = []
+        for label, scope, spec in (
+            ("T", FenceKind.GLOBAL, False),
+            ("S", kind, False),
+            ("T+", FenceKind.GLOBAL, True),
+            ("S+", kind, True),
+        ):
+            points.append(measure(
+                lambda env: builder(env, scope),
+                SimConfig(in_window_speculation=spec),
+                label=label,
+            ))
+        for s in normalized_series(points, points[0]):
+            rows.append((name, s["label"], s["normalized_time"], s["fence_stalls"], s["others"]))
+    print(format_table(["app", "config", "normalized", "fence stalls", "others"], rows,
+                       title="Figure 13 -- normalized execution time"))
+
+
+def cmd_fig14(scale: float) -> None:
+    from .algorithms.workloads import build_harris_workload, build_msn_workload
+    from .apps.pst import build_pst
+    from .apps.ptc import build_ptc
+
+    builders = {
+        "msn": lambda env, k: build_msn_workload(env, scope=k, iterations=_scaled(12, scale), workload_level=2),
+        "harris": lambda env, k: build_harris_workload(env, scope=k, iterations=_scaled(12, scale), workload_level=2),
+        "pst": lambda env, k: build_pst(env, scope=k, n_vertices=_scaled(128, scale)),
+        "ptc": lambda env, k: build_ptc(env, scope=k, n_vertices=_scaled(48, min(scale, 1.3))),
+    }
+    rows = []
+    for name, builder in builders.items():
+        cs = measure(lambda env: builder(env, FenceKind.CLASS), SimConfig(), "C.S.")
+        ss = measure(lambda env: builder(env, FenceKind.SET), SimConfig(), "S.S.")
+        rows.append((name, cs.cycles, ss.cycles, f"{ss.cycles / cs.cycles:.3f}"))
+    print(format_table(["benchmark", "class scope", "set scope", "set/class"], rows,
+                       title="Figure 14 -- class vs set scope"))
+
+
+def _sweep(scale: float, field: str, values: list[int], title: str) -> None:
+    rows = []
+    for name, (builder, kind) in _app_builders(scale).items():
+        speedups = []
+        for value in values:
+            cfg = SimConfig(**{field: value})
+            t = measure(lambda env: builder(env, FenceKind.GLOBAL), cfg, "T")
+            s = measure(lambda env: builder(env, kind), cfg, "S")
+            speedups.append(t.cycles / s.cycles)
+        rows.append((name, " ".join(f"{x:.3f}" for x in speedups)))
+    print(format_table(["app", f"S-Fence speedup @ {field} {values}"], rows, title=title))
+
+
+def cmd_fig15(scale: float) -> None:
+    _sweep(scale, "mem_latency", [200, 300, 500], "Figure 15 -- varying memory latency")
+
+
+def cmd_fig16(scale: float) -> None:
+    _sweep(scale, "rob_size", [64, 128, 256], "Figure 16 -- varying ROB size")
+
+
+def cmd_hwcost(_: float) -> None:
+    cost = estimate_cost(SimConfig())
+    print(format_table(
+        ["structure", "bits"],
+        [
+            ("FSB (ROB)", cost.fsb_rob_bits),
+            ("FSB (SB)", cost.fsb_sb_bits),
+            ("mapping table", cost.mapping_table_bits),
+            ("FSS + FSS'", cost.fss_bits + cost.shadow_fss_bits),
+            ("overflow counter", cost.overflow_counter_bits),
+            ("total", f"{cost.total_bits} ({cost.total_bytes:.1f} bytes)"),
+        ],
+        title="Section VI-E -- hardware cost per core",
+    ))
+
+
+def cmd_litmus(path: str, model_name: str) -> None:
+    from .litmus.dsl import parse_litmus, run_litmus
+
+    with open(path) as fh:
+        test = parse_litmus(fh.read())
+    run = run_litmus(test, MemoryModel(model_name))
+    print(f"litmus {test.name} under {model_name}:")
+    print(f"  registers: {run.register_names}")
+    for outcome in sorted(run.outcomes, key=str):
+        print(f"  observed: {outcome}")
+    if test.condition:
+        verdict = "OBSERVED" if run.condition_observed else "never observed"
+        print(f"  exists {test.condition}: {verdict}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Fence Scoping (SC'14) reproduction driver",
+    )
+    parser.add_argument(
+        "command",
+        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost", "litmus"],
+    )
+    parser.add_argument("args", nargs="*", help="litmus: <file>")
+    parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
+    parser.add_argument("--model", default="rmo", help="litmus: memory model (sc/tso/pso/rmo)")
+    ns = parser.parse_args(argv)
+
+    if ns.command == "litmus":
+        if not ns.args:
+            parser.error("litmus requires a file argument")
+        cmd_litmus(ns.args[0], ns.model)
+        return 0
+    {
+        "fig12": cmd_fig12,
+        "fig13": cmd_fig13,
+        "fig14": cmd_fig14,
+        "fig15": cmd_fig15,
+        "fig16": cmd_fig16,
+        "hwcost": cmd_hwcost,
+    }[ns.command](ns.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

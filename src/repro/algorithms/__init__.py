@@ -1,0 +1,42 @@
+"""Guest lock-free algorithms (Table IV rows 1-4 plus extensions)."""
+
+from .chase_lev import ABORT, EMPTY, WorkStealingDeque
+from .chase_lev_growable import GrowableWorkStealingDeque
+from .idempotent_wsq import IdempotentLifo
+from .dekker import DekkerLock, MutualExclusionChecker
+from .harris_set import HarrisSet
+from .lamport_queue import LamportQueue
+from .ms_queue import MichaelScottQueue
+from .treiber_stack import TreiberStack
+from .mixed import build_mixed_workload
+from .workloads import (
+    WorkloadHandle,
+    build_harris_workload,
+    build_lamport_workload,
+    build_msn_workload,
+    build_treiber_workload,
+    build_wsq_workload,
+)
+from .dekker import build_workload as build_dekker_workload
+
+__all__ = [
+    "ABORT",
+    "EMPTY",
+    "DekkerLock",
+    "GrowableWorkStealingDeque",
+    "HarrisSet",
+    "IdempotentLifo",
+    "LamportQueue",
+    "MichaelScottQueue",
+    "MutualExclusionChecker",
+    "TreiberStack",
+    "WorkloadHandle",
+    "WorkStealingDeque",
+    "build_dekker_workload",
+    "build_harris_workload",
+    "build_lamport_workload",
+    "build_mixed_workload",
+    "build_msn_workload",
+    "build_treiber_workload",
+    "build_wsq_workload",
+]

@@ -1,0 +1,107 @@
+"""Chase-Lev work-stealing deque (Figure 2; class scope).
+
+A lock-free deque over a cyclic array.  The owner thread ``put``s and
+``take``s at the tail; thieves ``steal`` from the head.  Under PSO/RMO
+two fences are required (Section II-B):
+
+* a store-store fence in ``put`` between writing the task into the
+  array and publishing the new ``TAIL`` (prevents *phantom tasks*:
+  a thief reading a stale array slot), and
+* a store-load fence in ``take`` between the ``TAIL`` decrement and the
+  ``HEAD`` read (prevents the same task being returned twice).
+
+With class scope the fences only wait for accesses to the deque's own
+data (``HEAD``/``TAIL``/``wsq``), not for the application's long-latency
+accesses -- the paper's motivating example.
+
+This implementation follows the paper's simplified listing: fixed-size
+cyclic array (callers size it for their workload), task values are
+positive ints, ``EMPTY``/``ABORT`` are negative sentinels.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, WAIT_STORES
+from ..runtime.lang import Env, ScopedStructure, scoped_method
+
+EMPTY = -1
+ABORT = -2
+
+
+class WorkStealingDeque(ScopedStructure):
+    """The paper's simplified Chase-Lev deque (Figure 2)."""
+
+    def __init__(
+        self,
+        env: Env,
+        name: str = "wsq",
+        capacity: int = 1024,
+        scope: FenceKind = FenceKind.CLASS,
+        use_fences: bool = True,
+    ) -> None:
+        super().__init__(env, name, scope)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.head = self.svar("HEAD")
+        self.tail = self.svar("TAIL")
+        self.arr = self.sarray("wsq", capacity)
+        self.use_fences = use_fences
+        self.init_opstats()
+
+    def _fence(self, waits: int, speculable: bool = True):
+        """The algorithm's fence, droppable for bug-demonstration tests."""
+        if self.use_fences:
+            yield self.fence(waits, speculable=speculable)
+
+    @scoped_method
+    def put(self, task: int):
+        """Owner: push ``task`` at the tail (Figure 2 lines 1-6)."""
+        yield self.note_op()
+        tail = yield self.tail.load()
+        yield self.arr.store(tail % self.capacity, task)
+        yield from self._fence(WAIT_STORES)  # storestore
+        yield self.tail.store(tail + 1)
+
+    @scoped_method
+    def take(self):
+        """Owner: pop from the tail (Figure 2 lines 7-25)."""
+        yield self.note_op()
+        tail = (yield self.tail.load()) - 1
+        yield self.tail.store(tail)
+        # storeload fence: the HEAD read below guards a non-CAS-protected
+        # take (the tail > head fast path), so it may not be speculated
+        # in this simulator (no load replay; see Fence.speculable)
+        yield from self._fence(WAIT_STORES, speculable=False)
+        head = yield self.head.load()
+        if tail < head:
+            yield self.tail.store(head)
+            return EMPTY
+        task = yield self.arr.load(tail % self.capacity)
+        if tail > head:
+            return task
+        # last element: race with thieves for it
+        yield self.tail.store(head + 1)
+        ok = yield self.head.cas(head, head + 1)
+        if not ok:
+            return EMPTY
+        return task
+
+    @scoped_method
+    def steal(self):
+        """Thief: pop from the head (Figure 2 lines 26-36)."""
+        yield self.note_op()
+        head = yield self.head.load()
+        tail = yield self.tail.load()
+        if head >= tail:
+            return EMPTY
+        task = yield self.arr.load(head % self.capacity)
+        ok = yield self.head.cas(head, head + 1)
+        if not ok:
+            return ABORT
+        return task
+
+    # host helpers --------------------------------------------------------------
+    def snapshot(self) -> tuple[int, int]:
+        """(HEAD, TAIL) as globally visible (for end-of-run checks)."""
+        return self.head.peek(), self.tail.peek()

@@ -1,0 +1,123 @@
+"""Growable Chase-Lev deque (the paper's actual data structure).
+
+Figure 2 shows the *simplified* Chase-Lev queue; the real one [10] is
+"a lock-free dequeue using a growable cyclic array": when ``put`` finds
+the array full it allocates a bigger one, copies the live window and
+publishes the new array pointer.  Thieves may race with a growth --
+the classic argument holds because elements are immutable once written
+and the old array keeps valid data for every in-range index, so a
+thief using a stale array pointer still reads the right task.
+
+The array pointer is one shared word (``ARRAY``) holding a descriptor
+index; each descriptor's base/capacity live in per-region host views.
+The publication of a grown array is ordered by the same class-scope
+store-store fence discipline as ``put`` itself.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, WAIT_STORES
+from ..runtime.lang import Env, ScopedStructure, SharedArray, scoped_method
+from .chase_lev import ABORT, EMPTY
+
+
+class GrowableWorkStealingDeque(ScopedStructure):
+    """Chase-Lev deque over a growable cyclic array."""
+
+    def __init__(
+        self,
+        env: Env,
+        name: str = "gwsq",
+        initial_capacity: int = 8,
+        scope: FenceKind = FenceKind.CLASS,
+        max_regions: int = 8,
+    ) -> None:
+        super().__init__(env, name, scope)
+        if initial_capacity < 2:
+            raise ValueError("initial_capacity must be >= 2")
+        self.head = self.svar("HEAD")
+        self.tail = self.svar("TAIL")
+        self.array = self.svar("ARRAY")  # descriptor index of the live array
+        self.max_regions = max_regions
+        self.regions: list[SharedArray] = []
+        self.grows = 0
+        self._alloc_region(initial_capacity)
+        self.init_opstats()
+
+    def _alloc_region(self, capacity: int) -> int:
+        if len(self.regions) >= self.max_regions:
+            raise MemoryError(f"{self.name}: too many growths")
+        region = self.sarray(f"arr{len(self.regions)}", capacity)
+        self.regions.append(region)
+        return len(self.regions) - 1
+
+    def _grow(self, head: int, tail: int, old: int):
+        """Guest fragment: double the array and copy the live window."""
+        new = self._alloc_region(2 * len(self.regions[old]))
+        old_region, new_region = self.regions[old], self.regions[new]
+        for i in range(head, tail):
+            task = yield old_region.load(i % len(old_region))
+            yield new_region.store(i % len(new_region), task)
+        # every copied element must be visible before the new array is
+        yield self.fence(WAIT_STORES)
+        yield self.array.store(new)
+        self.grows += 1
+        return new
+
+    @scoped_method
+    def put(self, task: int):
+        yield self.note_op()
+        tail = yield self.tail.load()
+        head = yield self.head.load()
+        d = yield self.array.load()
+        if tail - head >= len(self.regions[d]):
+            d = yield from self._grow(head, tail, d)
+        region = self.regions[d]
+        yield region.store(tail % len(region), task)
+        yield self.fence(WAIT_STORES)  # storestore (Figure 2 line 4)
+        yield self.tail.store(tail + 1)
+
+    @scoped_method
+    def take(self):
+        yield self.note_op()
+        tail = (yield self.tail.load()) - 1
+        yield self.tail.store(tail)
+        yield self.fence(WAIT_STORES, speculable=False)  # storeload
+        head = yield self.head.load()
+        if tail < head:
+            yield self.tail.store(head)
+            return EMPTY
+        d = yield self.array.load()
+        region = self.regions[d]
+        task = yield region.load(tail % len(region))
+        if tail > head:
+            return task
+        yield self.tail.store(head + 1)
+        ok = yield self.head.cas(head, head + 1)
+        if not ok:
+            return EMPTY
+        return task
+
+    @scoped_method
+    def steal(self):
+        yield self.note_op()
+        head = yield self.head.load()
+        tail = yield self.tail.load()
+        if head >= tail:
+            return EMPTY
+        # a stale array pointer is safe: old arrays keep valid data
+        d = yield self.array.load()
+        region = self.regions[d]
+        task = yield region.load(head % len(region))
+        ok = yield self.head.cas(head, head + 1)
+        if not ok:
+            return ABORT
+        return task
+
+    # host helpers --------------------------------------------------------------
+    def snapshot(self) -> tuple[int, int]:
+        return self.head.peek(), self.tail.peek()
+
+    @property
+    def live_capacity(self) -> int:
+        return len(self.regions[self.array.peek()])

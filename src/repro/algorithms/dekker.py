@@ -1,0 +1,130 @@
+"""Dekker's mutual-exclusion algorithm (set scope; Figure 11 / Table IV).
+
+The fences after the ``flag`` store and before reading the peer's flag
+are only meant to order the accesses to ``flag0``/``flag1``/``turn``;
+accesses outside the algorithm (e.g. a long-latency private store
+before ``lock``) need not be ordered, so the paper specifies them as
+``S-FENCE[set, {flag0, flag1}]``.
+
+Mutual exclusion is validated with host-side probes: each thread bumps
+an occupancy counter on critical-section entry/exit and the harness
+asserts it never exceeds one.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, Probe, WAIT_BOTH, WAIT_STORES
+from ..isa.program import Program
+from ..runtime.harness import PrivateWork
+from ..runtime.lang import Env, ScopedStructure
+
+
+class DekkerLock(ScopedStructure):
+    """Two-thread Dekker lock with scoped fences."""
+
+    def __init__(self, env: Env, name: str = "dekker", scope: FenceKind = FenceKind.SET) -> None:
+        super().__init__(env, name, scope)
+        self.flag = [self.svar("flag0"), self.svar("flag1")]
+        self.turn = self.svar("turn")
+
+    def lock(self, tid: int):
+        """Acquire for thread ``tid`` (0 or 1); a guest generator."""
+        me, other = tid, 1 - tid
+        yield self.flag[me].store(1)
+        # the peer-flag read below decides mutual exclusion without a CAS
+        # backstop, so the fence is modelled as non-speculable (no load
+        # replay in this simulator; see Fence.speculable)
+        yield self.fence(WAIT_BOTH, speculable=False)
+        while (yield self.flag[other].load()) == 1:
+            if (yield self.turn.load()) != me:
+                yield self.flag[me].store(0)
+                while (yield self.turn.load()) != me:
+                    pass
+                yield self.flag[me].store(1)
+                yield self.fence(WAIT_BOTH, speculable=False)
+
+    def unlock(self, tid: int):
+        """Release for thread ``tid``; a guest generator."""
+        yield self.fence(WAIT_STORES)  # order CS flag-protocol stores
+        yield self.turn.store(1 - tid)
+        yield self.flag[tid].store(0)
+
+
+class MutualExclusionChecker:
+    """Host-side occupancy monitor fed by guest probes."""
+
+    def __init__(self) -> None:
+        self.inside = 0
+        self.max_inside = 0
+        self.entries = 0
+
+    def enter(self, cycle: int) -> None:
+        self.inside += 1
+        self.entries += 1
+        if self.inside > self.max_inside:
+            self.max_inside = self.inside
+
+    def leave(self, cycle: int) -> None:
+        self.inside -= 1
+
+    @property
+    def ok(self) -> bool:
+        return self.max_inside <= 1 and self.inside == 0
+
+
+def build_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.SET,
+    iterations: int = 30,
+    workload_level: int = 1,
+    use_fences: bool = True,
+):
+    """Two-thread Dekker harness; returns a ``WorkloadHandle``.
+
+    ``use_fences=False`` drops the algorithm's fences entirely -- used
+    by tests to demonstrate that the relaxed simulator really breaks
+    mutual exclusion without them.
+    """
+    from .workloads import WorkloadHandle  # local import to avoid a cycle
+
+    if use_fences:
+        lock = DekkerLock(env, scope=scope)
+    else:
+
+        class UnfencedLock(DekkerLock):
+            def fence(self, waits: int = WAIT_BOTH, speculable: bool = True):  # type: ignore[override]
+                return Probe()  # placeholder op with no ordering effect
+
+        lock = UnfencedLock(env, name="dekker_unfenced", scope=scope)
+    checker = MutualExclusionChecker()
+    counter = env.var("dekker.cs_counter")
+    works = [
+        PrivateWork(env, tid, workload_level, name="dekker.priv") for tid in (0, 1)
+    ]
+
+    def thread(tid: int):
+        work = works[tid]
+        for i in range(iterations):
+            yield from work.emit(i)
+            yield from lock.lock(tid)
+            yield Probe(fn=checker.enter)
+            v = yield counter.load()
+            yield counter.store(v + 1)
+            yield Probe(fn=checker.leave)
+            yield from lock.unlock(tid)
+
+    def check() -> None:
+        assert checker.inside == 0, "dekker: unbalanced critical-section probes"
+        assert checker.entries == 2 * iterations, (
+            f"dekker: expected {2 * iterations} CS entries, saw {checker.entries}"
+        )
+        if use_fences:
+            assert checker.max_inside <= 1, (
+                f"dekker: mutual exclusion violated ({checker.max_inside} inside)"
+            )
+
+    return WorkloadHandle(
+        Program([thread, thread], name="dekker"),
+        check,
+        meta={"checker": checker, "lock": lock, "counter": counter},
+    )

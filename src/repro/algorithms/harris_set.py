@@ -1,0 +1,178 @@
+"""Harris's lock-free sorted linked-list set (``harris`` in Table IV).
+
+A concurrent set as a sorted singly linked list with logically deleted
+("marked") nodes; the mark lives in the low bit of the ``next`` field
+(here: ``next = node_index * 2 + mark``).  ``_search`` physically
+unlinks marked chains it encounters, exactly as in Harris's paper.
+
+The store-store fence in ``insert`` orders node initialisation before
+the publishing CAS; the load-load fence in ``_search`` orders pointer
+loads before dereferencing them under RMO.  Both are class-scope
+S-Fence candidates.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, WAIT_LOADS, WAIT_STORES
+from ..runtime.lang import Env, ScopedStructure, scoped_method
+
+NULL = 0
+
+
+def _mk(node: int, mark: int) -> int:
+    return node * 2 + mark
+
+
+def _is_marked(ref: int) -> bool:
+    return bool(ref & 1)
+
+
+def _ptr(ref: int) -> int:
+    return ref >> 1
+
+
+class HarrisSet(ScopedStructure):
+    """Sorted-list set with marked-pointer deletion."""
+
+    def __init__(
+        self,
+        env: Env,
+        name: str = "harris",
+        pool_size: int = 4096,
+        scope: FenceKind = FenceKind.CLASS,
+        use_fences: bool = True,
+    ) -> None:
+        super().__init__(env, name, scope)
+        if pool_size < 3:
+            raise ValueError("pool_size must hold the two sentinels")
+        self.pool_size = pool_size
+        self.key = self.sarray("key", pool_size)
+        self.nxt = self.sarray("next", pool_size)
+        self.use_fences = use_fences
+        self.HEAD = 1
+        self.TAIL = 2
+        self._next_free = 3
+        self.nxt.poke(self.HEAD, _mk(self.TAIL, 0))
+        self.nxt.poke(self.TAIL, _mk(NULL, 0))
+        self.init_opstats()
+
+    def _alloc(self) -> int:
+        n = self._next_free
+        if n >= self.pool_size:
+            raise MemoryError(f"{self.name}: node pool exhausted")
+        self._next_free = n + 1
+        return n
+
+    def _fence(self, waits: int):
+        if self.use_fences:
+            yield self.fence(waits)
+
+    @scoped_method
+    def _search(self, search_key: int):
+        """Find adjacent (left, right) with ``right.key >= search_key``.
+
+        Returns ``(left, left_next_ref, right)``; snips marked chains.
+        """
+        while True:
+            # order earlier (possibly in-flight) loads before starting a
+            # fresh traversal from the head -- the published RMO fence
+            # placement for list search (independent loads)
+            yield from self._fence(WAIT_LOADS)
+            t = self.HEAD
+            t_next = yield self.nxt.load(t)
+            left = t
+            left_next = t_next
+            # phase 1: locate left and right nodes
+            while True:
+                if not _is_marked(t_next):
+                    left = t
+                    left_next = t_next
+                t = _ptr(t_next)
+                if t == self.TAIL:
+                    break
+                # NOTE: this dereference is *data-dependent* on the
+                # previous load (address dependency), which RMO-class
+                # models order without a fence; no fence is needed here.
+                t_next = yield self.nxt.load(t)
+                t_key = yield self.key.load(t)
+                if not (_is_marked(t_next) or t_key < search_key):
+                    break
+            right = t
+            # phase 2: adjacent?
+            if _ptr(left_next) == right:
+                if right != self.TAIL:
+                    r_next = yield self.nxt.load(right)
+                    if _is_marked(r_next):
+                        continue
+                return left, left_next, right
+            # phase 3: snip the marked chain between left and right
+            ok = yield self.nxt.cas(left, left_next, _mk(right, 0))
+            if ok:
+                if right != self.TAIL:
+                    r_next = yield self.nxt.load(right)
+                    if _is_marked(r_next):
+                        continue
+                return left, _mk(right, 0), right
+
+    @scoped_method
+    def insert(self, key: int):
+        """Add ``key``; False if already present."""
+        yield self.note_op()
+        node = self._alloc()
+        yield self.key.store(node, key)
+        while True:
+            left, left_next, right = yield from self._search(key)
+            if right != self.TAIL:
+                r_key = yield self.key.load(right)
+                if r_key == key:
+                    return False
+            yield self.nxt.store(node, _mk(right, 0))
+            yield from self._fence(WAIT_STORES)  # init before publication
+            ok = yield self.nxt.cas(left, _mk(right, 0), _mk(node, 0))
+            if ok:
+                return True
+
+    @scoped_method
+    def delete(self, key: int):
+        """Remove ``key``; False if absent."""
+        yield self.note_op()
+        while True:
+            left, left_next, right = yield from self._search(key)
+            if right == self.TAIL:
+                return False
+            r_key = yield self.key.load(right)
+            if r_key != key:
+                return False
+            r_next = yield self.nxt.load(right)
+            if _is_marked(r_next):
+                continue
+            ok = yield self.nxt.cas(right, r_next, r_next | 1)  # logical delete
+            if ok:
+                # attempt physical unlink; fall back to a cleanup search
+                ok2 = yield self.nxt.cas(left, _mk(right, 0), r_next)
+                if not ok2:
+                    yield from self._search(key)
+                return True
+
+    @scoped_method
+    def contains(self, key: int):
+        """Membership test."""
+        yield self.note_op()
+        _, _, right = yield from self._search(key)
+        if right == self.TAIL:
+            return False
+        r_key = yield self.key.load(right)
+        return r_key == key
+
+    # host helpers --------------------------------------------------------------
+    def keys_host(self) -> list[int]:
+        """Unmarked keys in list order, from globally visible memory."""
+        out = []
+        ref = self.nxt.peek(self.HEAD)
+        node = _ptr(ref)
+        while node != self.TAIL:
+            nref = self.nxt.peek(node)
+            if not _is_marked(nref):
+                out.append(self.key.peek(node))
+            node = _ptr(nref)
+        return out

@@ -1,0 +1,65 @@
+"""Lamport's single-producer single-consumer queue (extension).
+
+Cited in the paper's introduction ([28]) as a classic concurrent
+algorithm; it needs no CAS at all, only fences: the producer must order
+the slot write before the ``tail`` publication (store-store), and the
+consumer must order the ``head`` publication after the slot read.
+Class scope confines both to the queue's ring buffer and indices.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, WAIT_LOADS, WAIT_STORES
+from ..runtime.lang import Env, ScopedStructure, scoped_method
+
+EMPTY = -1
+FULL = -2
+
+
+class LamportQueue(ScopedStructure):
+    """Bounded SPSC ring buffer."""
+
+    def __init__(
+        self,
+        env: Env,
+        name: str = "lamport",
+        capacity: int = 64,
+        scope: FenceKind = FenceKind.CLASS,
+        use_fences: bool = True,
+    ) -> None:
+        super().__init__(env, name, scope)
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self.capacity = capacity
+        self.buf = self.sarray("buf", capacity)
+        self.head = self.svar("HEAD")
+        self.tail = self.svar("TAIL")
+        self.use_fences = use_fences
+
+    def _fence(self, waits: int):
+        if self.use_fences:
+            yield self.fence(waits)
+
+    @scoped_method
+    def enqueue(self, value: int):
+        """Producer only.  Returns False when the ring is full."""
+        tail = yield self.tail.load()
+        head = yield self.head.load()
+        if (tail + 1) % self.capacity == head % self.capacity:
+            return False
+        yield self.buf.store(tail % self.capacity, value)
+        yield from self._fence(WAIT_STORES)  # slot before tail publication
+        yield self.tail.store(tail + 1)
+        return True
+
+    @scoped_method
+    def dequeue(self):
+        """Consumer only.  Returns ``EMPTY`` when nothing is queued."""
+        head = yield self.head.load()
+        tail = yield self.tail.load()
+        if head == tail:
+            return EMPTY
+        value = yield self.buf.load(head % self.capacity)
+        yield from self._fence(WAIT_LOADS)  # slot read before head publication
+        yield self.head.store(head + 1)
+        return value

@@ -1,0 +1,121 @@
+"""Mixed-structure workload: many scoped classes active at once.
+
+The paper's overflow machinery (Section IV-A3, "handling excessive
+scopes") only matters when several *different* scoped classes have
+fences in flight simultaneously.  This workload gives every thread a
+work-stealing deque, a shared Michael-Scott queue, a shared Harris set
+and a shared Treiber stack -- four distinct class ids -- so FSB-entry
+sharing and mapping-table pressure actually occur when the hardware is
+sized small (the A1 ablation bench sweeps ``fsb_entries``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from ..isa.instructions import FenceKind
+from ..isa.program import Program
+from ..runtime.harness import PrivateWork
+from ..runtime.lang import Env
+from .chase_lev import WorkStealingDeque
+from .harris_set import HarrisSet
+from .ms_queue import EMPTY as MS_EMPTY
+from .ms_queue import MichaelScottQueue
+from .treiber_stack import EMPTY as TS_EMPTY
+from .treiber_stack import TreiberStack
+from .workloads import WorkloadHandle
+
+
+def build_mixed_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.CLASS,
+    iterations: int = 12,
+    workload_level: int = 1,
+    n_threads: int = 8,
+    key_space: int = 12,
+    seed: int = 31,
+) -> WorkloadHandle:
+    """Each thread round-robins over four different lock-free structures."""
+    deques = [
+        WorkStealingDeque(env, name=f"mix.wsq{t}", capacity=4 * iterations + 4, scope=scope)
+        for t in range(n_threads)
+    ]
+    queue = MichaelScottQueue(
+        env, name="mix.msn", pool_size=n_threads * iterations + 8, scope=scope
+    )
+    sset = HarrisSet(
+        env, name="mix.harris", pool_size=n_threads * iterations + 8, scope=scope
+    )
+    stack = TreiberStack(
+        env, name="mix.treiber", pool_size=n_threads * iterations + 8, scope=scope
+    )
+    works = [
+        PrivateWork(env, t, workload_level, name="mix.priv") for t in range(n_threads)
+    ]
+
+    enq: list[int] = []
+    deq: list[int] = []
+    pushed: list[int] = []
+    popped: list[int] = []
+    ins_ok: Counter = Counter()
+    del_ok: Counter = Counter()
+    wsq_log: list[tuple[int, int]] = []
+
+    def worker(tid: int):
+        rng = random.Random(seed + tid)
+        my = deques[tid]
+        work = works[tid]
+        for i in range(iterations):
+            token = tid * 1000 + i + 1
+            # deque: put one, take one (owner side)
+            yield from my.put(token)
+            got = yield from my.take()
+            if got >= 0:
+                wsq_log.append((tid, got))
+            yield from work.emit(i)
+            # shared queue
+            enq.append(token)
+            yield from queue.enqueue(token)
+            got = yield from queue.dequeue()
+            if got != MS_EMPTY:
+                deq.append(got)
+            yield from work.emit(i)
+            # shared set
+            key = rng.randrange(key_space)
+            if rng.random() < 0.5:
+                if (yield from sset.insert(key)):
+                    ins_ok[key] += 1
+            else:
+                if (yield from sset.delete(key)):
+                    del_ok[key] += 1
+            # shared stack
+            pushed.append(token)
+            yield from stack.push(token)
+            got = yield from stack.pop()
+            if got != TS_EMPTY:
+                popped.append(got)
+            yield from work.emit(i)
+
+    def check() -> None:
+        # queue accounting
+        assert not (set(deq) - set(enq)), "mixed: phantom queue values"
+        assert Counter(deq) + Counter(queue.drain_host()) == Counter(enq)
+        # stack accounting
+        assert not (set(popped) - set(pushed)), "mixed: phantom stack values"
+        assert Counter(popped) + Counter(stack.values_host()) == Counter(pushed)
+        # set balance
+        present = set(sset.keys_host())
+        for key in set(ins_ok) | set(del_ok):
+            assert ins_ok[key] - del_ok[key] == (1 if key in present else 0)
+        # deque: nothing extracted twice
+        got = [v for _, v in wsq_log]
+        assert len(set(got)) == len(got), "mixed: duplicate deque tasks"
+
+    return WorkloadHandle(
+        Program([worker] * n_threads, name="mixed"),
+        check,
+        meta={
+            "structures": {"queue": queue, "set": sset, "stack": stack, "deques": deques},
+        },
+    )

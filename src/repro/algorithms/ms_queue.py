@@ -1,0 +1,114 @@
+"""Michael-Scott non-blocking queue (``msn`` in Table IV; class scope).
+
+Multiple-producer / multiple-consumer lock-free FIFO queue backed by a
+linked list with head/tail pointers.  Nodes come from a preallocated
+pool and are never recycled (runs are finite), which sidesteps ABA.
+
+Fence placements under RMO follow the published requirements (Burckhardt
+et al. / Liu et al.):
+
+* enqueue: a store-store fence between initialising the new node and
+  publishing it via the link CAS, and
+* dequeue: a load-load fence between reading ``head``/``tail`` and
+  dereferencing ``head.next``.
+
+Both live inside the class, so class scope applies: they only order the
+queue's own accesses.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, WAIT_LOADS, WAIT_STORES
+from ..runtime.lang import Env, ScopedStructure, scoped_method
+
+EMPTY = -1
+
+NULL = 0
+
+
+class MichaelScottQueue(ScopedStructure):
+    """MS queue over a preallocated node pool."""
+
+    def __init__(
+        self,
+        env: Env,
+        name: str = "msn",
+        pool_size: int = 4096,
+        scope: FenceKind = FenceKind.CLASS,
+        use_fences: bool = True,
+    ) -> None:
+        super().__init__(env, name, scope)
+        if pool_size < 2:
+            raise ValueError("pool_size must hold at least the dummy node")
+        self.pool_size = pool_size
+        self.val = self.sarray("val", pool_size)
+        self.nxt = self.sarray("next", pool_size)
+        self.headp = self.svar("HEAD")
+        self.tailp = self.svar("TAIL")
+        self.use_fences = use_fences
+        self._next_free = 2  # 0 = null, 1 = initial dummy
+        self.headp.poke(1)
+        self.tailp.poke(1)
+        self.init_opstats()
+
+    def _alloc(self) -> int:
+        """Host-side node allocation (bump pointer; no reclamation)."""
+        n = self._next_free
+        if n >= self.pool_size:
+            raise MemoryError(f"{self.name}: node pool exhausted")
+        self._next_free = n + 1
+        return n
+
+    def _fence(self, waits: int):
+        if self.use_fences:
+            yield self.fence(waits)
+
+    @scoped_method
+    def enqueue(self, value: int):
+        """Append ``value``; lock-free, helps a lagging tail."""
+        yield self.note_op()
+        n = self._alloc()
+        yield self.val.store(n, value)
+        yield self.nxt.store(n, NULL)
+        yield from self._fence(WAIT_STORES)  # node init before publication
+        while True:
+            tail = yield self.tailp.load()
+            nxt = yield self.nxt.load(tail)
+            if nxt == NULL:
+                ok = yield self.nxt.cas(tail, NULL, n)
+                if ok:
+                    break
+            else:
+                yield self.tailp.cas(tail, nxt)  # help swing the tail
+        yield self.tailp.cas(tail, n)
+
+    @scoped_method
+    def dequeue(self):
+        """Remove the oldest value, or ``EMPTY``."""
+        yield self.note_op()
+        while True:
+            head = yield self.headp.load()
+            tail = yield self.tailp.load()
+            yield from self._fence(WAIT_LOADS)  # head/tail before next deref
+            nxt = yield self.nxt.load(head)
+            if head == tail:
+                if nxt == NULL:
+                    return EMPTY
+                yield self.tailp.cas(tail, nxt)  # help swing the tail
+                continue
+            if nxt == NULL:
+                continue  # stale head snapshot; retry
+            value = yield self.val.load(nxt)
+            ok = yield self.headp.cas(head, nxt)
+            if ok:
+                return value
+
+    # host helpers --------------------------------------------------------------
+    def drain_host(self) -> list[int]:
+        """Values still queued, walking globally visible memory (checks)."""
+        out = []
+        node = self.nxt.peek(self.headp.peek())
+        while node != NULL:
+            out.append(self.val.peek(node))
+            node = self.nxt.peek(node)
+        return out

@@ -1,0 +1,83 @@
+"""Treiber lock-free stack (extension benchmark; not in Table IV).
+
+Included because it is the smallest CAS-based lock-free structure with
+a publication fence: ``push`` initialises the node (value + next) and
+must order those stores before the CAS that makes the node the new top.
+Class scope applies to that fence exactly as in the paper's queue
+examples.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import FenceKind, WAIT_STORES
+from ..runtime.lang import Env, ScopedStructure, scoped_method
+
+EMPTY = -1
+NULL = 0
+
+
+class TreiberStack(ScopedStructure):
+    """LIFO stack over a preallocated node pool (no reclamation)."""
+
+    def __init__(
+        self,
+        env: Env,
+        name: str = "treiber",
+        pool_size: int = 4096,
+        scope: FenceKind = FenceKind.CLASS,
+        use_fences: bool = True,
+    ) -> None:
+        super().__init__(env, name, scope)
+        self.pool_size = pool_size
+        self.val = self.sarray("val", pool_size)
+        self.nxt = self.sarray("next", pool_size)
+        self.top = self.svar("TOP")
+        self.use_fences = use_fences
+        self._next_free = 1  # 0 = null
+
+    def _alloc(self) -> int:
+        n = self._next_free
+        if n >= self.pool_size:
+            raise MemoryError(f"{self.name}: node pool exhausted")
+        self._next_free = n + 1
+        return n
+
+    def _fence(self, waits: int):
+        if self.use_fences:
+            yield self.fence(waits)
+
+    @scoped_method
+    def push(self, value: int):
+        """Push ``value`` onto the stack."""
+        n = self._alloc()
+        yield self.val.store(n, value)
+        while True:
+            top = yield self.top.load()
+            yield self.nxt.store(n, top)
+            yield from self._fence(WAIT_STORES)  # node init before publication
+            ok = yield self.top.cas(top, n)
+            if ok:
+                return
+
+    @scoped_method
+    def pop(self):
+        """Pop the newest value, or ``EMPTY``."""
+        while True:
+            top = yield self.top.load()
+            if top == NULL:
+                return EMPTY
+            nxt = yield self.nxt.load(top)
+            value = yield self.val.load(top)
+            ok = yield self.top.cas(top, nxt)
+            if ok:
+                return value
+
+    # host helpers --------------------------------------------------------------
+    def values_host(self) -> list[int]:
+        """Top-to-bottom values from globally visible memory."""
+        out = []
+        node = self.top.peek()
+        while node != NULL:
+            out.append(self.val.peek(node))
+            node = self.nxt.peek(node)
+        return out

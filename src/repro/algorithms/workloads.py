@@ -1,0 +1,329 @@
+"""Section VI-A harness programs for the lock-free algorithms.
+
+Each ``build_*_workload`` returns a :class:`WorkloadHandle`: the guest
+program (lock-free ops interleaved with :class:`PrivateWork` at a given
+*workload level*) plus a ``check`` callable that validates the
+algorithm's safety invariants from the host-visible final state and the
+operation log the guests recorded.  The checkers are what lets the test
+suite demonstrate that (a) the algorithms are correct under the relaxed
+simulator *with* their fences -- traditional or scoped -- and (b) they
+genuinely break without them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..isa.instructions import FenceKind
+from ..isa.program import Program
+from ..runtime.harness import PrivateWork
+from ..runtime.lang import Env
+from . import chase_lev, harris_set, ms_queue, treiber_stack
+from .chase_lev import WorkStealingDeque
+from .harris_set import HarrisSet
+from .lamport_queue import LamportQueue
+from .ms_queue import MichaelScottQueue
+from .treiber_stack import TreiberStack
+
+
+@dataclass
+class WorkloadHandle:
+    """A runnable harness plus its safety checker."""
+
+    program: Program
+    check: Callable[[], None]
+    meta: dict = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------- wsq
+def build_wsq_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.CLASS,
+    iterations: int = 40,
+    workload_level: int = 1,
+    n_threads: int = 8,
+    use_fences: bool = True,
+) -> WorkloadHandle:
+    """Owner puts/takes, thieves steal (the paper's motivating pattern)."""
+    deque = WorkStealingDeque(
+        env, capacity=2 * iterations + 4, scope=scope, use_fences=use_fences
+    )
+    done = env.var("wsq.done")
+    puts: list[int] = []
+    extracted: list[tuple[object, int]] = []
+    works = [
+        PrivateWork(env, tid, workload_level, name="wsq.priv")
+        for tid in range(n_threads)
+    ]
+
+    def owner(tid: int):
+        work = works[tid]
+        task = 1
+        for i in range(iterations):
+            puts.append(task)
+            yield from deque.put(task)
+            task += 1
+            yield from work.emit(i)
+            got = yield from deque.take()
+            if got >= 0:
+                extracted.append(("owner", got))
+            yield from work.emit(i)
+        while True:  # drain what thieves left behind
+            got = yield from deque.take()
+            if got < 0:
+                break
+            extracted.append(("owner", got))
+        yield done.store(1)
+
+    def thief(tid: int):
+        work = works[tid]
+        while True:
+            if (yield done.load()):
+                break
+            got = yield from deque.steal()
+            if got >= 0:
+                extracted.append((tid, got))
+            yield from work.emit(tid)
+
+    def check() -> None:
+        got = [t for _, t in extracted]
+        dup = [t for t, n in Counter(got).items() if n > 1]
+        assert not dup, f"wsq: tasks extracted more than once: {dup[:5]}"
+        phantom = set(got) - set(puts)
+        assert not phantom, f"wsq: phantom tasks extracted: {sorted(phantom)[:5]}"
+        if use_fences:
+            head, tail = deque.snapshot()
+            remaining = max(0, tail - head)
+            assert len(got) + remaining == len(puts), (
+                f"wsq: lost tasks ({len(got)} extracted + {remaining} queued "
+                f"!= {len(puts)} put)"
+            )
+
+    fns = [owner] + [thief] * (n_threads - 1)
+    return WorkloadHandle(
+        Program(fns, name="wsq"),
+        check,
+        meta={"puts": puts, "extracted": extracted, "structure": deque},
+    )
+
+
+# --------------------------------------------------------------------------- msn
+def build_msn_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.CLASS,
+    iterations: int = 20,
+    workload_level: int = 1,
+    n_threads: int = 8,
+    use_fences: bool = True,
+) -> WorkloadHandle:
+    """All threads enqueue and dequeue on one shared MS queue."""
+    queue = MichaelScottQueue(
+        env,
+        pool_size=n_threads * iterations + 8,
+        scope=scope,
+        use_fences=use_fences,
+    )
+    enqueued: list[int] = []
+    dequeued: list[int] = []
+    works = [
+        PrivateWork(env, tid, workload_level, name="msn.priv")
+        for tid in range(n_threads)
+    ]
+
+    def worker(tid: int):
+        work = works[tid]
+        for i in range(iterations):
+            value = tid * 100_000 + i + 1
+            enqueued.append(value)
+            yield from queue.enqueue(value)
+            yield from work.emit(i)
+            got = yield from queue.dequeue()
+            if got != ms_queue.EMPTY:
+                dequeued.append(got)
+            yield from work.emit(i)
+
+    def check() -> None:
+        dup = [v for v, n in Counter(dequeued).items() if n > 1]
+        assert not dup, f"msn: values dequeued more than once: {dup[:5]}"
+        phantom = set(dequeued) - set(enqueued)
+        assert not phantom, f"msn: phantom values: {sorted(phantom)[:5]}"
+        if use_fences:
+            remaining = queue.drain_host()
+            assert Counter(dequeued) + Counter(remaining) == Counter(enqueued), (
+                "msn: enqueue/dequeue accounting mismatch"
+            )
+
+    return WorkloadHandle(
+        Program([worker] * n_threads, name="msn"),
+        check,
+        meta={"enqueued": enqueued, "dequeued": dequeued, "structure": queue},
+    )
+
+
+# ------------------------------------------------------------------------- harris
+def build_harris_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.CLASS,
+    iterations: int = 20,
+    workload_level: int = 1,
+    n_threads: int = 8,
+    key_space: int = 16,
+    seed: int = 7,
+    use_fences: bool = True,
+) -> WorkloadHandle:
+    """Random inserts/deletes/lookups over a small contended key space."""
+    sset = HarrisSet(
+        env,
+        pool_size=n_threads * iterations + 8,
+        scope=scope,
+        use_fences=use_fences,
+    )
+    # per-key counts of *successful* inserts and deletes (guest-reported)
+    ins_ok: Counter = Counter()
+    del_ok: Counter = Counter()
+    works = [
+        PrivateWork(env, tid, workload_level, name="harris.priv")
+        for tid in range(n_threads)
+    ]
+
+    def worker(tid: int):
+        rng = random.Random(seed + tid)
+        work = works[tid]
+        for i in range(iterations):
+            key = rng.randrange(key_space)
+            dice = rng.random()
+            if dice < 0.45:
+                ok = yield from sset.insert(key)
+                if ok:
+                    ins_ok[key] += 1
+            elif dice < 0.9:
+                ok = yield from sset.delete(key)
+                if ok:
+                    del_ok[key] += 1
+            else:
+                yield from sset.contains(key)
+            yield from work.emit(i)
+
+    def check() -> None:
+        keys = sset.keys_host()
+        assert keys == sorted(set(keys)), f"harris: list not sorted/unique: {keys}"
+        if use_fences:
+            present = set(keys)
+            for key in set(ins_ok) | set(del_ok):
+                balance = ins_ok[key] - del_ok[key]
+                expect = 1 if key in present else 0
+                assert balance == expect, (
+                    f"harris: key {key}: {ins_ok[key]} inserts - "
+                    f"{del_ok[key]} deletes = {balance}, final presence {expect}"
+                )
+            stray = present - set(ins_ok)
+            assert not stray, f"harris: keys never inserted: {sorted(stray)}"
+
+    return WorkloadHandle(
+        Program([worker] * n_threads, name="harris"),
+        check,
+        meta={"structure": sset, "ins_ok": ins_ok, "del_ok": del_ok},
+    )
+
+
+# ------------------------------------------------------------------ treiber
+def build_treiber_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.CLASS,
+    iterations: int = 20,
+    workload_level: int = 1,
+    n_threads: int = 8,
+    use_fences: bool = True,
+) -> WorkloadHandle:
+    """All threads push/pop on one shared Treiber stack (extension)."""
+    stack = TreiberStack(
+        env,
+        pool_size=n_threads * iterations + 8,
+        scope=scope,
+        use_fences=use_fences,
+    )
+    pushed: list[int] = []
+    popped: list[int] = []
+    works = [
+        PrivateWork(env, tid, workload_level, name="treiber.priv")
+        for tid in range(n_threads)
+    ]
+
+    def worker(tid: int):
+        work = works[tid]
+        for i in range(iterations):
+            value = tid * 100_000 + i + 1
+            pushed.append(value)
+            yield from stack.push(value)
+            yield from work.emit(i)
+            got = yield from stack.pop()
+            if got != treiber_stack.EMPTY:
+                popped.append(got)
+            yield from work.emit(i)
+
+    def check() -> None:
+        dup = [v for v, n in Counter(popped).items() if n > 1]
+        assert not dup, f"treiber: values popped more than once: {dup[:5]}"
+        phantom = set(popped) - set(pushed)
+        assert not phantom, f"treiber: phantom values: {sorted(phantom)[:5]}"
+        if use_fences:
+            remaining = stack.values_host()
+            assert Counter(popped) + Counter(remaining) == Counter(pushed), (
+                "treiber: push/pop accounting mismatch"
+            )
+
+    return WorkloadHandle(
+        Program([worker] * n_threads, name="treiber"),
+        check,
+        meta={"pushed": pushed, "popped": popped, "structure": stack},
+    )
+
+
+# ------------------------------------------------------------------ lamport
+def build_lamport_workload(
+    env: Env,
+    scope: FenceKind = FenceKind.CLASS,
+    iterations: int = 40,
+    workload_level: int = 1,
+    capacity: int = 16,
+    use_fences: bool = True,
+) -> WorkloadHandle:
+    """One producer, one consumer over a Lamport SPSC ring (extension)."""
+    queue = LamportQueue(env, capacity=capacity, scope=scope, use_fences=use_fences)
+    consumed: list[int] = []
+    works = [
+        PrivateWork(env, tid, workload_level, name="lamport.priv") for tid in (0, 1)
+    ]
+
+    def producer(tid: int):
+        work = works[0]
+        sent = 0
+        while sent < iterations:
+            ok = yield from queue.enqueue(sent + 1)
+            if ok:
+                sent += 1
+                yield from work.emit(sent)
+
+    def consumer(tid: int):
+        from .lamport_queue import EMPTY
+
+        work = works[1]
+        while len(consumed) < iterations:
+            got = yield from queue.dequeue()
+            if got != EMPTY:
+                consumed.append(got)
+                yield from work.emit(got)
+
+    def check() -> None:
+        assert consumed == list(range(1, iterations + 1)), (
+            f"lamport: FIFO order broken around {consumed[:8]}..."
+        )
+
+    return WorkloadHandle(
+        Program([producer, consumer], name="lamport"),
+        check,
+        meta={"consumed": consumed, "structure": queue},
+    )

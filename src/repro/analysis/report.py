@@ -1,0 +1,79 @@
+"""Paper-style ASCII reporting: measured numbers next to paper values.
+
+Every benchmark target regenerates one table or figure of the paper;
+these helpers print them uniformly so EXPERIMENTS.md and the bench
+output read the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    title: str,
+    rows: Iterable[tuple[str, object, object]],
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> str:
+    """Three-column comparison table."""
+    return format_table(
+        ["metric", paper_label, measured_label],
+        [(name, paper, measured) for name, paper, measured in rows],
+        title=title,
+    )
+
+
+def speedup_row(name: str, trad_cycles: int, scoped_cycles: int) -> tuple[str, str, str]:
+    return (
+        name,
+        str(trad_cycles),
+        f"{scoped_cycles} ({trad_cycles / scoped_cycles:.3f}x)",
+    )
+
+
+def stacked_bar_rows(series: list[dict]) -> list[tuple[str, str, str, str]]:
+    """Rows for a Figure 13-16 style stacked normalized-time chart."""
+    return [
+        (
+            s["label"],
+            f"{s['normalized_time']:.3f}",
+            f"{s['fence_stalls']:.3f}",
+            f"{s['others']:.3f}",
+        )
+        for s in series
+    ]
+
+
+def ascii_series(values: Sequence[float], width: int = 40, label_fmt: str = "{:.3f}") -> list[str]:
+    """Tiny horizontal bar chart (one line per value)."""
+    if not values:
+        return []
+    peak = max(values) or 1.0
+    lines = []
+    for v in values:
+        bar = "#" * max(1, int(round(width * v / peak)))
+        lines.append(f"{label_fmt.format(v):>8} |{bar}")
+    return lines

@@ -1,0 +1,96 @@
+"""Sweep drivers: run workloads under paired configurations.
+
+These helpers own the repetitive part of every experiment: build a
+fresh environment per configuration, run, validate, and collect the
+headline numbers (total cycles + fence-stall split) that the paper's
+figures are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..isa.instructions import FenceKind
+from ..runtime.lang import Env
+from ..sim.config import SimConfig
+from ..sim.simulator import SimResult
+
+
+@dataclass
+class RunPoint:
+    """One (configuration, workload) measurement."""
+
+    label: str
+    cycles: int
+    fence_stall_cycles: int
+    fence_stall_fraction: float
+    stats_summary: dict = field(default_factory=dict)
+
+    @property
+    def others_fraction(self) -> float:
+        return 1.0 - self.fence_stall_fraction
+
+
+def measure(
+    build: Callable[[Env], object],
+    config: SimConfig,
+    label: str = "",
+    check: bool = True,
+    max_cycles: int | None = None,
+) -> RunPoint:
+    """Build the workload in a fresh env under ``config``, run, validate.
+
+    ``build`` receives the env and returns an object with ``program``
+    and (optionally) ``check``/``check()``.
+    """
+    env = Env(config)
+    instance = build(env)
+    result: SimResult = env.run(instance.program, max_cycles=max_cycles)
+    if check and hasattr(instance, "check"):
+        instance.check()
+    return RunPoint(
+        label=label,
+        cycles=result.cycles,
+        fence_stall_cycles=result.stats.fence_stall_cycles,
+        fence_stall_fraction=result.stats.fence_stall_fraction,
+        stats_summary=result.stats.summary(),
+    )
+
+
+def traditional_vs_scoped(
+    build: Callable[[Env, FenceKind], object],
+    scoped_kind: FenceKind,
+    config: SimConfig | None = None,
+    **measure_kwargs,
+) -> tuple[RunPoint, RunPoint, float]:
+    """Run a workload with traditional fences and with S-Fences.
+
+    ``build(env, scope)`` constructs the workload with the given fence
+    scope; GLOBAL is the traditional baseline.  Returns
+    ``(trad, scoped, speedup)``.
+    """
+    cfg = config if config is not None else SimConfig()
+    trad = measure(
+        lambda env: build(env, FenceKind.GLOBAL), cfg, label="T", **measure_kwargs
+    )
+    scoped = measure(
+        lambda env: build(env, scoped_kind), cfg, label="S", **measure_kwargs
+    )
+    return trad, scoped, trad.cycles / scoped.cycles
+
+
+def normalized_series(points: list[RunPoint], baseline: RunPoint) -> list[dict]:
+    """Figure 13-16 style rows: times normalized to the baseline run."""
+    rows = []
+    for p in points:
+        norm = p.cycles / baseline.cycles if baseline.cycles else 0.0
+        rows.append(
+            {
+                "label": p.label,
+                "normalized_time": round(norm, 3),
+                "fence_stalls": round(norm * p.fence_stall_fraction, 3),
+                "others": round(norm * p.others_fraction, 3),
+            }
+        )
+    return rows

@@ -1,0 +1,40 @@
+"""Full applications (Table IV rows 5-8) and supporting analyses."""
+
+from .barnes import BarnesInstance, build_barnes
+from .cilk_fib import CilkFibInstance, build_cilk_fib
+from .delay_set import (
+    AddressClassification,
+    classify_trace,
+    conflict_graph,
+    delay_pairs,
+    fence_points,
+)
+from .graphs import CsrGraph, predecessors_of, random_connected_graph, random_dag
+from .pst import PstInstance, build_pst
+from .ptc import PtcInstance, build_ptc
+from .quadtree import Quadtree, build_quadtree
+from .radiosity import RadiosityInstance, build_radiosity
+
+__all__ = [
+    "AddressClassification",
+    "BarnesInstance",
+    "CilkFibInstance",
+    "CsrGraph",
+    "PstInstance",
+    "PtcInstance",
+    "Quadtree",
+    "RadiosityInstance",
+    "build_barnes",
+    "build_cilk_fib",
+    "build_pst",
+    "build_ptc",
+    "build_quadtree",
+    "build_radiosity",
+    "classify_trace",
+    "conflict_graph",
+    "delay_pairs",
+    "fence_points",
+    "predecessors_of",
+    "random_connected_graph",
+    "random_dag",
+]

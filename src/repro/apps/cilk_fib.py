@@ -1,0 +1,176 @@
+"""Cilk-style fork-join runtime on the work-stealing deque (extension).
+
+The paper's Section II-A motivates fence cost with Frigo et al.'s
+observation that Cilk-5's THE protocol "spends half of its time
+executing a memory fence".  This module builds a miniature Cilk: a
+fork-join ``fib(n)`` computation scheduled THE-style over per-thread
+Chase-Lev deques, with join counters in shared memory (CAS-decremented)
+and results delivered through shared result slots.
+
+Every ``take``/``put``/``steal`` executes the deque's fences, so the
+fence-stall share of total runtime directly reflects the THE-protocol
+observation -- and class-scope S-Fences shrink it.
+
+Tasks are tickets (exactly-once consumption guard, as in pst/ptc) into
+a host-side frame table; each frame is either a *fork* (spawn two
+children, then wait) or a *join* continuation (sum the children).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algorithms.chase_lev import WorkStealingDeque
+from ..isa.instructions import Compute, Fence, FenceKind, WAIT_STORES
+from ..isa.program import Program
+from ..runtime.lang import Env, SharedArray, SharedVar
+
+
+def fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def fib_frames(n: int) -> int:
+    """Number of call frames the naive fork-join fib(n) creates."""
+    if n < 2:
+        return 1
+    return 1 + fib_frames(n - 1) + fib_frames(n - 2)
+
+
+@dataclass
+class CilkFibInstance:
+    """A fork-join fib run plus its checker."""
+
+    program: Program
+    n: int
+    result: SharedVar
+    done: SharedVar
+    frames_used: list = field(default_factory=list)
+
+    def check(self) -> None:
+        assert self.done.peek() == 1, "cilk_fib: computation did not finish"
+        got = self.result.peek()
+        expect = fib(self.n)
+        assert got == expect, f"cilk_fib: fib({self.n}) = {got}, expected {expect}"
+
+
+def build_cilk_fib(
+    env: Env,
+    n: int = 11,
+    n_threads: int = 8,
+    scope: FenceKind = FenceKind.CLASS,
+    work_per_task: int = 10,
+) -> CilkFibInstance:
+    """Construct the fork-join fib(n) guest program."""
+    max_frames = fib_frames(n) + 4
+    # frame state in shared memory: join counters and two child results
+    join = env.line_array("cilk.join", max_frames)
+    res_a = env.line_array("cilk.res_a", max_frames)
+    res_b = env.line_array("cilk.res_b", max_frames)
+    result = env.var("cilk.result")
+    done = env.var("cilk.done")
+    # tickets: exactly-once consumption guard (see pst/ptc)
+    ticket_space = 4 * max_frames
+    consumed = env.array("cilk.consumed", ticket_space + 2)
+
+    deques = [
+        WorkStealingDeque(env, name=f"cilk.wsq{t}", capacity=2 * max_frames, scope=scope)
+        for t in range(n_threads)
+    ]
+
+    # host-side frame/task tables
+    # frame: [n, parent_frame, parent_slot]  (slot 0 = res_a, 1 = res_b)
+    frames: dict[int, tuple[int, int, int]] = {}
+    task_of_ticket: dict[int, tuple[str, int]] = {}  # ticket -> (kind, frame)
+    next_ids = [0, 1]  # frame counter, ticket counter
+
+    def new_frame(num: int, parent: int, slot: int) -> int:
+        fid = next_ids[0]
+        next_ids[0] += 1
+        if fid >= max_frames:
+            raise MemoryError("cilk_fib: frame table exhausted")
+        frames[fid] = (num, parent, slot)
+        return fid
+
+    def new_ticket(kind: str, frame: int) -> int:
+        t = next_ids[1]
+        next_ids[1] += 1
+        if t >= ticket_space:
+            raise MemoryError("cilk_fib: ticket space exhausted")
+        task_of_ticket[t] = (kind, frame)
+        return t
+
+    root = new_frame(n, -1, 0)
+
+    def deliver(frame_id: int, value: int, my):
+        """Report ``value`` to the frame's parent; guest fragment."""
+        num, parent, slot = frames[frame_id]
+        if parent < 0:
+            yield result.store(value)
+            yield done.store(1)
+            return
+        yield (res_a if slot == 0 else res_b).store(parent, value)
+        # runtime-level ordering: the result must be visible before the
+        # join counter moves.  This fence belongs to the *application's*
+        # sync protocol (like pst's color/parent fence), so it stays a
+        # traditional full fence -- S-Fence does not optimise it.
+        yield Fence(FenceKind.GLOBAL, WAIT_STORES)
+        # join-counter decrement: last child enqueues the continuation
+        while True:
+            j = yield join.load(parent)
+            ok = yield join.cas(parent, j, j - 1)
+            if ok:
+                break
+        if j - 1 == 0:
+            yield from my.put(new_ticket("join", parent) + 1)
+
+    def execute(ticket: int, my):
+        kind, frame_id = task_of_ticket[ticket]
+        num, parent, slot = frames[frame_id]
+        if work_per_task:
+            yield Compute(work_per_task)
+        if kind == "fork":
+            if num < 2:
+                yield from deliver(frame_id, num, my)
+                return
+            yield join.store(frame_id, 2)
+            # the join counter must be visible before either child can
+            # be stolen and report back (application-level ordering)
+            yield Fence(FenceKind.GLOBAL, WAIT_STORES)
+            child_a = new_frame(num - 1, frame_id, 0)
+            child_b = new_frame(num - 2, frame_id, 1)
+            yield from my.put(new_ticket("fork", child_a) + 1)
+            yield from my.put(new_ticket("fork", child_b) + 1)
+        else:  # join continuation: both children have reported
+            a = yield res_a.load(frame_id)
+            b = yield res_b.load(frame_id)
+            yield from deliver(frame_id, a + b, my)
+
+    def thread(tid: int):
+        my = deques[tid]
+        if tid == 0:
+            yield from my.put(new_ticket("fork", root) + 1)
+        while True:
+            if (yield done.load()):
+                return
+            task = yield from my.take()
+            if task < 0:
+                for k in range(1, n_threads):
+                    task = yield from deques[(tid + k) % n_threads].steal()
+                    if task >= 0:
+                        break
+            if task < 0:
+                continue
+            ok = yield consumed.cas(task, 0, 1)
+            if not ok:
+                continue  # duplicate delivery (speculation approximation)
+            yield from execute(task - 1, my)
+
+    instance = CilkFibInstance(
+        Program([thread] * n_threads, name="cilk_fib"), n, result, done
+    )
+    instance.frames_used = frames
+    return instance

@@ -1,0 +1,182 @@
+"""Delay-set analysis (Shasha-Snir) and trace-based access classification.
+
+The paper's barnes/radiosity experiments rely on a compiler that
+enforces sequential consistency by inserting fences at *delay pairs*
+found by delay-set analysis [38], and on the observation that accesses
+to private or shared-read-only data are never part of a conflict and
+therefore are not flagged for set-scope fences (Section VI-B, citing
+Singh et al. [40]).
+
+Two tools here:
+
+* :func:`classify_trace` -- dynamic classification: partition the
+  addresses of a memory trace into ``private`` / ``shared_read_only`` /
+  ``conflicting``.  An address conflicts iff at least two cores access
+  it and at least one of them writes.  The set-scope flag assignments
+  of the barnes/radiosity guests are validated against this partition
+  in the test suite.
+* :func:`delay_pairs` -- static Shasha-Snir analysis for small
+  (litmus-sized) programs: find the program-order pairs that lie on a
+  *critical cycle* of the conflict graph; exactly those pairs need a
+  fence to restore SC.  Dekker's classic two delay pairs fall out of
+  this directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import networkx as nx
+
+from ..sim.trace import TraceCollector
+
+
+@dataclass(frozen=True)
+class AddressClassification:
+    """Partition of traced addresses."""
+
+    private: frozenset[int]
+    shared_read_only: frozenset[int]
+    conflicting: frozenset[int]
+
+    def flagged(self) -> frozenset[int]:
+        """The addresses a set-scope compiler must flag."""
+        return self.conflicting
+
+
+def classify_trace(trace: TraceCollector) -> AddressClassification:
+    """Classify every address appearing in ``trace``."""
+    readers: dict[int, set[int]] = {}
+    writers: dict[int, set[int]] = {}
+    for rec in trace.records:
+        if rec.kind == "load":
+            readers.setdefault(rec.addr, set()).add(rec.core)
+        else:  # store or cas
+            writers.setdefault(rec.addr, set()).add(rec.core)
+    private: set[int] = set()
+    read_only: set[int] = set()
+    conflicting = set()
+    for addr in set(readers) | set(writers):
+        r = readers.get(addr, set())
+        w = writers.get(addr, set())
+        cores = r | w
+        if len(cores) <= 1:
+            private.add(addr)
+        elif not w:
+            read_only.add(addr)
+        else:
+            conflicting.add(addr)
+    return AddressClassification(
+        frozenset(private), frozenset(read_only), frozenset(conflicting)
+    )
+
+
+# --------------------------------------------------------------------- static
+@dataclass(frozen=True)
+class Access:
+    """One static access in a thread program."""
+
+    thread: int
+    index: int
+    var: str
+    is_write: bool
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.thread, self.index)
+
+
+def _parse(threads: list[list[tuple[str, str]]]) -> list[Access]:
+    accesses = []
+    for t, ops in enumerate(threads):
+        for i, (var, mode) in enumerate(ops):
+            if mode not in ("r", "w"):
+                raise ValueError(f"access mode must be 'r' or 'w', got {mode!r}")
+            accesses.append(Access(t, i, var, mode == "w"))
+    return accesses
+
+
+def conflict_graph(threads: list[list[tuple[str, str]]]) -> nx.DiGraph:
+    """The mixed program/conflict graph of Shasha-Snir.
+
+    Nodes are ``(thread, index)``; program edges follow program order
+    within a thread, conflict edges connect (both directions) accesses
+    of the same variable on different threads when at least one writes.
+    """
+    accesses = _parse(threads)
+    g = nx.DiGraph()
+    for a in accesses:
+        g.add_node(a.key, var=a.var, is_write=a.is_write, thread=a.thread)
+    by_thread: dict[int, list[Access]] = {}
+    for a in accesses:
+        by_thread.setdefault(a.thread, []).append(a)
+    for ops in by_thread.values():
+        ops.sort(key=lambda a: a.index)
+        for u, v in zip(ops, ops[1:]):
+            g.add_edge(u.key, v.key, kind="program")
+    for a, b in combinations(accesses, 2):
+        if a.thread != b.thread and a.var == b.var and (a.is_write or b.is_write):
+            g.add_edge(a.key, b.key, kind="conflict")
+            g.add_edge(b.key, a.key, kind="conflict")
+    return g
+
+
+def _is_critical(cycle: list[tuple[int, int]], g: nx.DiGraph) -> bool:
+    """Shasha-Snir critical cycle: <= 2 accesses per thread, adjacent."""
+    per_thread: dict[int, list[int]] = {}
+    for pos, node in enumerate(cycle):
+        per_thread.setdefault(g.nodes[node]["thread"], []).append(pos)
+    n = len(cycle)
+    for positions in per_thread.values():
+        if len(positions) > 2:
+            return False
+        if len(positions) == 2:
+            a, b = positions
+            if not (b - a == 1 or (a == 0 and b == n - 1)):
+                return False
+    return True
+
+
+def delay_pairs(
+    threads: list[list[tuple[str, str]]],
+    max_cycle_len: int = 8,
+) -> set[tuple[tuple[int, int], tuple[int, int]]]:
+    """Program-order pairs that must be enforced to guarantee SC.
+
+    Returns pairs of ``(thread, index)`` node keys, earlier access
+    first.  A fence (or other enforcement) between each pair restores
+    SC per Shasha-Snir.
+    """
+    g = conflict_graph(threads)
+    pairs: set[tuple[tuple[int, int], tuple[int, int]]] = set()
+    for cycle in nx.simple_cycles(g):
+        if len(cycle) < 2 or len(cycle) > max_cycle_len:
+            continue
+        if not _is_critical(cycle, g):
+            continue
+        n = len(cycle)
+        for pos, node in enumerate(cycle):
+            nxt = cycle[(pos + 1) % n]
+            if g.nodes[node]["thread"] == g.nodes[nxt]["thread"]:
+                u, v = node, nxt
+                if u[1] > v[1]:
+                    u, v = v, u
+                pairs.add((u, v))
+    return pairs
+
+
+def fence_points(
+    threads: list[list[tuple[str, str]]],
+    max_cycle_len: int = 8,
+) -> dict[int, set[int]]:
+    """Where to insert fences: after access ``i`` of thread ``t``.
+
+    The conservative placement: one fence directly between each delay
+    pair's two accesses (adjacent pairs come out of program edges, so
+    "after the first access" is exactly "between the two").
+    """
+    points: dict[int, set[int]] = {}
+    for (t, i), (_, _j) in delay_pairs(threads, max_cycle_len):
+        points.setdefault(t, set()).add(i)
+    return points

@@ -1,0 +1,102 @@
+"""Seeded workload-graph generators for the full applications.
+
+The paper's pst/ptc are *irregular* graph applications: poor locality
+on the ``color``/``parent``/adjacency arrays is what creates the
+long-latency accesses whose ordering a class-scope fence can skip.
+These generators produce connected random graphs in a flat CSR-like
+layout suitable for guest programs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """Compressed sparse row graph (undirected unless stated)."""
+
+    n: int
+    offsets: list[int]   # len n+1
+    neighbors: list[int]
+
+    def degree(self, v: int) -> int:
+        return self.offsets[v + 1] - self.offsets[v]
+
+    def neighbors_of(self, v: int) -> list[int]:
+        return self.neighbors[self.offsets[v] : self.offsets[v + 1]]
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.neighbors)
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int = 0, shuffle: bool = True) -> CsrGraph:
+    """A connected undirected graph: random spanning tree + extra edges.
+
+    Vertex ids are shuffled so that neighbor lists jump around memory --
+    the irregular-access pattern the paper's graph workloads exhibit.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    ids = list(range(n))
+    if shuffle:
+        rng.shuffle(ids)
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for i in range(1, n):
+        a, b = ids[i], ids[rng.randrange(i)]
+        adj[a].add(b)
+        adj[b].add(a)
+    for _ in range(extra_edges):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            adj[a].add(b)
+            adj[b].add(a)
+    offsets = [0]
+    neighbors: list[int] = []
+    for v in range(n):
+        nbrs = sorted(adj[v], key=lambda x: rng.random())
+        neighbors.extend(nbrs)
+        offsets.append(len(neighbors))
+    return CsrGraph(n, offsets, neighbors)
+
+
+def random_dag(n: int, avg_out_degree: float, seed: int = 0) -> CsrGraph:
+    """A random DAG (edges from lower to higher topological rank).
+
+    Used by the transitive-closure workload; returned in CSR form with
+    *successor* lists.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    succ: list[set[int]] = [set() for _ in range(n)]
+    n_edges = int(avg_out_degree * n)
+    for _ in range(n_edges):
+        a = rng.randrange(n - 1)
+        b = rng.randrange(a + 1, n)
+        succ[a].add(b)
+    # make sure ranks are not trivially ordered in memory
+    offsets = [0]
+    neighbors: list[int] = []
+    for v in range(n):
+        nbrs = sorted(succ[v], key=lambda x: rng.random())
+        neighbors.extend(nbrs)
+        offsets.append(len(neighbors))
+    return CsrGraph(n, offsets, neighbors)
+
+
+def predecessors_of(graph: CsrGraph) -> CsrGraph:
+    """Reverse a successor-CSR DAG into a predecessor-CSR DAG."""
+    preds: list[list[int]] = [[] for _ in range(graph.n)]
+    for v in range(graph.n):
+        for w in graph.neighbors_of(v):
+            preds[w].append(v)
+    offsets = [0]
+    neighbors: list[int] = []
+    for v in range(graph.n):
+        neighbors.extend(preds[v])
+        offsets.append(len(neighbors))
+    return CsrGraph(graph.n, offsets, neighbors)

@@ -1,0 +1,188 @@
+"""Parallel spanning tree over a work-stealing deque (``pst``, Table IV).
+
+The Bader-Cong style algorithm of Figure 3: each thread takes a vertex
+from its own Chase-Lev deque (stealing from peers when empty), claims
+unvisited neighbors, records their ``parent``, and pushes them for
+later expansion.  Work-stealing queues use class-scope S-Fences; the
+application itself needs one *full* fence between the ``color`` claim
+and the ``parent`` store under relaxed models -- the paper points at
+exactly this fence as the reason pst profits less from S-Fence than
+barnes/radiosity (Section VI-B).
+
+Scale model: ``color``/``parent`` and the adjacency arrays are padded
+to one cache line per record, reproducing the irregular-graph miss
+behaviour of paper-sized inputs at simulable vertex counts.
+
+Termination uses a shared pending-work counter: incremented (CAS)
+before every ``put``, decremented after a task is fully expanded; all
+threads exit when it reaches zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.chase_lev import WorkStealingDeque
+from ..isa.instructions import Compute, Fence, FenceKind, WAIT_BOTH
+from ..isa.program import Program
+from ..runtime.lang import Env, SharedArray, SharedVar
+from .graphs import CsrGraph, random_connected_graph
+
+
+@dataclass
+class PstInstance:
+    """Everything a pst run needs, plus its checker."""
+
+    program: Program
+    graph: CsrGraph
+    color: SharedArray
+    parent: SharedArray
+    root: int
+
+    def check(self) -> None:
+        g = self.graph
+        n = g.n
+        colored = [self.color.peek(v) for v in range(n)]
+        assert all(c != 0 for c in colored), (
+            f"pst: {sum(1 for c in colored if c == 0)} vertices left uncolored"
+        )
+        # parent edges must be real graph edges and form a tree on the root
+        seen_depth = 0
+        for v in range(n):
+            if v == self.root:
+                continue
+            p = self.parent.peek(v) - 1  # stored as parent+1
+            assert 0 <= p < n, f"pst: vertex {v} has invalid parent {p}"
+            assert p in g.neighbors_of(v), f"pst: parent edge ({p},{v}) not in graph"
+        # acyclicity / reachability: walking parents must reach the root
+        for v in range(n):
+            hops = 0
+            u = v
+            while u != self.root:
+                u = self.parent.peek(u) - 1
+                hops += 1
+                assert hops <= n, f"pst: parent chain from {v} does not reach root"
+            seen_depth = max(seen_depth, hops)
+        assert seen_depth > 0 or n == 1
+
+
+def _cas_add(var: SharedVar, delta: int):
+    """Guest fragment: atomic add via a CAS loop."""
+    while True:
+        v = yield var.load()
+        ok = yield var.cas(v, v + delta)
+        if ok:
+            return v + delta
+
+
+def build_pst(
+    env: Env,
+    n_vertices: int = 192,
+    extra_edges: int = 192,
+    n_threads: int = 8,
+    scope: FenceKind = FenceKind.CLASS,
+    seed: int = 11,
+    deque_capacity: int | None = None,
+    app_full_fence: bool = True,
+    compute_per_neighbor: int = 25,
+    deque_factory=None,
+) -> PstInstance:
+    """Construct the pst guest program.
+
+    ``scope`` picks the fence flavour inside the work-stealing deques
+    (GLOBAL = the traditional baseline).  ``app_full_fence=False``
+    drops the application-level full fence (ablation only -- the paper
+    keeps it, and so do the benchmarks).  ``deque_factory(env, name,
+    capacity, scope)`` swaps the work-stealing structure -- used by the
+    idempotent-work-stealing comparison (the tasks are naturally
+    idempotent here: claims are CAS-deduplicated).
+    """
+    graph = random_connected_graph(n_vertices, extra_edges, seed=seed)
+    wpl = env.config.words_per_line
+
+    # read-only adjacency in CSR form (offsets contiguous, neighbor
+    # records one per line: irregular-graph scale model)
+    offsets = env.array("pst.offsets", graph.n + 1)
+    for i, off in enumerate(graph.offsets):
+        offsets.poke(i, off)
+    neighbors = env.line_array("pst.neighbors", max(1, graph.n_edges))
+    for i, w in enumerate(graph.neighbors):
+        neighbors.poke(i, w)
+
+    color = env.line_array("pst.color", graph.n)
+    parent = env.line_array("pst.parent", graph.n)
+    # exactly-once expansion guard: under the in-window-speculation
+    # approximation a take/steal race can hand the same task to two
+    # threads (real hardware would replay the violated load); the CAS
+    # guard keeps the pending counter exact in every configuration
+    expanded = env.line_array("pst.expanded", graph.n)
+    # the vertex records are hot across the whole run (every thread scans
+    # them); model steady-state L2 residency so pst's behaviour is the
+    # paper's: mostly latency-insensitive, dominated by its full fence
+    env.request_warm(color, 0)
+    env.request_warm(parent, 0)
+    env.request_warm(neighbors, 0)
+    env.request_warm(expanded, 0)
+    pending = env.var("pst.pending")
+    if deque_factory is None:
+        deque_factory = lambda env, name, capacity, scope: WorkStealingDeque(  # noqa: E731
+            env, name=name, capacity=capacity, scope=scope
+        )
+    deques = [
+        deque_factory(env, f"pst.wsq{t}", deque_capacity or (graph.n + 4), scope)
+        for t in range(n_threads)
+    ]
+
+    root = 0
+    color.poke(root, 1)  # claimed by thread 0's label before the run
+    pending.poke(1)
+
+    def thread(tid: int):
+        label = tid + 1
+        my = deques[tid]
+        if tid == 0:
+            yield from my.put(root + 1)  # tasks are vertex+1 (0 is EMPTY-ish)
+        while True:
+            task = yield from my.take()
+            if task < 0:
+                for k in range(1, n_threads):  # try to steal round-robin
+                    victim = deques[(tid + k) % n_threads]
+                    task = yield from victim.steal()
+                    if task >= 0:
+                        break
+            if task < 0:
+                if (yield pending.load()) <= 0:
+                    return
+                continue
+            v = task - 1
+            ok = yield expanded.cas(v, 0, 1)
+            if not ok:
+                continue  # duplicate delivery of the same task: skip
+            off = yield offsets.load(v)
+            end = yield offsets.load(v + 1)
+            for i in range(off, end):
+                w = yield neighbors.load(i)
+                c = yield color.load(w)
+                if compute_per_neighbor:
+                    yield Compute(compute_per_neighbor)  # per-neighbor processing
+                if c == 0:
+                    ok = yield color.cas(w, 0, label)
+                    if ok:
+                        if app_full_fence:
+                            # the application-level ordering requirement
+                            # between the color claim and the parent
+                            # store: a traditional full fence (the paper
+                            # does not scope it)
+                            yield Fence(FenceKind.GLOBAL, WAIT_BOTH)
+                        yield parent.store(w, v + 1)
+                        yield from _cas_add(pending, 1)
+                        yield from my.put(w + 1)
+            yield from _cas_add(pending, -1)
+
+    return PstInstance(
+        Program([thread] * n_threads, name="pst"),
+        graph,
+        color,
+        parent,
+        root,
+    )

@@ -1,0 +1,168 @@
+"""Parallel transitive closure over work-stealing deques (``ptc``).
+
+Foster's worklist formulation: every vertex carries a reachability
+bitmask ``reach[v]`` (bit ``v`` plus everything reachable from ``v``).
+Processing a vertex recomputes its mask from its successors; when the
+mask grows, all predecessors are re-enqueued.  The fixpoint is the
+transitive closure of the DAG.
+
+Like pst, the work-stealing deques carry class-scope S-Fences.  Unlike
+pst there is no application-level full fence, and the per-task workload
+(several mask loads + a CAS merge) is comparatively large -- which is
+why the paper sees only a small fence-stall share for ptc.
+
+Vertex count is bounded by the 63 usable bits of one memory word; the
+reach masks are padded one-per-line (scale model of big reach sets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.chase_lev import WorkStealingDeque
+from ..isa.instructions import Compute, FenceKind
+from ..isa.program import Program
+from ..runtime.lang import Env, SharedArray, SharedVar
+from .graphs import CsrGraph, predecessors_of, random_dag
+
+
+@dataclass
+class PtcInstance:
+    """A ptc run plus its fixpoint checker."""
+
+    program: Program
+    graph: CsrGraph  # successor CSR
+    reach: SharedArray
+
+    def expected_closure(self) -> list[int]:
+        """Host-side reference: reach masks via reverse topological order."""
+        g = self.graph
+        masks = [1 << v for v in range(g.n)]
+        for v in range(g.n - 1, -1, -1):  # random_dag edges go low -> high
+            for s in g.neighbors_of(v):
+                masks[v] |= masks[s]
+        return masks
+
+    def check(self) -> None:
+        expected = self.expected_closure()
+        actual = [self.reach.peek(v) for v in range(self.graph.n)]
+        bad = [v for v in range(self.graph.n) if actual[v] != expected[v]]
+        assert not bad, (
+            f"ptc: wrong closure at vertices {bad[:5]} "
+            f"(e.g. v={bad[0]}: {actual[bad[0]]:#x} != {expected[bad[0]]:#x})"
+        )
+
+
+def _cas_add(var: SharedVar, delta: int):
+    while True:
+        v = yield var.load()
+        ok = yield var.cas(v, v + delta)
+        if ok:
+            return v + delta
+
+
+def build_ptc(
+    env: Env,
+    n_vertices: int = 56,
+    avg_out_degree: float = 2.5,
+    n_threads: int = 8,
+    scope: FenceKind = FenceKind.CLASS,
+    seed: int = 23,
+    compute_per_successor: int = 60,
+) -> PtcInstance:
+    """Construct the ptc guest program."""
+    if n_vertices > 63:
+        raise ValueError("reach masks use one 64-bit word: n_vertices <= 63")
+    graph = random_dag(n_vertices, avg_out_degree, seed=seed)
+    preds = predecessors_of(graph)
+
+    succ_off = env.array("ptc.succ_off", graph.n + 1)
+    succ = env.line_array("ptc.succ", max(1, graph.n_edges))
+    pred_off = env.array("ptc.pred_off", preds.n + 1)
+    pred = env.line_array("ptc.pred", max(1, preds.n_edges))
+    for i, off in enumerate(graph.offsets):
+        succ_off.poke(i, off)
+    for i, w in enumerate(graph.neighbors):
+        succ.poke(i, w)
+    for i, off in enumerate(preds.offsets):
+        pred_off.poke(i, off)
+    for i, w in enumerate(preds.neighbors):
+        pred.poke(i, w)
+
+    reach = env.line_array("ptc.reach", graph.n)
+    for v in range(graph.n):
+        reach.poke(v, 1 << v)
+
+    pending = env.var("ptc.pending")
+    pending.poke(graph.n)  # every vertex is seeded once
+    # each vertex can be re-enqueued once per predecessor per growth wave;
+    # 64*n is far beyond any realistic in-flight population
+    ticket_space = 64 * graph.n * max(4, n_threads)
+    deques = [
+        WorkStealingDeque(env, name=f"ptc.wsq{t}", capacity=64 * graph.n, scope=scope)
+        for t in range(n_threads)
+    ]
+    # exactly-once consumption guard: every enqueued task instance gets a
+    # unique ticket; under the in-window-speculation approximation a
+    # take/steal race can deliver one instance twice (real hardware would
+    # replay the violated load), which would corrupt the pending counter
+    consumed = env.array("ptc.consumed", ticket_space)
+    vertex_of: dict[int, int] = {}
+    next_ticket = [1]
+
+    def issue_ticket(v: int) -> int:
+        t = next_ticket[0]
+        next_ticket[0] = t + 1
+        if t >= ticket_space:
+            raise MemoryError("ptc: ticket space exhausted")
+        vertex_of[t] = v
+        return t
+
+    def thread(tid: int):
+        my = deques[tid]
+        # seed vertices round-robin across threads
+        for v in range(tid, graph.n, n_threads):
+            yield from my.put(issue_ticket(v))
+        while True:
+            task = yield from my.take()
+            if task < 0:
+                for k in range(1, n_threads):
+                    task = yield from deques[(tid + k) % n_threads].steal()
+                    if task >= 0:
+                        break
+            if task < 0:
+                if (yield pending.load()) <= 0:
+                    return
+                continue
+            ok = yield consumed.cas(task, 0, 1)
+            if not ok:
+                continue  # duplicate delivery of this task instance
+            v = vertex_of[task]
+            off = yield succ_off.load(v)
+            end = yield succ_off.load(v + 1)
+            new = 1 << v
+            for i in range(off, end):
+                s = yield succ.load(i)
+                new |= yield reach.load(s)
+                if compute_per_successor:
+                    yield Compute(compute_per_successor)  # mask-merge arithmetic
+            # merge via CAS so concurrent processors of v never lose bits
+            grew = False
+            while True:
+                old = yield reach.load(v)
+                if old | new == old:
+                    break
+                ok = yield reach.cas(v, old, old | new)
+                if ok:
+                    grew = True
+                    break
+            if grew:
+                poff = yield pred_off.load(v)
+                pend = yield pred_off.load(v + 1)
+                for i in range(poff, pend):
+                    p = yield pred.load(i)
+                    yield from _cas_add(pending, 1)
+                    yield from my.put(issue_ticket(p))
+            yield from _cas_add(pending, -1)
+
+    return PtcInstance(Program([thread] * n_threads, name="ptc"), graph, reach)

@@ -1,0 +1,134 @@
+"""Iterative radiosity kernel with SC-by-fences (``radiosity``, Table IV).
+
+SPLASH-2's radiosity distributes patch-to-patch light energy until
+convergence; its shared ``radiosity`` values are the conflicting data,
+the form-factor interaction lists are read-only, and per-thread scratch
+is private.  As with barnes, delay-set analysis flags only the
+conflicting accesses, so set-scope fences skip the private/read-only
+traffic.
+
+The reproduction: seeded patches with random interaction lists
+(one line per record); threads claim patches from a shared work
+counter, gather energy from their interaction lists (flagged loads of
+other patches' radiosity), run the form-factor arithmetic, spill to
+private scratch (unflagged, long-latency) and publish the new
+radiosity (flagged store) bracketed by SC fences.  A fixed number of
+gather rounds stands in for convergence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..isa.instructions import Compute, Fence, FenceKind, WAIT_BOTH
+from ..isa.program import Program
+from ..runtime.harness import FlaggedExchange, ScratchSpill
+from ..runtime.lang import Env, SharedArray
+
+FIX = 1 << 12
+
+
+@dataclass
+class RadiosityInstance:
+    """A radiosity run plus its conservation checker."""
+
+    program: Program
+    radiosity: SharedArray
+    emission: list[int]
+    n_patches: int
+    rounds: int
+
+    def check(self) -> None:
+        finals = [self.radiosity.peek(p) for p in range(self.n_patches)]
+        # every patch is updated exactly `rounds` times, each update adds
+        # at least 1 on top of whatever was gathered
+        assert all(
+            v >= e + self.rounds for v, e in zip(finals, self.emission)
+        ), "radiosity: some patch missed an update round"
+        assert any(
+            v > e + self.rounds for v, e in zip(finals, self.emission)
+        ), "radiosity: no energy was ever transferred"
+
+
+def build_radiosity(
+    env: Env,
+    n_patches: int = 160,
+    interactions_per_patch: int = 12,
+    rounds: int = 2,
+    n_threads: int = 8,
+    scope: FenceKind = FenceKind.SET,
+    seed: int = 17,
+    cold_spill_every: int = 3,
+    compute_per_interaction: int = 40,
+    exchange_every: int = 3,
+) -> RadiosityInstance:
+    """Construct the radiosity guest program."""
+    rng = random.Random(seed)
+    flag = scope is FenceKind.SET
+
+    # conflicting (flagged): patch radiosity
+    radiosity = env.line_array("rad.radiosity", n_patches, flagged=flag)
+    # read-only: interaction (form-factor) lists, one record per line
+    inter = env.line_array("rad.inter", n_patches * interactions_per_patch)
+    factor = env.line_array("rad.factor", n_patches * interactions_per_patch)
+
+    emission = [rng.randrange(1, 64) * FIX for _ in range(n_patches)]
+    for p in range(n_patches):
+        radiosity.poke(p, emission[p])
+        others = rng.sample([q for q in range(n_patches) if q != p],
+                            min(interactions_per_patch, n_patches - 1))
+        for k in range(interactions_per_patch):
+            q = others[k % len(others)]
+            inter.poke(p * interactions_per_patch + k, q)
+            factor.poke(p * interactions_per_patch + k, rng.randrange(1, 32))
+
+    spills = [
+        ScratchSpill(env, t, "rad", cold_every=cold_spill_every)
+        for t in range(n_threads)
+    ]
+    # conflicting mutable interaction/visibility structures (flagged)
+    exchange_region = FlaggedExchange.make_region(env, "rad.exchange", n_threads)
+    exchanges = [
+        FlaggedExchange(env, t, n_threads, exchange_region, every=exchange_every)
+        for t in range(n_threads)
+    ]
+
+    def sc_fence():
+        return Fence(kind=scope, waits=WAIT_BOTH)
+
+    def thread(tid: int):
+        spill = spills[tid]
+        exchange = exchanges[tid]
+        # SPLASH-2 style static partitioning, one pass per gather round
+        tasks = [
+            p
+            for r in range(rounds)
+            for p in range(tid, n_patches, n_threads)
+        ]
+        for p in tasks:
+            yield sc_fence()  # delay-set boundary before conflicting reads
+            gathered = 0
+            base = p * interactions_per_patch
+            for k in range(interactions_per_patch):
+                q = yield inter.load(base + k)
+                f = yield factor.load(base + k)
+                rq = yield radiosity.load(q)  # flagged: conflicting read
+                gathered += (rq * f) >> 10
+                yield Compute(compute_per_interaction)  # form-factor arithmetic
+            # spill intermediate gather results to private scratch
+            yield spill.store(gathered)
+            yield from exchange.emit(p + 1)  # conflicting shared traffic
+            # publish the new radiosity (conflicting write, SC-bracketed)
+            yield sc_fence()
+            old = yield radiosity.load(p)
+            yield radiosity.store(p, old + (gathered >> 4) + 1)
+            yield sc_fence()
+
+    return RadiosityInstance(
+        Program([thread] * n_threads, name="radiosity"),
+        radiosity,
+        emission,
+        n_patches,
+        rounds,
+    )

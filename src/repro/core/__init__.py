@@ -1,0 +1,19 @@
+"""The paper's contribution: scoped fences (S-Fence) hardware model."""
+
+from .fsb import FenceScopeBits
+from .fss import ScopeStack
+from .hwcost import HardwareCost, estimate_cost
+from .mapping_table import MappingOverflow, MappingTable
+from .scope_tracker import ScopeTracker
+from .semantics import AbstractScopeMachine
+
+__all__ = [
+    "AbstractScopeMachine",
+    "FenceScopeBits",
+    "HardwareCost",
+    "MappingOverflow",
+    "MappingTable",
+    "ScopeStack",
+    "ScopeTracker",
+    "estimate_cost",
+]

@@ -1,0 +1,65 @@
+"""Hardware cost model for S-Fence (Section VI-E).
+
+The paper argues the additions are tiny: a few FSB bits per ROB and
+store-buffer entry, a small mapping table, two small stacks and one
+counter, all core-local.  With a 128-entry ROB, an 8-entry store buffer
+and 4 FSB bits the paper quotes "less than 80 bytes for each core".
+This module computes the same bill of materials for any configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Bit-level cost breakdown of the S-Fence additions for one core."""
+
+    fsb_rob_bits: int
+    fsb_sb_bits: int
+    mapping_table_bits: int
+    fss_bits: int
+    shadow_fss_bits: int
+    overflow_counter_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.fsb_rob_bits
+            + self.fsb_sb_bits
+            + self.mapping_table_bits
+            + self.fss_bits
+            + self.shadow_fss_bits
+            + self.overflow_counter_bits
+        )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8.0
+
+
+def estimate_cost(
+    config: SimConfig,
+    cid_bits: int = 10,
+    overflow_counter_bits: int = 8,
+) -> HardwareCost:
+    """Cost of the S-Fence structures for one core under ``config``.
+
+    ``cid_bits`` is the width of a class id in the mapping table's tag
+    field (1024 distinct scoped classes is generous; the paper leaves
+    this unspecified).
+    """
+    entry_index_bits = max(1, math.ceil(math.log2(config.fsb_entries)))
+    return HardwareCost(
+        fsb_rob_bits=config.rob_size * config.fsb_entries,
+        fsb_sb_bits=config.sb_size * config.fsb_entries,
+        # each mapping slot: valid bit + cid tag + FSB entry index
+        mapping_table_bits=config.mapping_entries * (1 + cid_bits + entry_index_bits),
+        fss_bits=config.fss_entries * entry_index_bits,
+        shadow_fss_bits=config.fss_entries * entry_index_bits,
+        overflow_counter_bits=overflow_counter_bits,
+    )

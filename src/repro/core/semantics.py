@@ -1,0 +1,98 @@
+"""Executable operational semantics of class scope (Figure 5).
+
+The paper defines class scope with four inference rules over the state
+``<FSeq x Scope x pc>``:
+
+* ``SCOPEENT``: ``enter_md f``  pushes ``f`` onto ``FSeq``.
+* ``SCOPEEX``:  ``exit_md f``   pops ``f`` from ``FSeq``.
+* ``MEMOP``:    a memory op ``mop`` is added to ``Scope(C(f))`` for
+  every distinct method ``f`` in ``FSeq``.
+* ``FENCE``:    a fence may complete only when ``Scope(C(f))`` is empty
+  for the class of the innermost method.
+
+This module implements those rules directly, as an *oracle*: property
+tests drive random instruction streams through both this abstract
+machine and the hardware :class:`~repro.core.scope_tracker.ScopeTracker`
+and check that the hardware never lets a fence proceed while the
+abstract scope still has pending ops (hardware is allowed to be
+stricter -- entry sharing and overflow only add ordering).
+
+Here a "method" is identified by its class id (cid): the semantics only
+ever uses ``C(f)``, so tracking cids directly loses nothing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+class AbstractScopeMachine:
+    """Direct implementation of the Figure 5 rules for one processor."""
+
+    def __init__(self) -> None:
+        self.fseq: list[int] = []          # nested method invocations (cids)
+        self.scope: dict[int, set[int]] = {}  # cid -> pending mem-op ids
+        self._next_op_id = 0
+        self._op_scopes: dict[int, set[int]] = {}  # op id -> cids it was added to
+
+    # -- rules -------------------------------------------------------------------
+    def enter_method(self, cid: int) -> None:
+        """[SCOPEENT] stmt(pc) = enter_md f."""
+        self.fseq.append(cid)
+
+    def exit_method(self, cid: int) -> None:
+        """[SCOPEEX] stmt(pc) = exit_md f; requires FSeq = s . f."""
+        if not self.fseq or self.fseq[-1] != cid:
+            raise ValueError(f"exit_method({cid}) does not match FSeq {self.fseq}")
+        self.fseq.pop()
+
+    def mem_op(self) -> int:
+        """[MEMOP] add a new memory op to every scope in [[FSeq]].
+
+        Returns the op id used later by :meth:`complete`.
+        """
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        cids = set(self.fseq)
+        self._op_scopes[op_id] = cids
+        for cid in cids:
+            self.scope.setdefault(cid, set()).add(op_id)
+        return op_id
+
+    def complete(self, op_id: int) -> None:
+        """The memory subsystem completed ``op_id``: remove it everywhere."""
+        for cid in self._op_scopes.pop(op_id):
+            pend = self.scope.get(cid)
+            pend.discard(op_id)
+            if not pend:
+                del self.scope[cid]
+
+    def fence_pending(self) -> set[int]:
+        """[FENCE] the op ids a class fence at this point must wait for.
+
+        Empty set means the fence may complete (``Scope(C(f)) = {}``).
+        A fence outside any method has no class scope; we return all
+        outstanding ops (the conservative global interpretation the
+        hardware also uses).
+        """
+        if not self.fseq:
+            return self.all_pending()
+        return set(self.scope.get(self.fseq[-1], ()))
+
+    def fence_ready(self) -> bool:
+        return not self.fence_pending()
+
+    # -- helpers --------------------------------------------------------------------
+    def all_pending(self) -> set[int]:
+        """Every outstanding memory op (the traditional fence's wait set)."""
+        return set(self._op_scopes)
+
+    def pending_in(self, cid: int) -> set[int]:
+        return set(self.scope.get(cid, ()))
+
+    def depth(self) -> int:
+        return len(self.fseq)
+
+    def scope_multiplicity(self) -> Counter:
+        """How many pending ops each cid currently has (diagnostics)."""
+        return Counter({cid: len(ops) for cid, ops in self.scope.items()})

@@ -1,0 +1,17 @@
+"""CPU microarchitecture: ROB, store buffer, branches, the OoO core."""
+
+from .branch import AlternatingBranchModel, BranchModel, RandomBranchModel
+from .core import Core
+from .rob import ReorderBuffer, RobEntry
+from .store_buffer import SBEntry, StoreBuffer
+
+__all__ = [
+    "AlternatingBranchModel",
+    "BranchModel",
+    "Core",
+    "RandomBranchModel",
+    "ReorderBuffer",
+    "RobEntry",
+    "SBEntry",
+    "StoreBuffer",
+]

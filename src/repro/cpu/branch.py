@@ -1,0 +1,48 @@
+"""Branch outcome models for guest programs.
+
+Guest ``Branch`` ops carry their misprediction flag; most workloads
+stamp it with one of these models so that misprediction rates are
+seeded and reproducible.  The timing cost lives in the core
+(``branch_latency`` to resolve, ``mispredict_penalty`` on a flush, FSS
+restored from FSS' -- Section IV-A3).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..isa.instructions import Branch
+
+
+class BranchModel:
+    """Base: always predicted correctly."""
+
+    def branch(self, taken: bool = True) -> Branch:
+        return Branch(taken=taken, mispredict=False)
+
+
+class RandomBranchModel(BranchModel):
+    """Mispredicts with a fixed probability (seeded)."""
+
+    def __init__(self, mispredict_rate: float, seed: int = 0) -> None:
+        if not 0.0 <= mispredict_rate <= 1.0:
+            raise ValueError("mispredict_rate must be in [0, 1]")
+        self.mispredict_rate = mispredict_rate
+        self._rng = random.Random(seed)
+
+    def branch(self, taken: bool = True) -> Branch:
+        return Branch(taken=taken, mispredict=self._rng.random() < self.mispredict_rate)
+
+
+class AlternatingBranchModel(BranchModel):
+    """Deterministic mispredict every ``period``-th branch (unit tests)."""
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+        self._count = 0
+
+    def branch(self, taken: bool = True) -> Branch:
+        self._count += 1
+        return Branch(taken=taken, mispredict=self._count % self.period == 0)

@@ -1,0 +1,571 @@
+"""Approximate out-of-order core with S-Fence support.
+
+One :class:`Core` per simulated hardware thread.  Each cycle
+(:meth:`tick`) the core, in order:
+
+1. applies completions scheduled for this cycle (loads, CAS, branches,
+   store-buffer drains),
+2. retires up to ``retire_width`` instructions from the ROB head
+   (stores move into the store buffer; speculatively issued fences
+   re-check their scope condition here),
+3. issues at most one buffered store to the cache write port,
+4. dispatches up to ``dispatch_width`` new ops pulled from the guest
+   generator, applying their *functional* effect immediately and their
+   timing effects through the ROB/store-buffer/cache models.
+
+Fence handling is the paper's mechanism:
+
+* without in-window speculation a fence blocks dispatch until the
+  scope tracker says its scope's FSB column is clear
+  (``ScopeTracker.fence_ready``);
+* with in-window speculation (``SimConfig.in_window_speculation``) the
+  fence dispatches immediately and re-checks the store-buffer FSB
+  column when it reaches the ROB head (Section VI-B).
+
+Cycles in which instruction issue is blocked by a fence (or by the
+implicit fence of an atomic CAS) are counted as *fence stall cycles*,
+the quantity Figures 13-16 break out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+
+from ..core.scope_tracker import ScopeTracker
+from ..isa.instructions import (
+    Branch,
+    Cas,
+    Compute,
+    Fence,
+    FenceKind,
+    FsEnd,
+    FsStart,
+    Load,
+    Op,
+    Probe,
+    Store,
+    WAIT_BOTH,
+    WAIT_LOADS,
+    WAIT_STORES,
+)
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.memory import SharedMemory
+from ..sim.config import MemoryModel, SimConfig
+from ..sim.stats import CoreStats
+from .rob import (
+    K_BRANCH,
+    K_CAS,
+    K_COMPUTE,
+    K_FENCE,
+    K_FS,
+    K_LOAD,
+    K_PROBE,
+    K_STORE,
+    ReorderBuffer,
+    RobEntry,
+)
+from .store_buffer import StoreBuffer
+
+# event payload kinds in the completion heap
+_EV_ROB = 0
+_EV_SB = 1
+
+
+class Core:
+    """One out-of-order core executing one guest thread."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: SimConfig,
+        memory: SharedMemory,
+        hierarchy: MemoryHierarchy,
+        stats: CoreStats,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.rob = ReorderBuffer(config.rob_size)
+        self.sb = StoreBuffer(config.sb_size, config.memory_model.sb_fifo)
+        self.tracker = ScopeTracker(config)
+        if config.use_branch_predictor:
+            from .predictor import TwoBitPredictor
+
+            self.predictor = TwoBitPredictor(config.predictor_entries)
+        else:
+            self.predictor = None
+        self._events: list[tuple[int, int, int, object]] = []
+        self._ev_seq = 0
+        self._gen: Generator[Op, object, object] | None = None
+        self._gen_done = True
+        self._pending_op: Op | None = None
+        self._last_result: object = None
+        self._blocking_entry: RobEntry | None = None  # CAS serialization
+        self._blocked_until = 0  # compute chains / mispredict penalty
+        # in-window speculation: [fence entry, held stores, countdown of
+        # older in-scope memory ops the fence still waits for]
+        self._spec_fence_groups: list[list] = []
+        self._mem_seq = 0  # program-order sequence numbers for memory ops
+        self._outstanding_misses = 0  # loads missing L1, bounded by MSHRs
+        self.finished = True
+        self.finish_cycle = 0
+        self.stall_reason: str | None = None
+        self.tracer = None  # optional TraceCollector
+
+    # ------------------------------------------------------------------ set-up
+    def bind(self, gen: Generator[Op, object, object] | None) -> None:
+        """Attach the guest thread generator (None leaves the core idle)."""
+        self._gen = gen
+        self._gen_done = gen is None
+        self.finished = gen is None
+
+    # ------------------------------------------------------------------ events
+    def _schedule(self, cycle: int, kind: int, payload: object) -> None:
+        self._ev_seq += 1
+        heapq.heappush(self._events, (cycle, self._ev_seq, kind, payload))
+
+    def next_event_cycle(self, now: int) -> int | None:
+        """Earliest future cycle at which this core's state changes."""
+        candidates = []
+        if self._events:
+            candidates.append(self._events[0][0])
+        if self._blocked_until > now:
+            candidates.append(self._blocked_until)
+        future = [c for c in candidates if c > now]
+        return min(future) if future else None
+
+    # ------------------------------------------------------------------- tick
+    def tick(self, cycle: int) -> bool:
+        """Advance one cycle; returns True if any state changed."""
+        if self.finished:
+            return False
+        self.stall_reason = None
+        progress = False
+
+        if self._events:
+            progress |= self._apply_completions(cycle)
+        if self._spec_fence_groups:
+            progress |= self._try_complete_open_fences()
+        if not self.rob.empty:
+            progress |= self._retire(cycle)
+        if not self.sb.empty:
+            progress |= self._issue_store(cycle)
+        progress |= self._dispatch(cycle)
+
+        self.stats.rob_occupancy_sum += len(self.rob)
+        self.stats.rob_occupancy_samples += 1
+
+        if self._gen_done and self._pending_op is None and self.rob.empty and self.sb.empty:
+            self.finished = True
+            self.finish_cycle = cycle
+            self.stats.cycles = cycle
+            return True
+        return progress
+
+    def account_idle(self, delta: int) -> None:
+        """Attribute ``delta`` warped (skipped) cycles to this core's stats."""
+        if self.finished:
+            return
+        self.stats.rob_occupancy_sum += len(self.rob) * delta
+        self.stats.rob_occupancy_samples += delta
+        if self.stall_reason == "fence":
+            self.stats.fence_stall_cycles += delta
+        elif self.stall_reason == "rob_full":
+            self.stats.rob_full_stalls += delta
+
+    # ------------------------------------------------------------- completions
+    def _apply_completions(self, cycle: int) -> bool:
+        progress = False
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, kind, payload = heapq.heappop(events)
+            progress = True
+            if kind == _EV_ROB:
+                entry: RobEntry = payload  # type: ignore[assignment]
+                entry.done = True
+                if entry.kind == K_LOAD:
+                    self.tracker.complete_mem(entry.fsb_mask, is_load=True)
+                    self._fence_countdown(entry.fsb_mask, True, entry.seq)
+                    if entry.value:
+                        self._outstanding_misses -= 1
+                elif entry.kind == K_CAS:
+                    self.tracker.complete_mem(entry.fsb_mask, is_load=False)
+                    self._fence_countdown(entry.fsb_mask, False, entry.seq)
+                elif entry.kind == K_BRANCH:
+                    if entry.value:  # mispredict flag stored in .value
+                        self.tracker.squash()
+                    else:
+                        self.tracker.confirm_speculation()
+            else:  # _EV_SB: store drain completed -> becomes globally visible
+                sbe = payload
+                self.memory.drain_store(self.core_id, sbe.addr)
+                self.tracker.complete_mem(sbe.fsb_mask, is_load=False, in_sb=True)
+                self._fence_countdown(sbe.fsb_mask, False, sbe.op_seq)
+                self.sb.remove(sbe)
+        return progress
+
+    # ------------------------------------------------------------------ retire
+    def _retire(self, cycle: int) -> bool:
+        progress = False
+        for _ in range(self.config.retire_width):
+            if self.rob.empty:
+                break
+            head = self.rob.head()
+            if head.kind == K_FENCE and not head.done:
+                # speculatively issued fence still waiting for its
+                # countdown (completed in _try_complete_open_fences)
+                break
+            if not head.done:
+                break
+            if head.kind == K_STORE and not head.in_sb:
+                if self.sb.full:
+                    self.stats.sb_full_stalls += 1
+                    break
+                sbe = self.sb.insert(head.addr, head.fsb_mask)
+                sbe.op_seq = head.seq
+                self.tracker.store_retired(head.fsb_mask)
+            self.rob.pop_head()
+            progress = True
+        return progress
+
+    def _fence_countdown(self, mask: int, is_load: bool, seq: int) -> None:
+        """A memory op completed: notify the open speculative fences.
+
+        Each open fence counts down the *older* in-scope ops it still
+        waits for; hitting zero is exactly its ordering condition
+        (checked in :meth:`_try_complete_open_fences`).
+        """
+        for grp in self._spec_fence_groups:
+            fe = grp[0]
+            if fe.done or seq > fe.seq:
+                continue
+            if is_load:
+                if not (fe.waits & WAIT_LOADS):
+                    continue
+            elif not (fe.waits & WAIT_STORES):
+                continue
+            if fe.scope_entry != ScopeTracker.GLOBAL_SCOPE and not (
+                (mask >> fe.scope_entry) & 1
+            ):
+                continue
+            grp[2] -= 1
+
+    def _try_complete_open_fences(self) -> bool:
+        """Complete speculative fences whose condition already holds.
+
+        A fence completes when its countdown of older in-scope memory
+        ops reaches zero.  Fences complete strictly oldest-first:
+        releasing a younger fence's stores while an older fence is
+        still open would leak visibility past the older fence.
+        """
+        progress = False
+        while self._spec_fence_groups and self._spec_fence_groups[0][2] <= 0:
+            fe = self._spec_fence_groups[0][0]
+            fe.done = True
+            self._release_fence_holds(fe)
+            progress = True
+        return progress
+
+    def _release_fence_holds(self, fence_entry: RobEntry) -> None:
+        """A speculative fence completed: its held stores may now drain."""
+        for i, grp in enumerate(self._spec_fence_groups):
+            if grp[0] is fence_entry:
+                for sbe in grp[1]:
+                    sbe.held = False
+                    self.tracker.store_retired(sbe.fsb_mask)
+                del self._spec_fence_groups[i]
+                return
+
+    def _youngest_open_fence(self) -> RobEntry | None:
+        """The most recent speculatively issued, not-yet-complete fence.
+
+        Completed fences are removed from the group list in ``_retire``,
+        so every listed fence is still open.
+        """
+        if self._spec_fence_groups:
+            return self._spec_fence_groups[-1][0]
+        return None
+
+    # ------------------------------------------------------------- store drain
+    def _issue_store(self, cycle: int) -> bool:
+        entry = self.sb.next_issuable()
+        if entry is None:
+            return False
+        latency = self.hierarchy.access(self.core_id, entry.addr, True, self.stats)
+        self.sb.mark_inflight(entry, cycle + latency)
+        self._schedule(cycle + latency, _EV_SB, entry)
+        return True
+
+    # ---------------------------------------------------------------- dispatch
+    def _next_op(self) -> Op | None:
+        if self._pending_op is not None:
+            return self._pending_op
+        if self._gen_done:
+            return None
+        try:
+            op = self._gen.send(self._last_result)
+        except StopIteration:
+            self._gen_done = True
+            return None
+        self._last_result = None
+        if not isinstance(op, Op):
+            raise TypeError(f"guest thread yielded {op!r}, expected an Op")
+        self._pending_op = op
+        return op
+
+    def _dispatch(self, cycle: int) -> bool:
+        cfg = self.config
+        stats = self.stats
+        dispatched = 0
+        for _ in range(cfg.dispatch_width):
+            if cycle < self._blocked_until:
+                break
+            if self._blocking_entry is not None:
+                if self._blocking_entry.done:
+                    self._blocking_entry = None
+                else:
+                    if dispatched == 0:
+                        stats.fence_stall_cycles += 1
+                        self.stall_reason = "fence"
+                    break
+            op = self._next_op()
+            if op is None:
+                break
+            if self.rob.full:
+                if dispatched == 0:
+                    stats.rob_full_stalls += 1
+                    head = self.rob.head()
+                    if head.kind == K_FENCE and not head.done:
+                        # issue is blocked because a waiting fence clogs the ROB
+                        stats.fence_stall_cycles += 1
+                        self.stall_reason = "fence"
+                    else:
+                        self.stall_reason = "rob_full"
+                break
+            if not self._dispatch_one(op, cycle, dispatched):
+                break
+            self._pending_op = None
+            dispatched += 1
+            stats.instructions += 1
+        return dispatched > 0
+
+    def _dispatch_one(self, op: Op, cycle: int, dispatched: int) -> bool:
+        """Try to dispatch one op; returns False if it must stall."""
+        cfg = self.config
+        stats = self.stats
+        tracker = self.tracker
+        cls = type(op)
+
+        if cls is Load:
+            if not self._sc_ready(dispatched):
+                return False
+            forwarded = self.memory.has_pending(self.core_id, op.addr)
+            # a load that will miss the L1 needs a free MSHR
+            needs_mshr = (
+                cfg.mshrs > 0
+                and not forwarded
+                and not self.hierarchy.resident_in_l1(self.core_id, op.addr)
+            )
+            if needs_mshr and self._outstanding_misses >= cfg.mshrs:
+                if dispatched == 0:
+                    stats.mshr_stalls += 1
+                    self.stall_reason = "mshr"
+                return False
+            if self.tracer is not None:
+                self.tracer.record(self.core_id, "load", op.addr)
+            entry = RobEntry(K_LOAD, cycle)
+            entry.addr = op.addr
+            self._mem_seq += 1
+            entry.seq = self._mem_seq
+            entry.fsb_mask = tracker.dispatch_mem(is_load=True, flagged=op.flagged)
+            value = self.memory.read(self.core_id, op.addr)
+            if forwarded:
+                latency = 1  # store-to-load forwarding from own buffer
+                stats.sb_forwards += 1
+            else:
+                latency = self.hierarchy.access(self.core_id, op.addr, False, stats)
+            if needs_mshr:
+                entry.value = 1  # occupies an MSHR until completion
+                self._outstanding_misses += 1
+            self._schedule(cycle + latency, _EV_ROB, entry)
+            self.rob.push(entry)
+            if op.serialize:
+                # address dependency: nothing younger can dispatch until
+                # the pointer value is architecturally available
+                self._blocked_until = max(self._blocked_until, cycle + latency)
+            self._last_result = value
+            stats.loads += 1
+            return True
+
+        if cls is Store:
+            if not self._sc_ready(dispatched):
+                return False
+            at_dispatch = cfg.memory_model.sb_at_dispatch
+            if at_dispatch and self.sb.full:
+                # senior store queue full: issue stalls until a drain frees it
+                if dispatched == 0:
+                    stats.sb_full_stalls += 1
+                    self.stall_reason = "sb_full"
+                return False
+            if self.tracer is not None:
+                self.tracer.record(self.core_id, "store", op.addr)
+            entry = RobEntry(K_STORE, cycle)
+            entry.addr = op.addr
+            self._mem_seq += 1
+            entry.seq = self._mem_seq
+            entry.fsb_mask = tracker.dispatch_mem(is_load=False, flagged=op.flagged)
+            entry.done = True  # value and address are ready at dispatch
+            self.memory.buffer_store(self.core_id, op.addr, op.value)
+            if at_dispatch:
+                # RMO: the store enters the store buffer immediately (the
+                # paper's "as soon as the value and destination address
+                # are available"); its ROB slot retires as a no-op.  A
+                # store behind a speculatively issued fence is *held*:
+                # it may not become globally visible until the fence
+                # completes (stores are never speculative).
+                entry.in_sb = True
+                open_fence = self._youngest_open_fence()
+                if open_fence is not None:
+                    sbe = self.sb.insert(op.addr, entry.fsb_mask, held=True)
+                    sbe.op_seq = entry.seq
+                    self._spec_fence_groups[-1][1].append(sbe)
+                else:
+                    sbe = self.sb.insert(op.addr, entry.fsb_mask)
+                    sbe.op_seq = entry.seq
+                    tracker.store_retired(entry.fsb_mask)
+            self.rob.push(entry)
+            stats.stores += 1
+            return True
+
+        if cls is Fence:
+            waits = op.waits
+            if cfg.in_window_speculation and op.speculable:
+                entry = RobEntry(K_FENCE, cycle)
+                entry.waits = waits
+                entry.scope_entry = tracker.resolve_fence_scope(op.kind)
+                entry.done = False
+                entry.seq = self._mem_seq  # ops <= seq are older
+                self.rob.push(entry)
+                countdown = tracker.pending_for_scope(entry.scope_entry, waits)
+                self._spec_fence_groups.append([entry, [], countdown])
+                stats.fences += 1
+                if tracker.would_stall_as_global(waits):
+                    stats.sfence_early_issues += 1
+                return True
+            if not tracker.fence_ready(op.kind, waits):
+                if dispatched == 0:
+                    stats.fence_stall_cycles += 1
+                    self.stall_reason = "fence"
+                return False
+            if tracker.would_stall_as_global(waits):
+                stats.sfence_early_issues += 1
+            entry = RobEntry(K_FENCE, cycle)
+            entry.done = True
+            self.rob.push(entry)
+            stats.fences += 1
+            return True
+
+        if cls is Cas:
+            # The paper's substrate is MIPS-like: LL/SC atomics carry no
+            # implicit ordering, only per-location coherence order.  With
+            # cas_fence=True the CAS behaves like an x86 locked RMW: it
+            # waits for all prior memory ops and blocks younger issue.
+            if cfg.cas_fence and not tracker.fence_ready(FenceKind.GLOBAL, WAIT_BOTH):
+                if dispatched == 0:
+                    stats.fence_stall_cycles += 1
+                    self.stall_reason = "fence"
+                return False
+            # a CAS publishes globally at dispatch, so it may never pass a
+            # speculatively issued fence: wait until all open fences retire
+            if self._youngest_open_fence() is not None:
+                if dispatched == 0:
+                    stats.fence_stall_cycles += 1
+                    self.stall_reason = "fence"
+                return False
+            # never reorder a CAS with an own buffered store to the same
+            # address (per-location order is never relaxed)
+            if self.memory.has_pending(self.core_id, op.addr):
+                if dispatched == 0:
+                    stats.fence_stall_cycles += 1
+                    self.stall_reason = "fence"
+                return False
+            if not self._sc_ready(dispatched):
+                return False
+            if self.tracer is not None:
+                self.tracer.record(self.core_id, "cas", op.addr)
+            entry = RobEntry(K_CAS, cycle)
+            entry.addr = op.addr
+            self._mem_seq += 1
+            entry.seq = self._mem_seq
+            entry.fsb_mask = tracker.dispatch_mem(is_load=False, flagged=op.flagged)
+            success = self.memory.cas(self.core_id, op.addr, op.expected, op.new)
+            latency = self.hierarchy.access(self.core_id, op.addr, True, stats)
+            self._schedule(cycle + latency, _EV_ROB, entry)
+            self.rob.push(entry)
+            if cfg.cas_fence:
+                self._blocking_entry = entry  # later ops wait for the atomic
+            self._last_result = success
+            stats.cas_ops += 1
+            return True
+
+        if cls is Compute:
+            entry = RobEntry(K_COMPUTE, cycle)
+            latency = max(1, op.cycles)
+            self._schedule(cycle + latency, _EV_ROB, entry)
+            self.rob.push(entry)
+            # model a dependent ALU chain: issue resumes when it finishes
+            self._blocked_until = cycle + latency
+            return True
+
+        if cls is FsStart:
+            tracker.fs_start(op.cid)
+            entry = RobEntry(K_FS, cycle)
+            entry.done = True
+            self.rob.push(entry)
+            return True
+
+        if cls is FsEnd:
+            tracker.fs_end(op.cid)
+            entry = RobEntry(K_FS, cycle)
+            entry.done = True
+            self.rob.push(entry)
+            return True
+
+        if cls is Branch:
+            entry = RobEntry(K_BRANCH, cycle)
+            if self.predictor is not None:
+                mispredict = self.predictor.update(op.pc, op.taken)
+            else:
+                mispredict = op.mispredict
+            entry.value = 1 if mispredict else 0
+            resolve = cycle + cfg.branch_latency
+            tracker.begin_speculation()
+            self._schedule(resolve, _EV_ROB, entry)
+            self.rob.push(entry)
+            if mispredict:
+                stats.branch_mispredicts += 1
+                self._blocked_until = resolve + cfg.mispredict_penalty
+            return True
+
+        if cls is Probe:
+            if op.fn is not None:
+                op.fn(cycle)
+            entry = RobEntry(K_PROBE, cycle)
+            entry.done = True
+            self.rob.push(entry)
+            return True
+
+        raise TypeError(f"unknown guest op {op!r}")
+
+    def _sc_ready(self, dispatched: int) -> bool:
+        """Under SC every memory op waits for all prior memory ops."""
+        if self.config.memory_model is not MemoryModel.SC:
+            return True
+        if self.tracker.fsb.all_clear(True, True):
+            return True
+        if dispatched == 0:
+            self.stall_reason = "rob_full"  # implicit-ordering stall, not a fence
+        return False

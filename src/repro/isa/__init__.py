@@ -1,0 +1,41 @@
+"""Guest ISA: instruction dataclasses and program abstractions."""
+
+from .instructions import (
+    Branch,
+    Cas,
+    Compute,
+    Fence,
+    FenceKind,
+    FsEnd,
+    FsStart,
+    Load,
+    Op,
+    Probe,
+    Store,
+    WAIT_BOTH,
+    WAIT_LOADS,
+    WAIT_STORES,
+    is_mem_op,
+)
+from .program import Program, ThreadFn, ops_program
+
+__all__ = [
+    "Branch",
+    "Cas",
+    "Compute",
+    "Fence",
+    "FenceKind",
+    "FsEnd",
+    "FsStart",
+    "Load",
+    "Op",
+    "Probe",
+    "Program",
+    "Store",
+    "ThreadFn",
+    "WAIT_BOTH",
+    "WAIT_LOADS",
+    "WAIT_STORES",
+    "is_mem_op",
+    "ops_program",
+]

@@ -1,0 +1,172 @@
+"""Guest instruction set.
+
+Guest programs are Python generators that *yield* instances of the op
+classes below and receive the architectural result of each op back from
+the simulator via ``generator.send`` (loads receive the loaded value,
+``Cas`` receives a success flag, every other op receives ``None``).
+
+The op set mirrors the ISA the paper assumes plus the extensions it
+introduces (Section IV-A1 and V-A1):
+
+* ``Fence`` with a *kind* — ``GLOBAL`` is the traditional full fence,
+  ``CLASS`` is ``S-FENCE[class]`` (the new ``class-fence`` instruction)
+  and ``SET`` is ``S-FENCE[set, {...}]`` (the new ``set-fence``).
+* ``FsStart``/``FsEnd`` — the supporting instructions that delimit a
+  class scope; the compiler layer (:mod:`repro.runtime.lang`) inserts
+  them at every public-method entry/exit.
+* ``Load``/``Store``/``Cas`` carry a ``flagged`` bit — the set-scope
+  flag the compiler attaches to accesses of the variables named in a
+  set-scope fence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FenceKind(enum.Enum):
+    """Scope of a fence (Figure 4 of the paper)."""
+
+    GLOBAL = "global"  # S-FENCE           -- traditional full fence
+    CLASS = "class"    # S-FENCE[class]    -- class scope
+    SET = "set"        # S-FENCE[set,{..}] -- set scope
+
+
+# Bitmask describing which *prior* access categories a fence must wait
+# for.  A store-store / store-load fence waits on prior stores; a
+# load-load / load-store fence waits on prior loads.  ``WAIT_BOTH`` is a
+# full bidirectional fence (the default, matching RMO ``membar #Sync``).
+WAIT_LOADS = 0b01
+WAIT_STORES = 0b10
+WAIT_BOTH = WAIT_LOADS | WAIT_STORES
+
+
+class Op:
+    """Base class for all guest ops (used only for isinstance checks)."""
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class Load(Op):
+    """Read one word from shared memory; yields back the loaded value.
+
+    ``serialize=True`` models an address dependency: the next op cannot
+    dispatch until this load completes (pointer chasing).  The default
+    ``False`` lets independent loads overlap freely.
+    """
+
+    addr: int
+    flagged: bool = False  # set-scope flag (compiler-attached)
+    serialize: bool = False
+    name: str = ""         # symbolic name, for traces/tests only
+
+
+@dataclass(slots=True)
+class Store(Op):
+    """Write one word; becomes globally visible at store-buffer drain."""
+
+    addr: int
+    value: int
+    flagged: bool = False
+    name: str = ""
+
+
+@dataclass(slots=True)
+class Cas(Op):
+    """Atomic compare-and-swap; yields back ``True`` on success.
+
+    Atomics "imply the same effect as fence instructions" (Section
+    II-A); the core model treats a CAS as a full fence in both
+    directions unless ``SimConfig.scoped_cas`` is enabled (ablation A2),
+    in which case it is scoped like the enclosing fence scope.
+    """
+
+    addr: int
+    expected: int
+    new: int
+    flagged: bool = False
+    name: str = ""
+
+
+@dataclass(slots=True)
+class Fence(Op):
+    """Memory fence with a scope kind and a wait mask.
+
+    ``speculable=False`` opts a fence out of in-window speculation.
+    Real hardware replays loads that were speculated past a fence and
+    turned out to violate it; this functional-first simulator cannot
+    replay (guest generators consume load values immediately), so the
+    few fences whose *younger loads* guard racy non-CAS-protected
+    decisions (e.g. the store-load fence in Chase-Lev ``take``,
+    Dekker's flag fences) are modelled conservatively.
+    """
+
+    kind: FenceKind = FenceKind.GLOBAL
+    waits: int = WAIT_BOTH
+    speculable: bool = True
+
+
+@dataclass(slots=True)
+class FsStart(Op):
+    """Start of a class fence scope (operand: the class id *cid*)."""
+
+    cid: int
+
+
+@dataclass(slots=True)
+class FsEnd(Op):
+    """End of a class fence scope (operand: the class id *cid*)."""
+
+    cid: int
+
+
+@dataclass(slots=True)
+class Compute(Op):
+    """``cycles`` worth of register-only arithmetic (occupies the ROB)."""
+
+    cycles: int = 1
+
+
+@dataclass(slots=True)
+class Branch(Op):
+    """A resolved conditional branch.
+
+    Functional control flow is decided by the guest generator itself;
+    this op exists so the *timing* model can charge branch resolution
+    latency and, on a misprediction, a pipeline flush that restores the
+    fence scope stack from its shadow copy FSS' (Section IV-A3,
+    "Handling branch prediction").
+
+    With ``SimConfig.use_branch_predictor`` the core predicts the
+    direction from a two-bit predictor indexed by ``pc`` and derives
+    the misprediction itself; otherwise the guest-stamped
+    ``mispredict`` flag is trusted (deterministic tests/models).
+    """
+
+    taken: bool = True
+    mispredict: bool = False
+    pc: int = 0
+
+
+@dataclass(slots=True)
+class Probe(Op):
+    """Instrumentation hook executed functionally at dispatch time.
+
+    Used by test harnesses (e.g. the Dekker mutual-exclusion checker)
+    to observe the architectural state at a precise point in program
+    order.  It costs one dispatch slot and nothing else, so it does not
+    perturb fence-stall accounting.
+    """
+
+    fn: object = None          # callable(cycle) -> None
+    payload: object = None
+
+
+MEM_OPS = (Load, Store, Cas)
+
+
+def is_mem_op(op: Op) -> bool:
+    """True for ops that occupy a memory slot (load/store/CAS)."""
+    return isinstance(op, MEM_OPS)

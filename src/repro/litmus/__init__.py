@@ -1,0 +1,37 @@
+"""Litmus tests validating the relaxed functional memory model."""
+
+from .dsl import (
+    LitmusParseError,
+    LitmusRun,
+    LitmusTest,
+    build_program,
+    parse_litmus,
+    run_litmus,
+)
+from .tests import (
+    DEFAULT_OFFSETS,
+    LitmusResult,
+    coherence_rr,
+    explore,
+    iriw,
+    load_buffering,
+    message_passing,
+    store_buffering,
+)
+
+__all__ = [
+    "DEFAULT_OFFSETS",
+    "LitmusParseError",
+    "LitmusResult",
+    "LitmusRun",
+    "LitmusTest",
+    "build_program",
+    "coherence_rr",
+    "explore",
+    "iriw",
+    "load_buffering",
+    "message_passing",
+    "parse_litmus",
+    "run_litmus",
+    "store_buffering",
+]

@@ -1,0 +1,223 @@
+"""A tiny textual litmus-test format.
+
+Litmus tests read much better as columns than as Python closures::
+
+    test = parse_litmus('''
+        name SB
+        flag x y                  # set-scope-flag these variables
+        init x=0 y=0
+
+        x = 1        | y = 1
+        fence        | fence
+        r0 = y       | r1 = x
+
+        exists r0 == 0 and r1 == 0
+    ''')
+    result = run_litmus(test)     # explores timing offsets
+    assert not result.condition_observed
+
+Statement forms (one row per pipeline step, threads separated by ``|``):
+
+* ``var = N``            -- store the literal N
+* ``reg = var``          -- load into a register (any ``r*`` name)
+* ``fence``              -- traditional full fence
+* ``fence.set``          -- S-FENCE[set,...] (over the ``flag``ged vars)
+* ``fence.ss`` / ``fence.ll`` -- store-store / load-load ordering only
+  (suffixes compose: ``fence.set.ss``)
+* ``delay``              -- the per-thread exploration delay slot
+* (empty cell)           -- no-op for this thread in this row
+
+Directives: ``name``, ``init var=N ...``, ``flag var ...``, and a final
+``exists <python expression over registers>``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..isa.instructions import Compute, Fence, FenceKind, WAIT_BOTH, WAIT_LOADS, WAIT_STORES
+from ..isa.program import Program
+from ..runtime.lang import Env
+from ..sim.config import MemoryModel, SimConfig
+from .tests import DEFAULT_OFFSETS, LitmusResult
+
+_STORE_RE = re.compile(r"^(\w+)\s*=\s*(-?\d+)$")
+_LOAD_RE = re.compile(r"^(r\w*)\s*=\s*(\w+)$")
+_FENCE_RE = re.compile(r"^fence((?:\.\w+)*)$")
+
+
+@dataclass
+class LitmusTest:
+    """A parsed litmus test."""
+
+    name: str
+    threads: list[list[str]]          # statements per thread
+    init: dict[str, int] = field(default_factory=dict)
+    flagged: set[str] = field(default_factory=set)
+    condition: str | None = None      # python expression over registers
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+
+class LitmusParseError(ValueError):
+    pass
+
+
+def parse_litmus(text: str) -> LitmusTest:
+    """Parse the textual format into a :class:`LitmusTest`."""
+    name = "litmus"
+    init: dict[str, int] = {}
+    flagged: set[str] = set()
+    condition: str | None = None
+    rows: list[list[str]] = []
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("name "):
+            name = line[5:].strip()
+        elif line.startswith("init "):
+            for assign in line[5:].split():
+                var, _, value = assign.partition("=")
+                if not value:
+                    raise LitmusParseError(f"bad init clause {assign!r}")
+                init[var.strip()] = int(value)
+        elif line.startswith("flag "):
+            flagged.update(line[5:].split())
+        elif line.startswith("exists "):
+            condition = line[7:].strip()
+        else:
+            rows.append([cell.strip() for cell in line.split("|")])
+
+    if not rows:
+        raise LitmusParseError("no thread statements found")
+    n_threads = max(len(r) for r in rows)
+    threads: list[list[str]] = [[] for _ in range(n_threads)]
+    for row in rows:
+        for t in range(n_threads):
+            cell = row[t] if t < len(row) else ""
+            if cell:
+                threads[t].append(cell)
+    return LitmusTest(name, threads, init, flagged, condition)
+
+
+def _parse_fence(suffixes: str, flagged: bool) -> Fence:
+    kind = FenceKind.GLOBAL
+    waits = WAIT_BOTH
+    for suffix in filter(None, suffixes.split(".")):
+        if suffix == "set":
+            kind = FenceKind.SET
+        elif suffix == "class":
+            kind = FenceKind.CLASS
+        elif suffix == "ss":
+            waits = WAIT_STORES
+        elif suffix == "ll":
+            waits = WAIT_LOADS
+        else:
+            raise LitmusParseError(f"unknown fence suffix {suffix!r}")
+    return Fence(kind, waits)
+
+
+def build_program(test: LitmusTest, env: Env, delays: list[int]) -> tuple[Program, dict]:
+    """Instantiate the test in ``env`` with per-thread delay values."""
+    variables = {}
+
+    def var_of(name: str):
+        if name not in variables:
+            variables[name] = env.var(
+                name, init=test.init.get(name, 0), flagged=name in test.flagged
+            )
+        return variables[name]
+
+    # materialise all variables up front so inits apply before any run
+    for row in test.threads:
+        for stmt in row:
+            m = _STORE_RE.match(stmt)
+            if m:
+                var_of(m.group(1))
+            m = _LOAD_RE.match(stmt)
+            if m:
+                var_of(m.group(2))
+
+    registers: dict[str, int] = {}
+
+    def make_thread(stmts: list[str], delay: int):
+        def body(tid: int):
+            if delay:
+                yield Compute(delay)
+            for stmt in stmts:
+                if stmt == "delay":
+                    if delay:
+                        yield Compute(delay)
+                    continue
+                m = _STORE_RE.match(stmt)
+                if m:
+                    yield var_of(m.group(1)).store(int(m.group(2)))
+                    continue
+                m = _LOAD_RE.match(stmt)
+                if m:
+                    registers[m.group(1)] = yield var_of(m.group(2)).load()
+                    continue
+                m = _FENCE_RE.match(stmt)
+                if m:
+                    yield _parse_fence(m.group(1), True)
+                    continue
+                raise LitmusParseError(f"cannot parse statement {stmt!r}")
+
+        return body
+
+    fns = [
+        make_thread(stmts, delays[t % len(delays)])
+        for t, stmts in enumerate(test.threads)
+    ]
+    return Program(fns, name=test.name), registers
+
+
+@dataclass
+class LitmusRun:
+    """Outcome of exploring one litmus test."""
+
+    test: LitmusTest
+    outcomes: set[tuple]
+    condition_observed: bool
+
+    @property
+    def register_names(self) -> list[str]:
+        names = []
+        for stmts in self.test.threads:
+            for stmt in stmts:
+                m = _LOAD_RE.match(stmt)
+                if m and m.group(1) not in names:
+                    names.append(m.group(1))
+        return names
+
+
+def run_litmus(
+    test: LitmusTest,
+    model: MemoryModel = MemoryModel.RMO,
+    offsets: list[int] | None = None,
+    n_cores: int | None = None,
+) -> LitmusRun:
+    """Explore timing offsets; evaluate the ``exists`` condition."""
+    offsets = offsets or DEFAULT_OFFSETS
+    cores = n_cores or max(2, test.n_threads)
+    outcomes: set[tuple] = set()
+    observed = False
+    reg_names: list[str] | None = None
+    for d0 in offsets:
+        for d1 in offsets:
+            env = Env(SimConfig(n_cores=cores, memory_model=model))
+            program, registers = build_program(test, env, [d0, d1])
+            env.run(program, max_cycles=2_000_000)
+            if reg_names is None:
+                reg_names = sorted(registers)
+            outcomes.add(tuple(registers.get(r) for r in reg_names))
+            if test.condition and eval(  # noqa: S307 - test-author expression
+                test.condition, {"__builtins__": {}}, dict(registers)
+            ):
+                observed = True
+    return LitmusRun(test, outcomes, observed)

@@ -1,0 +1,8 @@
+"""Memory substrate: functional memory, caches, coherence, hierarchy."""
+
+from .cache import Cache
+from .coherence import Directory
+from .hierarchy import MemoryHierarchy
+from .memory import SharedMemory
+
+__all__ = ["Cache", "Directory", "MemoryHierarchy", "SharedMemory"]

@@ -1,0 +1,76 @@
+"""Set-associative LRU cache timing model.
+
+Purely a *timing* structure: it tracks which line ids are resident and
+in what recency order, never data values (values live in
+:class:`repro.mem.memory.SharedMemory`).  Lookups and fills are O(assoc)
+with an ordered-dict-free implementation tuned for the simulator's
+inner loop (plain dicts + per-set recency lists).
+"""
+
+from __future__ import annotations
+
+
+class Cache:
+    """One cache level: ``n_lines`` total capacity, ``assoc`` ways."""
+
+    __slots__ = ("n_sets", "assoc", "_sets", "_where", "name")
+
+    def __init__(self, n_lines: int, assoc: int, name: str = "cache") -> None:
+        if n_lines < assoc:
+            raise ValueError("cache must have at least one set")
+        if n_lines % assoc != 0:
+            raise ValueError("n_lines must be a multiple of assoc")
+        self.n_sets = n_lines // assoc
+        self.assoc = assoc
+        self.name = name
+        # each set is a list of line ids, LRU at index 0, MRU at the end
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self._where: dict[int, int] = {}  # line -> set index (presence map)
+
+    def _set_of(self, line: int) -> int:
+        return line % self.n_sets
+
+    def contains(self, line: int) -> bool:
+        return line in self._where
+
+    def touch(self, line: int) -> bool:
+        """Lookup; on hit, update recency and return True."""
+        si = self._where.get(line)
+        if si is None:
+            return False
+        ways = self._sets[si]
+        # move to MRU position (small lists: O(assoc))
+        ways.remove(line)
+        ways.append(line)
+        return True
+
+    def fill(self, line: int) -> int | None:
+        """Insert ``line``; returns the evicted line id or None."""
+        si = self._set_of(line)
+        ways = self._sets[si]
+        if line in self._where:
+            ways.remove(line)
+            ways.append(line)
+            return None
+        victim = None
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)
+            del self._where[victim]
+        ways.append(line)
+        self._where[line] = si
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if present; returns True if it was resident."""
+        si = self._where.pop(line, None)
+        if si is None:
+            return False
+        self._sets[si].remove(line)
+        return True
+
+    def resident_lines(self) -> set[int]:
+        """All currently resident line ids (for tests)."""
+        return set(self._where)
+
+    def __len__(self) -> int:
+        return len(self._where)

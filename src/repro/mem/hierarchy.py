@@ -1,0 +1,139 @@
+"""Two-level cache hierarchy latency model (Table III).
+
+``access`` resolves one memory access to a latency in cycles and
+updates cache/coherence state:
+
+* L1 hit (and no coherence upgrade needed)         -> ``l1_latency``
+* L1 miss, L2 hit                                  -> ``l2_latency``
+* L1 miss, dirty in a peer L1 (cache-to-cache)     -> ``l2 + c2c``
+* L2 miss                                          -> ``mem_latency``
+* write upgrade (hit but peers share the line)     -> ``l2_latency``
+
+L2 is inclusive of the L1s: an L2 eviction back-invalidates every L1.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import SimConfig
+from ..sim.stats import CoreStats
+from .cache import Cache
+from .coherence import Directory
+
+
+class MemoryHierarchy:
+    """Private L1s + shared L2 + DRAM, with an MSI-style directory."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        shift = config.line_bytes // config.word_bytes
+        # words per line is a power of two for all sane configs; fall back
+        # to division if not.
+        self._line_shift = shift.bit_length() - 1 if shift & (shift - 1) == 0 else None
+        self._words_per_line = shift
+        self.l1 = [
+            Cache(config.l1_lines, config.l1_assoc, name=f"l1.{c}")
+            for c in range(config.n_cores)
+        ]
+        self.l2 = Cache(config.l2_lines, config.l2_assoc, name="l2")
+        self.directory = Directory()
+
+    def line_of(self, addr: int) -> int:
+        if self._line_shift is not None:
+            return addr >> self._line_shift
+        return addr // self._words_per_line
+
+    # ------------------------------------------------------------------------
+    def access(self, core: int, addr: int, is_write: bool, stats: CoreStats) -> int:
+        """Perform one timed access; returns the latency in cycles."""
+        cfg = self.config
+        line = self.line_of(addr)
+        l1 = self.l1[core]
+
+        if l1.touch(line):
+            stats.l1_hits += 1
+            if not is_write:
+                # a hit read may still need a downgrade if a peer holds it
+                # dirty; the directory makes that impossible (dirty implies
+                # exclusive), so a resident read is always a plain hit.
+                supplier = self.directory.on_read(core, line)
+                if supplier is not None:
+                    # stale presence (peer wrote since): treat as upgrade read
+                    return cfg.l2_latency
+                return cfg.l1_latency
+            victims = self.directory.on_write(core, line)
+            if victims:
+                self._invalidate_l1s(victims, line)
+                return cfg.l2_latency  # upgrade round-trip
+            return cfg.l1_latency
+
+        # L1 miss
+        stats.l1_misses += 1
+        if is_write:
+            victims = self.directory.on_write(core, line)
+            self._invalidate_l1s(victims, line)
+            peer_dirty = bool(victims)
+        else:
+            supplier = self.directory.on_read(core, line)
+            peer_dirty = supplier is not None
+
+        if self.l2.touch(line):
+            stats.l2_hits += 1
+            latency = cfg.l2_latency + (cfg.cache_to_cache_latency if peer_dirty else 0)
+        elif peer_dirty:
+            # line lives dirty in a peer L1 but fell out of L2 (rare with an
+            # inclusive L2; possible transiently) -- cache-to-cache transfer.
+            stats.l2_hits += 1
+            latency = cfg.l2_latency + cfg.cache_to_cache_latency
+        else:
+            stats.l2_misses += 1
+            latency = cfg.mem_latency
+
+        self._fill(core, line)
+        return latency
+
+    # ------------------------------------------------------------------------
+    def _fill(self, core: int, line: int) -> None:
+        l1 = self.l1[core]
+        victim = l1.fill(line)
+        if victim is not None:
+            self.directory.on_l1_evict(core, victim)
+        l2_victim = self.l2.fill(line)
+        if l2_victim is not None and l2_victim != line:
+            # inclusive L2: back-invalidate all L1 copies of the victim
+            for c, cache in enumerate(self.l1):
+                if cache.invalidate(l2_victim):
+                    self.directory.on_l1_evict(c, l2_victim)
+
+    def _invalidate_l1s(self, cores, line: int) -> None:
+        for c in cores:
+            if self.l1[c].invalidate(line):
+                self.directory.on_l1_evict(c, line)
+
+    # -- warm-up ------------------------------------------------------------------
+    def warm(self, core: int, base: int, length: int, into_l1: bool = False) -> None:
+        """Pre-load an address range into the caches without charging time.
+
+        Models the warm-up phase a cycle-accurate simulator runs before
+        measurement: the range is installed in the shared L2 (and
+        optionally the core's L1) in read state.
+        """
+        first = self.line_of(base)
+        last = self.line_of(base + length - 1)
+        for line in range(first, last + 1):
+            l2_victim = self.l2.fill(line)
+            if l2_victim is not None and l2_victim != line:
+                for c, cache in enumerate(self.l1):
+                    if cache.invalidate(l2_victim):
+                        self.directory.on_l1_evict(c, l2_victim)
+            if into_l1:
+                victim = self.l1[core].fill(line)
+                if victim is not None:
+                    self.directory.on_l1_evict(core, victim)
+                self.directory.on_read(core, line)
+
+    # -- introspection helpers (tests) -----------------------------------------
+    def resident_in_l1(self, core: int, addr: int) -> bool:
+        return self.l1[core].contains(self.line_of(addr))
+
+    def resident_in_l2(self, addr: int) -> bool:
+        return self.l2.contains(self.line_of(addr))

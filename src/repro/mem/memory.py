@@ -1,0 +1,109 @@
+"""Functional shared memory with relaxed store visibility.
+
+The simulator is *functional-first*: a load binds its value when the
+core dispatches it, but a plain store only becomes visible to other
+cores when it drains from the simulated store buffer.  This module
+implements that split:
+
+* ``SharedMemory.read(core, addr)`` returns the youngest *pending*
+  store of the reading core for ``addr`` if one exists (store-to-load
+  forwarding), else the globally visible value.
+* ``SharedMemory.buffer_store(core, addr, value)`` records a pending
+  store at dispatch time.
+* ``SharedMemory.drain_store(core, addr)`` is called when the store
+  buffer finishes writing the oldest pending store for ``addr``; only
+  then does the value become globally visible.
+* ``Cas`` bypasses the buffer: ``cas`` reads (with forwarding) and, on
+  success, publishes immediately -- atomics act as fences and are
+  modelled as draining synchronously at their serialization point.
+
+This gives genuinely relaxed inter-core behaviour: under PSO/RMO drain
+order, store-store reordering is architecturally observable (e.g. the
+phantom-task bug of the unfenced Chase-Lev deque).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+
+class SharedMemory:
+    """Word-addressed functional memory shared by all cores."""
+
+    def __init__(self, size_words: int, n_cores: int) -> None:
+        if size_words < 1:
+            raise ValueError("size_words must be positive")
+        self._mem = np.zeros(size_words, dtype=np.int64)
+        self.size_words = size_words
+        self.n_cores = n_cores
+        # pending[core][addr] -> FIFO list of not-yet-drained values
+        self._pending: list[dict[int, list[int]]] = [
+            defaultdict(list) for _ in range(n_cores)
+        ]
+
+    # -- functional access ----------------------------------------------------
+    def read(self, core: int, addr: int) -> int:
+        """Load with store-to-load forwarding from the core's own buffer."""
+        pend = self._pending[core].get(addr)
+        if pend:
+            return pend[-1]
+        return int(self._mem[addr])
+
+    def read_global(self, addr: int) -> int:
+        """Read the globally visible value (no forwarding); for checkers."""
+        return int(self._mem[addr])
+
+    def write_global(self, addr: int, value: int) -> None:
+        """Directly set the globally visible value (initialisation)."""
+        self._mem[addr] = value
+
+    def buffer_store(self, core: int, addr: int, value: int) -> None:
+        """Record a store at dispatch; visible only to ``core`` until drain."""
+        self._pending[core][addr].append(value)
+
+    def drain_store(self, core: int, addr: int) -> int:
+        """Publish the oldest pending store of ``core`` for ``addr``.
+
+        Same-address stores drain in program order (coherence order per
+        location), so FIFO-per-address is exact.  Returns the published
+        value.
+        """
+        fifo = self._pending[core][addr]
+        if not fifo:
+            raise RuntimeError(f"core {core} has no pending store for addr {addr}")
+        value = fifo.pop(0)
+        if not fifo:
+            del self._pending[core][addr]
+        self._mem[addr] = value
+        return value
+
+    def cas(self, core: int, addr: int, expected: int, new: int) -> bool:
+        """Atomic compare-and-swap at the global serialization point.
+
+        Any pending stores of *this core* to ``addr`` are force-drained
+        first (a real CAS drains the store buffer); other cores'
+        buffers are untouched -- their stores simply have not been
+        published yet.
+        """
+        fifo = self._pending[core].get(addr)
+        while fifo:
+            self.drain_store(core, addr)
+            fifo = self._pending[core].get(addr)
+        if int(self._mem[addr]) == expected:
+            self._mem[addr] = new
+            return True
+        return False
+
+    def has_pending(self, core: int, addr: int) -> bool:
+        """True if ``core`` has a buffered (undrained) store to ``addr``."""
+        return bool(self._pending[core].get(addr))
+
+    def pending_count(self, core: int) -> int:
+        """Number of buffered (unpublished) stores for ``core``."""
+        return sum(len(v) for v in self._pending[core].values())
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of globally visible memory (for end-of-run checkers)."""
+        return self._mem.copy()

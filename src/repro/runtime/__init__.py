@@ -1,0 +1,21 @@
+"""Guest runtime: address space, language/compiler layer, harnesses."""
+
+from .address_space import AddressSpace
+from .harness import FlaggedExchange, PrivateWork, ScratchSpill
+from .lang import Env, ScopedStructure, SharedArray, SharedVar, cid_of, scoped_method
+from .sync import SenseBarrier, SpinLock
+
+__all__ = [
+    "AddressSpace",
+    "Env",
+    "FlaggedExchange",
+    "PrivateWork",
+    "ScratchSpill",
+    "SenseBarrier",
+    "SpinLock",
+    "ScopedStructure",
+    "SharedArray",
+    "SharedVar",
+    "cid_of",
+    "scoped_method",
+]

@@ -1,0 +1,92 @@
+"""Synchronization primitives built on the guest ISA.
+
+The SPLASH-2 applications the paper evaluates rely on barriers and
+locks besides the lock-free structures; these are the standard
+implementations, with their fence requirements spelled out:
+
+* :class:`SpinLock` -- test-and-test-and-set via CAS.  The *release*
+  store must be ordered after the critical section's stores (a
+  store-store fence); the scope of that fence is exactly the paper's
+  question: a set/class scope covering only the lock word would let the
+  next owner enter before the protected data is visible, so ``unlock``
+  uses a traditional fence by default and callers opt into scoping only
+  when they manage data visibility themselves (Figure 1's division of
+  responsibility).
+* :class:`SenseBarrier` -- sense-reversing centralized barrier.  The
+  arrival decrement is a CAS (immediately visible); waiters spin on the
+  sense word.  A store-store fence orders each thread's pre-barrier
+  stores before its arrival, giving the usual "everything before the
+  barrier is visible after it" guarantee.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Fence, FenceKind, WAIT_BOTH, WAIT_STORES
+from .lang import Env, ScopedStructure, scoped_method
+
+
+class SpinLock(ScopedStructure):
+    """Test-and-test-and-set lock."""
+
+    def __init__(self, env: Env, name: str = "lock", scope: FenceKind = FenceKind.GLOBAL) -> None:
+        super().__init__(env, name, scope)
+        self.word = self.svar("word")
+
+    @scoped_method
+    def lock(self):
+        while True:
+            # test ...
+            while (yield self.word.load()) != 0:
+                pass
+            # ... and test-and-set
+            ok = yield self.word.cas(0, 1)
+            if ok:
+                return
+
+    @scoped_method
+    def unlock(self, publish_all: bool = True):
+        """Release.  ``publish_all=True`` (default) uses a traditional
+        store-store fence so every critical-section store is visible to
+        the next owner; ``False`` scopes the fence to this structure
+        (callers must order their own data -- Figure 1's contract)."""
+        if publish_all:
+            yield Fence(FenceKind.GLOBAL, WAIT_STORES)
+        else:
+            yield self.fence(WAIT_STORES)
+        yield self.word.store(0)
+
+    def holder_view(self) -> int:
+        return self.word.peek()
+
+
+class SenseBarrier(ScopedStructure):
+    """Sense-reversing centralized barrier for ``n_threads``."""
+
+    def __init__(self, env: Env, n_threads: int, name: str = "barrier") -> None:
+        super().__init__(env, name, FenceKind.GLOBAL)
+        if n_threads < 1:
+            raise ValueError("n_threads must be >= 1")
+        self.n_threads = n_threads
+        self.count = self.svar("count", init=n_threads)
+        self.sense = self.svar("sense")  # global sense, flips each episode
+        self._local_sense: dict[int, int] = {}
+
+    def wait(self, tid: int):
+        """Guest fragment: block until all ``n_threads`` arrive."""
+        local = self._local_sense.get(tid, 0) ^ 1
+        self._local_sense[tid] = local
+        # order this thread's pre-barrier stores before its arrival
+        yield Fence(FenceKind.GLOBAL, WAIT_STORES)
+        while True:
+            c = yield self.count.load()
+            ok = yield self.count.cas(c, c - 1)
+            if ok:
+                break
+        if c - 1 == 0:
+            # last arriver resets and releases everyone
+            yield self.count.store(self.n_threads)
+            yield Fence(FenceKind.GLOBAL, WAIT_STORES)  # reset before release
+            yield self.sense.store(local)
+        else:
+            while (yield self.sense.load()) != local:
+                pass

@@ -1,0 +1,6 @@
+"""Simulator: configuration, statistics, multicore cycle loop."""
+
+from .config import MemoryModel, SimConfig, TABLE_III
+from .stats import CoreStats, SimStats
+
+__all__ = ["MemoryModel", "SimConfig", "TABLE_III", "CoreStats", "SimStats"]

@@ -1,0 +1,96 @@
+"""Per-core and aggregate simulation statistics.
+
+The figures in the paper's evaluation section are built from two
+numbers per run: total execution cycles of the parallel section and the
+cycles in which instruction issue was stalled by a fence ("Fence
+Stalls" vs. "Others" in Figures 13-16).  ``CoreStats``/``SimStats``
+collect those plus supporting counters (cache hit rates, ROB occupancy
+for the Figure 16 discussion, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoreStats:
+    """Counters for a single core."""
+
+    core_id: int = 0
+    cycles: int = 0                 # cycles until this core's thread finished
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    cas_ops: int = 0
+    fences: int = 0
+    fence_stall_cycles: int = 0     # dispatch blocked by a fence/CAS ordering
+    sfence_early_issues: int = 0    # fences that issued while unscoped ops pending
+    rob_full_stalls: int = 0
+    sb_full_stalls: int = 0
+    mshr_stalls: int = 0
+    branch_mispredicts: int = 0
+    scope_overflows: int = 0        # cycles-with-overflow-counter-nonzero events
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    sb_forwards: int = 0
+    rob_occupancy_sum: int = 0      # summed each cycle while running
+    rob_occupancy_samples: int = 0
+
+    @property
+    def avg_rob_occupancy(self) -> float:
+        if not self.rob_occupancy_samples:
+            return 0.0
+        return self.rob_occupancy_sum / self.rob_occupancy_samples
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+
+@dataclass
+class SimStats:
+    """Aggregate statistics for a whole simulation run."""
+
+    cores: list[CoreStats] = field(default_factory=list)
+    total_cycles: int = 0           # parallel-section execution time (max over cores)
+
+    @property
+    def fence_stall_cycles(self) -> int:
+        """Total fence-stall cycles across cores."""
+        return sum(c.fence_stall_cycles for c in self.cores)
+
+    @property
+    def instructions(self) -> int:
+        return sum(c.instructions for c in self.cores)
+
+    @property
+    def fences(self) -> int:
+        return sum(c.fences for c in self.cores)
+
+    @property
+    def fence_stall_fraction(self) -> float:
+        """Fence stalls as a fraction of total core-cycles (Fig. 13 split)."""
+        busy = sum(c.cycles for c in self.cores)
+        return self.fence_stall_cycles / busy if busy else 0.0
+
+    @property
+    def avg_rob_occupancy(self) -> float:
+        vals = [c.avg_rob_occupancy for c in self.cores if c.rob_occupancy_samples]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers (for reports/tests)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "fences": self.fences,
+            "fence_stall_cycles": self.fence_stall_cycles,
+            "fence_stall_fraction": round(self.fence_stall_fraction, 4),
+            "avg_rob_occupancy": round(self.avg_rob_occupancy, 1),
+            "l1_hits": sum(c.l1_hits for c in self.cores),
+            "l1_misses": sum(c.l1_misses for c in self.cores),
+        }

@@ -1,0 +1,94 @@
+"""Per-cycle execution timeline for small runs (debugging/teaching).
+
+Attach a :class:`TimelineRecorder` to a :class:`Simulator` to capture,
+for every core and cycle, whether the core dispatched work, stalled at
+a fence, waited on a full ROB/store buffer, or idled.  ``render``
+compresses the recording into per-core segments -- a poor man's
+pipeline viewer that makes fence stalls visible at a glance:
+
+    core 0 | 0-11 run | 12-310 fence | 311-320 run | ...
+
+The recorder costs a callback per simulated cycle; use it on small
+programs only (the benchmarks never enable it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Segment:
+    core: int
+    start: int
+    end: int      # inclusive
+    state: str
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
+class TimelineRecorder:
+    """Collects one state sample per (cycle, core)."""
+
+    def __init__(self) -> None:
+        self._samples: dict[int, list[tuple[int, str]]] = {}
+
+    # -- Simulator hooks ---------------------------------------------------------
+    def sample(self, cycle: int, cores) -> None:
+        for core in cores:
+            if core.finished and not core.stall_reason:
+                state = "done"
+            elif core.stall_reason:
+                state = core.stall_reason
+            else:
+                state = "run"
+            self._samples.setdefault(core.core_id, []).append((cycle, state))
+
+    def idle(self, cycle: int, delta: int, cores) -> None:
+        """The simulator warped over ``delta`` quiet cycles."""
+        for core in cores:
+            state = "done" if core.finished else (core.stall_reason or "wait")
+            samples = self._samples.setdefault(core.core_id, [])
+            samples.append((cycle + 1, state))
+            samples.append((cycle + delta, state))
+
+    # -- analysis ------------------------------------------------------------------
+    def segments(self, core: int) -> list[Segment]:
+        """Compressed, gap-free state segments for one core."""
+        samples = sorted(self._samples.get(core, ()))
+        if not samples:
+            return []
+        out: list[Segment] = []
+        start_cycle, state = samples[0]
+        prev_cycle = start_cycle
+        for cycle, s in samples[1:]:
+            if s != state:
+                out.append(Segment(core, start_cycle, max(prev_cycle, cycle - 1), state))
+                start_cycle, state = cycle, s
+            prev_cycle = cycle
+        out.append(Segment(core, start_cycle, prev_cycle, state))
+        return out
+
+    def state_cycles(self, core: int) -> dict[str, int]:
+        """Total cycles per state for one core."""
+        totals: dict[str, int] = {}
+        for seg in self.segments(core):
+            totals[seg.state] = totals.get(seg.state, 0) + seg.length
+        return totals
+
+    def cores(self) -> list[int]:
+        return sorted(self._samples)
+
+    def render(self, max_segments: int = 12) -> str:
+        """Human-readable per-core timeline."""
+        lines = []
+        for core in self.cores():
+            segs = self.segments(core)
+            shown = segs[:max_segments]
+            parts = [f"{s.start}-{s.end} {s.state}" for s in shown]
+            if len(segs) > max_segments:
+                parts.append(f"... (+{len(segs) - max_segments} segments)")
+            lines.append(f"core {core} | " + " | ".join(parts))
+        return "\n".join(lines)

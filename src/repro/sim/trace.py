@@ -1,0 +1,43 @@
+"""Structured memory-access tracing.
+
+A :class:`TraceCollector` attached to a :class:`~repro.sim.simulator.Simulator`
+records every dispatched memory access as ``(core, kind, addr)``.  The
+delay-set classifier (:mod:`repro.apps.delay_set`) consumes such traces
+to partition addresses into private / shared-read-only /
+shared-conflicting, the partition end-to-end-SC fence insertion relies
+on for barnes and radiosity (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIND_LOAD = "load"
+KIND_STORE = "store"
+KIND_CAS = "cas"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    core: int
+    kind: str
+    addr: int
+
+
+class TraceCollector:
+    """Accumulates memory-access records during a run."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def record(self, core: int, kind: str, addr: int) -> None:
+        self.records.append(TraceRecord(core, kind, addr))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_addr(self) -> dict[int, list[TraceRecord]]:
+        out: dict[int, list[TraceRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.addr, []).append(rec)
+        return out

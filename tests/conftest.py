@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.lang import Env
+from repro.sim.config import MemoryModel, SimConfig
+
+
+@pytest.fixture
+def config() -> SimConfig:
+    """Default Table III configuration."""
+    return SimConfig()
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    """A two-core configuration for focused functional tests."""
+    return SimConfig(n_cores=2)
+
+
+@pytest.fixture
+def env(config) -> Env:
+    return Env(config)
+
+
+@pytest.fixture
+def env2(small_config) -> Env:
+    return Env(small_config)
+
+
+def make_env(**overrides) -> Env:
+    """Fresh environment with config overrides (helper for tests)."""
+    return Env(SimConfig(**overrides))

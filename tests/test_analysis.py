@@ -1,0 +1,84 @@
+"""Tests for the analysis drivers and report formatting."""
+
+from repro.algorithms.workloads import build_wsq_workload
+from repro.analysis.report import (
+    ascii_series,
+    format_table,
+    paper_vs_measured,
+    speedup_row,
+    stacked_bar_rows,
+)
+from repro.analysis.speedup import (
+    RunPoint,
+    measure,
+    normalized_series,
+    traditional_vs_scoped,
+)
+from repro.isa.instructions import FenceKind
+from repro.sim.config import SimConfig
+
+
+def test_measure_runs_and_checks():
+    point = measure(
+        lambda env: build_wsq_workload(env, iterations=6, workload_level=1),
+        SimConfig(),
+        label="T",
+    )
+    assert point.cycles > 0
+    assert 0.0 <= point.fence_stall_fraction <= 1.0
+    assert point.others_fraction == 1.0 - point.fence_stall_fraction
+
+
+def test_traditional_vs_scoped_driver():
+    trad, scoped, speedup = traditional_vs_scoped(
+        lambda env, scope: build_wsq_workload(
+            env, scope=scope, iterations=10, workload_level=2
+        ),
+        FenceKind.CLASS,
+    )
+    assert trad.label == "T" and scoped.label == "S"
+    assert speedup == trad.cycles / scoped.cycles
+    assert speedup >= 1.0
+
+
+def test_normalized_series():
+    base = RunPoint("T", 1000, 400, 0.4)
+    other = RunPoint("S", 800, 80, 0.1)
+    rows = normalized_series([base, other], base)
+    assert rows[0]["normalized_time"] == 1.0
+    assert rows[1]["normalized_time"] == 0.8
+    assert abs(rows[0]["fence_stalls"] - 0.4) < 1e-9
+    assert abs(rows[1]["others"] - 0.72) < 1e-9
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "long_header"], [[1, 2], [333, 4]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    assert len(lines) == 5
+
+
+def test_paper_vs_measured():
+    out = paper_vs_measured("Fig X", [("speedup", "1.23x", "1.19x")])
+    assert "paper" in out and "measured" in out and "1.19x" in out
+
+
+def test_speedup_row():
+    name, t, s = speedup_row("wsq", 2000, 1600)
+    assert name == "wsq"
+    assert "1.250x" in s
+
+
+def test_stacked_bar_rows():
+    rows = stacked_bar_rows(
+        [{"label": "T", "normalized_time": 1.0, "fence_stalls": 0.4, "others": 0.6}]
+    )
+    assert rows == [("T", "1.000", "0.400", "0.600")]
+
+
+def test_ascii_series():
+    lines = ascii_series([1.0, 0.5])
+    assert len(lines) == 2
+    assert lines[0].count("#") == 2 * lines[1].count("#")
+    assert ascii_series([]) == []

@@ -1,0 +1,71 @@
+"""Cross-cutting robustness tests for the full applications."""
+
+import pytest
+
+from repro.apps.barnes import build_barnes
+from repro.apps.pst import build_pst
+from repro.apps.ptc import build_ptc
+from repro.apps.radiosity import build_radiosity
+from repro.isa.instructions import FenceKind
+from repro.runtime.lang import Env
+from repro.sim.config import MemoryModel, SimConfig
+
+SMALL = {
+    "pst": (build_pst, dict(n_vertices=48, extra_edges=32), FenceKind.CLASS),
+    "ptc": (build_ptc, dict(n_vertices=24), FenceKind.CLASS),
+    "barnes": (build_barnes, dict(n_bodies=48), FenceKind.SET),
+    "radiosity": (build_radiosity, dict(n_patches=32), FenceKind.SET),
+}
+
+
+def run(name, scope=None, **cfg_overrides):
+    builder, kwargs, default_scope = SMALL[name]
+    env = Env(SimConfig(**cfg_overrides))
+    inst = builder(env, scope=scope or default_scope, **kwargs)
+    res = env.run(inst.program, max_cycles=5_000_000)
+    inst.check()
+    return res
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_deterministic_across_runs(name):
+    a = run(name)
+    b = run(name)
+    assert a.cycles == b.cycles
+    assert a.stats.summary() == b.stats.summary()
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_correct_under_tso(name):
+    run(name, memory_model=MemoryModel.TSO)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_correct_under_pso(name):
+    run(name, memory_model=MemoryModel.PSO)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_correct_with_speculation(name):
+    run(name, in_window_speculation=True)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_correct_with_tiny_scope_hardware(name):
+    """FSB/FSS/mapping pressure must never break correctness."""
+    run(name, fsb_entries=2, fss_entries=1, mapping_entries=1)
+
+
+@pytest.mark.parametrize("name", sorted(SMALL))
+def test_correct_with_small_rob_and_sb(name):
+    run(name, rob_size=16, sb_size=2)
+
+
+def test_pst_without_app_fence_still_terminates():
+    """Dropping pst's application-level full fence (ablation only) must
+    not deadlock; the spanning tree remains valid because the color
+    CAS already serialises claims in this simulator."""
+    env = Env(SimConfig())
+    inst = build_pst(env, n_vertices=48, extra_edges=32, app_full_fence=False)
+    env.run(inst.program, max_cycles=5_000_000)
+    inst.check()

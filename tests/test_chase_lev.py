@@ -1,0 +1,143 @@
+"""Chase-Lev work-stealing deque: functional and relaxed-memory tests."""
+
+import pytest
+
+from repro.algorithms.chase_lev import ABORT, EMPTY, WorkStealingDeque
+from repro.algorithms.workloads import build_wsq_workload
+from repro.isa.instructions import FenceKind
+from repro.isa.program import Program
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+def test_put_take_lifo_single_thread():
+    env = Env(SimConfig(n_cores=1))
+    d = WorkStealingDeque(env, capacity=16)
+    got = []
+
+    def owner(tid):
+        for task in (1, 2, 3):
+            yield from d.put(task)
+        for _ in range(4):
+            got.append((yield from d.take()))
+
+    env.run(Program([owner]))
+    assert got == [3, 2, 1, EMPTY]
+
+
+def test_steal_fifo_order():
+    env = Env(SimConfig(n_cores=2))
+    d = WorkStealingDeque(env, capacity=16)
+    stolen = []
+    ready = env.var("ready")
+
+    def owner(tid):
+        for task in (1, 2, 3):
+            yield from d.put(task)
+        yield ready.store(1)
+
+    def thief(tid):
+        while not (yield ready.load()):
+            pass
+        while True:
+            t = yield from d.steal()
+            if t == EMPTY:
+                return
+            if t != ABORT:
+                stolen.append(t)
+
+    env.run(Program([owner, thief]))
+    assert stolen == [1, 2, 3]
+
+
+def test_last_element_race_is_single_winner():
+    """Owner take vs thief steal on a single element: exactly one wins."""
+    for seed_delay in range(6):
+        env = Env(SimConfig(n_cores=2))
+        d = WorkStealingDeque(env, capacity=8)
+        winners = []
+
+        def owner(tid):
+            yield from d.put(7)
+            from repro.isa.instructions import Compute
+
+            yield Compute(1 + seed_delay * 40)
+            t = yield from d.take()
+            if t >= 0:
+                winners.append(("owner", t))
+
+        def thief(tid):
+            while True:
+                t = yield from d.steal()
+                if t >= 0:
+                    winners.append(("thief", t))
+                    return
+                # give up once the owner is certainly done
+                head, tail = d.snapshot()
+                if head >= tail and head > 0:
+                    return
+                if t == EMPTY and winners:
+                    return
+
+        env.run(Program([owner, thief]), max_cycles=200_000)
+        assert len(winners) == 1, winners
+        assert winners[0][1] == 7
+
+
+def test_phantom_task_without_storestore_fence():
+    """Dropping the put fence under RMO lets TAIL drain before the task
+    write: a thief can steal a phantom (stale) value -- the bug the
+    paper's Figure 2 fence prevents."""
+    from repro.isa.instructions import Compute
+
+    saw_phantom = False
+    for delay in (60, 90, 120, 150, 200):
+        env = Env(SimConfig(n_cores=2))
+        d = WorkStealingDeque(env, capacity=8, use_fences=False)
+        d.arr.poke(0, -99)  # poison: a phantom read is recognisable
+        grabbed = []
+
+        def owner(tid):
+            # let the thief warm HEAD/TAIL into the caches first, so the
+            # TAIL publication drains fast while the (cold) task-slot
+            # store is still in flight
+            yield Compute(delay)
+            yield from d.put(1)
+            yield Compute(600)
+
+        def thief(tid):
+            for _ in range(400):
+                t = yield from d.steal()
+                if t != EMPTY and t != ABORT:
+                    grabbed.append(t)
+                    return
+
+        env.run(Program([owner, thief]), max_cycles=300_000)
+        if grabbed and grabbed[0] == -99:
+            saw_phantom = True
+            break
+    assert saw_phantom, "expected a phantom task without the put fence"
+
+
+def test_workload_harness_is_safe_with_fences():
+    env = Env(SimConfig())
+    handle = build_wsq_workload(env, iterations=15, workload_level=1)
+    env.run(handle.program)
+    handle.check()
+
+
+def test_workload_scoped_beats_traditional_at_peak():
+    cyc = {}
+    for scoped in (False, True):
+        env = Env(SimConfig(scoped_fences=scoped))
+        handle = build_wsq_workload(env, iterations=25, workload_level=2)
+        res = env.run(handle.program)
+        handle.check()
+        cyc[scoped] = res.cycles
+    assert cyc[False] > cyc[True] * 1.05  # clearly faster, not noise
+
+
+def test_capacity_validation():
+    env = Env(SimConfig(n_cores=1))
+    with pytest.raises(ValueError):
+        WorkStealingDeque(env, capacity=0)

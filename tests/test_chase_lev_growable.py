@@ -1,0 +1,136 @@
+"""Growable Chase-Lev deque tests."""
+
+import pytest
+
+from repro.algorithms.chase_lev import ABORT, EMPTY
+from repro.algorithms.chase_lev_growable import GrowableWorkStealingDeque
+from repro.apps.pst import build_pst
+from repro.isa.instructions import Compute
+from repro.isa.program import Program
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+def test_grows_past_initial_capacity():
+    env = Env(SimConfig(n_cores=1))
+    d = GrowableWorkStealingDeque(env, initial_capacity=4)
+    got = []
+
+    def owner(tid):
+        for i in range(20):
+            yield from d.put(i + 1)
+        for _ in range(20):
+            got.append((yield from d.take()))
+
+    env.run(Program([owner]))
+    assert got == list(range(20, 0, -1))
+    assert d.grows >= 2
+    assert d.live_capacity >= 16
+
+
+def test_no_growth_when_it_fits():
+    env = Env(SimConfig(n_cores=1))
+    d = GrowableWorkStealingDeque(env, initial_capacity=8)
+
+    def owner(tid):
+        for i in range(6):
+            yield from d.put(i + 1)
+
+    env.run(Program([owner]))
+    assert d.grows == 0
+
+
+def test_wraparound_reuse():
+    env = Env(SimConfig(n_cores=1))
+    d = GrowableWorkStealingDeque(env, initial_capacity=4)
+    got = []
+
+    def owner(tid):
+        for round_ in range(5):
+            for i in range(3):
+                yield from d.put(round_ * 10 + i)
+            for _ in range(3):
+                got.append((yield from d.take()))
+
+    env.run(Program([owner]))
+    assert len(got) == 15 and EMPTY not in got
+    assert d.grows == 0  # never more than 3 live elements
+
+
+def test_steals_race_with_growth():
+    """Thieves keep stealing while the owner grows the array; every
+    task is delivered exactly once."""
+    env = Env(SimConfig(n_cores=3))
+    d = GrowableWorkStealingDeque(env, initial_capacity=4)
+    done = env.var("g.done")
+    extracted = []
+
+    start = env.var("g.start")
+
+    def owner(tid):
+        task = 1
+        # first burst outruns the (gated) thieves and forces a growth
+        for _ in range(10):
+            yield from d.put(task)
+            task += 1
+        yield start.store(1)
+        for burst in range(4):
+            for _ in range(5):
+                yield from d.put(task)
+                task += 1
+            yield Compute(60)
+        while True:
+            t = yield from d.take()
+            if t < 0:
+                break
+            extracted.append(("o", t))
+        yield done.store(1)
+
+    def thief(tid):
+        while not (yield start.load()):
+            pass
+        while True:
+            if (yield done.load()):
+                return
+            t = yield from d.steal()
+            if t >= 0:
+                extracted.append((tid, t))
+
+    env.run(Program([owner, thief, thief]), max_cycles=5_000_000)
+    got = [t for _, t in extracted]
+    assert len(set(got)) == len(got), "duplicate extraction"
+    head, tail = d.snapshot()
+    assert len(got) + max(0, tail - head) == 30
+    assert d.grows >= 1, "the test never exercised a growth"
+
+
+def test_region_limit():
+    env = Env(SimConfig(n_cores=1))
+    d = GrowableWorkStealingDeque(env, initial_capacity=2, max_regions=2)
+
+    def owner(tid):
+        for i in range(40):
+            yield from d.put(i)
+
+    with pytest.raises(MemoryError):
+        env.run(Program([owner]))
+
+
+def test_invalid_capacity():
+    env = Env(SimConfig(n_cores=1))
+    with pytest.raises(ValueError):
+        GrowableWorkStealingDeque(env, initial_capacity=1)
+
+
+def test_pst_runs_on_growable_deque():
+    env = Env(SimConfig())
+    inst = build_pst(
+        env,
+        n_vertices=64,
+        extra_edges=48,
+        deque_factory=lambda env, name, cap, scope: GrowableWorkStealingDeque(
+            env, name, initial_capacity=8, scope=scope, max_regions=10
+        ),
+    )
+    env.run(inst.program, max_cycles=5_000_000)
+    inst.check()

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_hwcost_command(capsys):
+    assert main(["hwcost"]) == 0
+    out = capsys.readouterr().out
+    assert "hardware cost" in out
+    assert "77.5 bytes" in out
+
+
+def test_litmus_command(tmp_path, capsys):
+    f = tmp_path / "sb.litmus"
+    f.write_text(
+        """
+        name SBdemo
+        x = 1  | y = 1
+        fence  | fence
+        r0 = y | r1 = x
+        exists r0 == 0 and r1 == 0
+        """
+    )
+    assert main(["litmus", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "SBdemo" in out
+    assert "never observed" in out
+
+
+def test_litmus_observes_relaxed_outcome(tmp_path, capsys):
+    f = tmp_path / "sb_nofence.litmus"
+    f.write_text(
+        """
+        x = 1  | y = 1
+        r0 = y | r1 = x
+        exists r0 == 0 and r1 == 0
+        """
+    )
+    assert main(["litmus", str(f)]) == 0
+    assert "OBSERVED" in capsys.readouterr().out
+
+
+def test_litmus_requires_file():
+    with pytest.raises(SystemExit):
+        main(["litmus"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["figNaN"])
+
+
+def test_fig14_command_small(capsys):
+    assert main(["fig14", "--scale", "0.3"]) == 0
+    out = capsys.readouterr().out
+    assert "class vs set" in out
+    for name in ("msn", "harris", "pst", "ptc"):
+        assert name in out

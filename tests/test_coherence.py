@@ -1,0 +1,64 @@
+"""Unit tests for the directory coherence bookkeeping."""
+
+from repro.mem.coherence import Directory
+
+
+def test_read_adds_sharer():
+    d = Directory()
+    assert d.on_read(0, 5) is None
+    assert d.sharers(5) == {0}
+    assert d.dirty_owner(5) is None
+
+
+def test_write_claims_exclusive_and_invalidates():
+    d = Directory()
+    d.on_read(0, 5)
+    d.on_read(1, 5)
+    victims = d.on_write(2, 5)
+    assert victims == {0, 1}
+    assert d.sharers(5) == {2}
+    assert d.dirty_owner(5) == 2
+
+
+def test_write_by_owner_invalidates_nobody():
+    d = Directory()
+    d.on_write(0, 5)
+    assert d.on_write(0, 5) == set()
+
+
+def test_read_after_dirty_downgrades_owner():
+    d = Directory()
+    d.on_write(0, 5)
+    supplier = d.on_read(1, 5)
+    assert supplier == 0
+    assert d.dirty_owner(5) is None
+    assert d.sharers(5) == {0, 1}
+
+
+def test_owner_rereads_own_dirty_line():
+    d = Directory()
+    d.on_write(0, 5)
+    assert d.on_read(0, 5) is None
+    assert d.dirty_owner(5) == 0
+
+
+def test_eviction_clears_state():
+    d = Directory()
+    d.on_write(0, 5)
+    d.on_l1_evict(0, 5)
+    assert d.sharers(5) == set()
+    assert d.dirty_owner(5) is None
+
+
+def test_eviction_of_one_sharer_keeps_others():
+    d = Directory()
+    d.on_read(0, 5)
+    d.on_read(1, 5)
+    d.on_l1_evict(0, 5)
+    assert d.sharers(5) == {1}
+
+
+def test_eviction_of_unknown_line_is_noop():
+    d = Directory()
+    d.on_l1_evict(0, 99)
+    assert d.sharers(99) == set()

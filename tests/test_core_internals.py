@@ -1,0 +1,100 @@
+"""Edge-case tests of the core's internal mechanics."""
+
+from repro.isa.instructions import Compute, Fence, FenceKind, Load, Probe, Store
+from repro.isa.program import Program, ops_program
+from repro.sim.config import MemoryModel, SimConfig
+from repro.sim.simulator import Simulator, run_program
+
+
+def test_retire_width_bounds_throughput():
+    # 40 already-done ops (stores to the same warm line) retire at most
+    # retire_width per cycle
+    narrow = run_program(
+        ops_program([[Probe() for _ in range(64)]]),
+        SimConfig(n_cores=1, retire_width=1, dispatch_width=1),
+    )
+    wide = run_program(
+        ops_program([[Probe() for _ in range(64)]]),
+        SimConfig(n_cores=1, retire_width=4, dispatch_width=4),
+    )
+    assert narrow.cycles > wide.cycles
+
+
+def test_dispatch_width_bounds_throughput():
+    ops = [Probe() for _ in range(64)]
+    one = run_program(ops_program([list(ops)]), SimConfig(n_cores=1, dispatch_width=1))
+    four = run_program(ops_program([list(ops)]), SimConfig(n_cores=1, dispatch_width=4))
+    assert one.cycles >= four.cycles * 2
+
+
+def test_sb_capacity_blocks_dispatch_under_rmo():
+    # more cold-miss stores than SB entries: issue must throttle
+    ops = [Store(4096 + i * 64, 1) for i in range(12)]
+    res = run_program(ops_program([ops]), SimConfig(n_cores=1, sb_size=4))
+    assert res.stats.cores[0].sb_full_stalls > 0
+
+
+def test_sb_capacity_blocks_retire_under_tso():
+    ops = [Store(4096 + i * 64, 1) for i in range(12)]
+    res = run_program(
+        ops_program([ops]),
+        SimConfig(n_cores=1, sb_size=2, memory_model=MemoryModel.TSO),
+    )
+    assert res.stats.cores[0].sb_full_stalls > 0
+    assert res.memory.read_global(4096) == 1
+
+
+def test_next_event_cycle_reports_future_events():
+    cfg = SimConfig(n_cores=1)
+    sim = Simulator(cfg, ops_program([[Load(4096), Compute(5)]]))
+    core = sim.cores[0]
+    gens = sim.program.spawn()
+    core.bind(gens[0])
+    core.tick(0)
+    nxt = core.next_event_cycle(0)
+    assert nxt is not None and nxt > 0
+
+
+def test_account_idle_attributes_fence_stalls():
+    from repro.sim.stats import CoreStats
+
+    cfg = SimConfig(n_cores=1)
+    sim = Simulator(cfg, ops_program([[Store(4096, 1), Fence(FenceKind.GLOBAL), Load(64)]]))
+    res = sim.run()
+    core_stats = res.stats.cores[0]
+    # the ~300-cycle wait is fully attributed even though it was warped
+    assert core_stats.fence_stall_cycles >= 295
+
+
+def test_fence_stall_not_counted_after_partial_dispatch():
+    """A fence blocked mid-cycle after other ops dispatched does not
+    count that cycle as a stall (only full-issue-blocked cycles do)."""
+    ops = [Store(4096, 1), Fence(FenceKind.GLOBAL), Load(64)]
+    res = run_program(ops_program([ops]), SimConfig(n_cores=1))
+    core = res.stats.cores[0]
+    assert core.fence_stall_cycles <= res.cycles
+
+
+def test_generator_return_value_ignored():
+    def body(tid):
+        yield Compute(1)
+        return 42  # return values of top-level threads are dropped
+
+    res = run_program(Program([body]), SimConfig(n_cores=1))
+    assert res.stats.instructions == 1
+
+
+def test_probe_payload_untouched():
+    seen = []
+    payload = {"k": 1}
+
+    def body(tid):
+        yield Probe(fn=lambda c: seen.append(c), payload=payload)
+
+    run_program(Program([body]), SimConfig(n_cores=1))
+    assert len(seen) == 1 and payload == {"k": 1}
+
+
+def test_stats_cycles_set_once_per_core():
+    res = run_program(ops_program([[Compute(10)], [Compute(100)]]), SimConfig(n_cores=2))
+    assert res.stats.cores[0].cycles < res.stats.cores[1].cycles

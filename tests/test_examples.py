@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    if path.stem == "work_stealing_tree":
+        monkeypatch.setattr(sys, "argv", [str(path), "96"])  # smaller graph
+    else:
+        monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_example_litmus_files_parse_and_run():
+    from repro.litmus.dsl import parse_litmus, run_litmus
+
+    litmus_dir = Path(__file__).parent.parent / "examples" / "litmus"
+    files = sorted(litmus_dir.glob("*.litmus"))
+    assert len(files) >= 3
+    for f in files:
+        test = parse_litmus(f.read_text())
+        run = run_litmus(test, offsets=[0, 150])
+        assert run.outcomes

@@ -1,0 +1,40 @@
+"""Extension workloads (Treiber stack, Lamport queue) behave like the
+paper's lock-free group: safe under both fence flavours, S-Fence helps."""
+
+import pytest
+
+from repro.algorithms.workloads import build_lamport_workload, build_treiber_workload
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+BUILDERS = {
+    "treiber": lambda env, lvl: build_treiber_workload(env, workload_level=lvl, iterations=10),
+    "lamport": lambda env, lvl: build_lamport_workload(env, workload_level=lvl, iterations=20),
+}
+
+
+def run(name, level, scoped):
+    env = Env(SimConfig(scoped_fences=scoped))
+    handle = BUILDERS[name](env, level)
+    res = env.run(handle.program, max_cycles=5_000_000)
+    handle.check()
+    return res
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_safe_under_both_flavours(name):
+    for scoped in (False, True):
+        run(name, 1, scoped)
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_sfence_never_slower(name):
+    trad = run(name, 2, scoped=False)
+    scoped = run(name, 2, scoped=True)
+    assert scoped.cycles <= trad.cycles
+
+
+def test_lamport_benefit_at_moderate_workload():
+    trad = run("lamport", 2, scoped=False)
+    scoped = run("lamport", 2, scoped=True)
+    assert trad.cycles / scoped.cycles > 1.1

@@ -1,0 +1,110 @@
+"""Wait-mask selectivity: S-Fence composes with lfence/sfence-style
+refinement (Section VII: 'the idea of S-Fence can be combined with the
+various finer fences').
+
+A fence with ``WAIT_STORES`` orders prior stores only; ``WAIT_LOADS``
+prior loads only.  These tests check both the timing side (what stalls)
+and the architectural side (which litmus outcomes are forbidden).
+"""
+
+from repro.isa.instructions import (
+    Fence,
+    FenceKind,
+    Load,
+    Store,
+    WAIT_BOTH,
+    WAIT_LOADS,
+    WAIT_STORES,
+)
+from repro.isa.program import ops_program
+from repro.litmus.tests import explore, message_passing, store_buffering
+from repro.sim.config import MemoryModel, SimConfig
+from repro.sim.simulator import run_program
+
+FAST = [0, 1, 5, 40, 150, 320]
+
+
+def stall_of(ops):
+    res = run_program(ops_program([ops]), SimConfig(n_cores=1))
+    return res.stats.cores[0].fence_stall_cycles
+
+
+def test_store_wait_ignores_pending_loads():
+    loads_pending = [Load(4096), Fence(FenceKind.GLOBAL, WAIT_STORES)]
+    stores_pending = [Store(4096, 1), Fence(FenceKind.GLOBAL, WAIT_STORES)]
+    assert stall_of(loads_pending) < 10
+    assert stall_of(stores_pending) > 250
+
+
+def test_load_wait_ignores_pending_stores():
+    loads_pending = [Load(4096), Fence(FenceKind.GLOBAL, WAIT_LOADS)]
+    stores_pending = [Store(4096, 1), Fence(FenceKind.GLOBAL, WAIT_LOADS)]
+    assert stall_of(loads_pending) > 250
+    assert stall_of(stores_pending) < 10
+
+
+def test_wait_both_waits_for_everything():
+    ops = [Load(4096), Store(8192, 1), Fence(FenceKind.GLOBAL, WAIT_BOTH)]
+    assert stall_of(ops) > 250
+
+
+def test_scoped_wait_masks_compose():
+    """A class-scope store-store fence ignores in-scope pending loads."""
+    from repro.isa.instructions import FsEnd, FsStart
+
+    ops = [
+        FsStart(1),
+        Load(4096),
+        Fence(FenceKind.CLASS, WAIT_STORES),
+        FsEnd(1),
+    ]
+    assert stall_of(ops) < 10
+
+
+def test_sb_not_forbidden_by_load_only_fence():
+    """Store buffering needs store->load ordering; a load-load fence
+    leaves the relaxed outcome observable."""
+
+    def build_with_ll_fence(env, d0, d1):
+        base = store_buffering(fenced=True)(env, d0, d1)
+        return base
+
+    # a full fence forbids it ...
+    fenced = explore(store_buffering(fenced=True), "SB", MemoryModel.RMO, FAST)
+    assert not fenced.observed((0, 0))
+    # ... but replacing it with WAIT_LOADS does not
+    def ll_variant(env, d0, d1):
+        from repro.isa.program import Program
+
+        x = env.var("x")
+        y = env.var("y")
+        out = {}
+
+        def t0(tid):
+            from repro.isa.instructions import Compute
+
+            if d0:
+                yield Compute(d0)
+            yield x.store(1)
+            yield Fence(FenceKind.GLOBAL, WAIT_LOADS)  # does not order the store
+            out[0] = yield y.load()
+
+        def t1(tid):
+            from repro.isa.instructions import Compute
+
+            if d1:
+                yield Compute(d1)
+            yield y.store(1)
+            yield Fence(FenceKind.GLOBAL, WAIT_LOADS)
+            out[1] = yield x.load()
+
+        return Program([t0, t1]), lambda: (out[0], out[1])
+
+    res = explore(ll_variant, "SB+llfence", MemoryModel.RMO, FAST)
+    assert res.observed((0, 0))
+
+
+def test_mp_forbidden_by_store_only_fence():
+    """Message passing needs only store->store order in the writer."""
+    res = explore(message_passing(fenced=True), "MP", MemoryModel.RMO, FAST)
+    assert not res.observed((1, 0))

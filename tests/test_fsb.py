@@ -1,0 +1,94 @@
+"""Unit tests for the Fence Scope Bits counters."""
+
+import pytest
+
+from repro.core.fsb import FenceScopeBits
+
+
+def test_requires_two_entries():
+    with pytest.raises(ValueError):
+        FenceScopeBits(1)
+
+
+def test_set_entry_is_last():
+    fsb = FenceScopeBits(4)
+    assert fsb.set_entry == 3
+    assert list(fsb.class_entries) == [0, 1, 2]
+
+
+def test_dispatch_sets_all_masked_entries():
+    fsb = FenceScopeBits(4)
+    fsb.record_dispatch(0b0101, is_load=True)
+    assert fsb.pending_loads == [1, 0, 1, 0]
+    assert fsb.total_loads == 1
+    assert fsb.total_stores == 0
+
+
+def test_unflagged_op_counts_only_in_totals():
+    fsb = FenceScopeBits(4)
+    fsb.record_dispatch(0, is_load=False)
+    assert fsb.pending_stores == [0, 0, 0, 0]
+    assert fsb.total_stores == 1
+    assert not fsb.all_clear(True, True)
+    assert fsb.entry_clear(0, True, True)
+
+
+def test_complete_clears_bits():
+    fsb = FenceScopeBits(4)
+    fsb.record_dispatch(0b0011, is_load=True)
+    fsb.record_dispatch(0b0001, is_load=False)
+    fsb.record_complete(0b0011, is_load=True)
+    assert fsb.pending_loads == [0, 0, 0, 0]
+    assert fsb.pending_stores == [1, 0, 0, 0]
+    assert not fsb.entry_clear(0, wait_loads=False, wait_stores=True)
+    assert fsb.entry_clear(0, wait_loads=True, wait_stores=False)
+
+
+def test_wait_mask_selectivity():
+    fsb = FenceScopeBits(2)
+    fsb.record_dispatch(0b01, is_load=True)
+    assert fsb.entry_clear(0, wait_loads=False, wait_stores=True)
+    assert not fsb.entry_clear(0, wait_loads=True, wait_stores=False)
+    assert fsb.all_clear(False, True)
+    assert not fsb.all_clear(True, False)
+
+
+def test_underflow_raises():
+    fsb = FenceScopeBits(2)
+    with pytest.raises(RuntimeError):
+        fsb.record_complete(0, is_load=True)
+
+
+def test_entry_counter_underflow_raises():
+    fsb = FenceScopeBits(2)
+    fsb.record_dispatch(0, is_load=True)
+    with pytest.raises(RuntimeError):
+        fsb.record_complete(0b01, is_load=True)
+
+
+def test_store_buffer_side_counters():
+    fsb = FenceScopeBits(4)
+    fsb.record_dispatch(0b0001, is_load=False)
+    assert fsb.all_clear_sb()  # not retired into the SB yet
+    fsb.record_store_retired(0b0001)
+    assert not fsb.all_clear_sb()
+    assert not fsb.entry_clear_sb(0)
+    assert fsb.entry_clear_sb(1)
+    fsb.record_complete(0b0001, is_load=False, in_sb=True)
+    assert fsb.all_clear_sb()
+    assert fsb.entry_idle(0)
+
+
+def test_sb_underflow_raises():
+    fsb = FenceScopeBits(2)
+    fsb.record_dispatch(0, is_load=False)
+    with pytest.raises(RuntimeError):
+        fsb.record_complete(0, is_load=False, in_sb=True)
+
+
+def test_entry_idle_tracks_both_kinds():
+    fsb = FenceScopeBits(4)
+    fsb.record_dispatch(0b0010, is_load=True)
+    assert not fsb.entry_idle(1)
+    fsb.record_complete(0b0010, is_load=True)
+    assert fsb.entry_idle(1)

@@ -1,0 +1,126 @@
+"""Property: fence scoping never changes architectural results.
+
+S-Fence is a *performance* mechanism -- for any single-threaded program
+(where timing cannot alter the interleaving), the final memory image
+and every value loaded must be identical under traditional fences,
+class scope, set scope, no fences at all, and in-window speculation.
+Random programs with random scope nesting drive all five
+configurations and compare.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.instructions import (
+    Cas,
+    Compute,
+    Fence,
+    FenceKind,
+    FsEnd,
+    FsStart,
+    Load,
+    Store,
+    WAIT_BOTH,
+    WAIT_LOADS,
+    WAIT_STORES,
+)
+from repro.isa.program import Program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+
+ADDRS = [8, 16, 24, 64, 72, 4096]
+
+
+@st.composite
+def random_program(draw):
+    """A random well-scoped single-thread op script."""
+    n = draw(st.integers(3, 40))
+    script = []
+    depth = 0
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["load", "store", "cas", "fence", "enter", "exit", "compute"]
+        ))
+        addr = draw(st.sampled_from(ADDRS))
+        if kind == "load":
+            script.append(("load", addr, draw(st.booleans())))
+        elif kind == "store":
+            script.append(("store", addr, draw(st.integers(1, 99))))
+        elif kind == "cas":
+            script.append(("cas", addr, draw(st.integers(0, 3)), draw(st.integers(1, 9))))
+        elif kind == "fence":
+            script.append(("fence", draw(st.sampled_from([WAIT_BOTH, WAIT_LOADS, WAIT_STORES]))))
+        elif kind == "enter" and depth < 3:
+            cid = draw(st.integers(1, 3))
+            script.append(("enter", cid))
+            depth += 1
+        elif kind == "exit" and depth > 0:
+            script.append(("exit",))
+            depth -= 1
+        elif kind == "compute":
+            script.append(("compute", draw(st.integers(1, 20))))
+    for _ in range(depth):
+        script.append(("exit",))
+    return script
+
+
+def materialize(script, fence_kind: FenceKind | None):
+    """Turn the script into a guest thread fn; records loaded values."""
+    loaded: list[int] = []
+    open_cids: list[int] = []
+
+    def body(tid):
+        stack = []
+        for step in script:
+            op = step[0]
+            if op == "load":
+                v = yield Load(step[1], flagged=step[2])
+                loaded.append(v)
+            elif op == "store":
+                yield Store(step[1], step[2])
+            elif op == "cas":
+                ok = yield Cas(step[1], step[2], step[3])
+                loaded.append(1 if ok else 0)
+            elif op == "fence":
+                if fence_kind is not None:
+                    yield Fence(fence_kind, step[1])
+            elif op == "enter":
+                stack.append(step[1])
+                yield FsStart(step[1])
+            elif op == "exit":
+                yield FsEnd(stack.pop())
+            elif op == "compute":
+                yield Compute(step[1])
+
+    return body, loaded
+
+
+from repro.sim.config import MemoryModel
+
+CONFIGS = [
+    ("trad", SimConfig(n_cores=1, scoped_fences=False), FenceKind.GLOBAL),
+    ("class", SimConfig(n_cores=1), FenceKind.CLASS),
+    ("set", SimConfig(n_cores=1), FenceKind.SET),
+    ("none", SimConfig(n_cores=1), None),
+    ("spec", SimConfig(n_cores=1, in_window_speculation=True), FenceKind.CLASS),
+    ("tso", SimConfig(n_cores=1, memory_model=MemoryModel.TSO), FenceKind.GLOBAL),
+    ("sc", SimConfig(n_cores=1, memory_model=MemoryModel.SC), FenceKind.GLOBAL),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=random_program())
+def test_single_thread_results_invariant_under_scoping(script):
+    outcomes = []
+    for label, cfg, kind in CONFIGS:
+        body, loaded = materialize(script, kind)
+        sim = Simulator(cfg, Program([body]))
+        result = sim.run(max_cycles=3_000_000)
+        image = tuple(result.memory.read_global(a) for a in ADDRS)
+        outcomes.append((label, tuple(loaded), image))
+    baseline = outcomes[0]
+    for label, loaded, image in outcomes[1:]:
+        assert loaded == baseline[1], f"{label}: loaded values diverged"
+        assert image == baseline[2], f"{label}: final memory diverged"

@@ -1,0 +1,134 @@
+"""Tests for the workload-harness building blocks."""
+
+import pytest
+
+from repro.isa.instructions import Compute, Load, Store
+from repro.isa.program import Program
+from repro.runtime.harness import (
+    COLD_CAP,
+    FlaggedExchange,
+    PrivateWork,
+    ScratchSpill,
+)
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+def drain(gen):
+    """Collect every op a guest fragment yields (loads receive 0)."""
+    ops = []
+    try:
+        op = gen.send(None)
+        while True:
+            ops.append(op)
+            op = gen.send(0)
+    except StopIteration:
+        pass
+    return ops
+
+
+# --------------------------------------------------------------- private work
+def test_level_zero_emits_nothing():
+    env = Env(SimConfig())
+    w = PrivateWork(env, 0, 0)
+    assert drain(w.emit()) == []
+
+
+def test_level_scaling():
+    env = Env(SimConfig())
+    w1 = PrivateWork(env, 0, 1, name="w1")
+    w3 = PrivateWork(env, 1, 3, name="w3")
+    ops1 = drain(w1.emit())
+    ops3 = drain(w3.emit())
+    assert len(ops3) > len(ops1)
+    c1 = sum(op.cycles for op in ops1 if isinstance(op, Compute))
+    c3 = sum(op.cycles for op in ops3 if isinstance(op, Compute))
+    assert c3 == 3 * c1
+
+
+def test_cold_rate_zero_at_level_one():
+    env = Env(SimConfig())
+    w = PrivateWork(env, 0, 1)
+    assert w.cold_rate == 0.0
+
+
+def test_cold_rate_saturates():
+    env = Env(SimConfig())
+    w = PrivateWork(env, 0, 12)
+    assert w.cold_rate == float(COLD_CAP)
+
+
+def test_cold_accesses_stream_distinct_lines():
+    env = Env(SimConfig())
+    w = PrivateWork(env, 0, 3)  # rate 2.0 at level 3
+    stores = []
+    for i in range(4):
+        stores += [
+            op.addr
+            for op in drain(w.emit(i))
+            if isinstance(op, Store) and w.cold.base <= op.addr < w.cold.base + len(w.cold)
+        ]
+    assert len(set(stores)) == len(stores)
+
+
+def test_hot_set_is_warmed_into_l2():
+    env = Env(SimConfig())
+    w = PrivateWork(env, 0, 1)
+    sim = env.simulator(Program([lambda tid: iter(())]))
+    assert sim.hierarchy.resident_in_l2(w.hot.addr_of(0))
+
+
+def test_invalid_level():
+    env = Env(SimConfig())
+    with pytest.raises(ValueError):
+        PrivateWork(env, 0, -1)
+
+
+# -------------------------------------------------------------- scratch spill
+def test_spill_cold_every_k():
+    env = Env(SimConfig())
+    s = ScratchSpill(env, 0, "t", cold_every=3)
+    addrs = [s.store(1).addr for _ in range(6)]
+    cold = [a for a in addrs if a >= s.cold.base]
+    assert len(cold) == 2  # every 3rd of 6
+
+
+def test_spill_cold_every_one():
+    env = Env(SimConfig())
+    s = ScratchSpill(env, 0, "t1", cold_every=1)
+    addrs = [s.store(1).addr for _ in range(4)]
+    assert all(a >= s.cold.base for a in addrs)
+    assert len(set(addrs)) == 4  # streaming, no reuse
+
+
+def test_spill_invalid():
+    env = Env(SimConfig())
+    with pytest.raises(ValueError):
+        ScratchSpill(env, 0, "t2", cold_every=0)
+
+
+# ----------------------------------------------------------- flagged exchange
+def test_exchange_rate_limited():
+    env = Env(SimConfig())
+    region = FlaggedExchange.make_region(env, "x", 2, words_per_thread=64)
+    ex = FlaggedExchange(env, 0, 2, region, every=2)
+    ops0 = drain(ex.emit(1))
+    ops1 = drain(ex.emit(1))
+    assert ops0 == []           # skipped
+    assert len(ops1) == 2       # store + load
+
+
+def test_exchange_ops_are_flagged_and_cross_thread():
+    env = Env(SimConfig())
+    region = FlaggedExchange.make_region(env, "y", 2, words_per_thread=64)
+    ex = FlaggedExchange(env, 0, 2, region, every=1)
+    store, load = drain(ex.emit(5))
+    assert isinstance(store, Store) and store.flagged
+    assert isinstance(load, Load) and load.flagged
+    assert store.addr != load.addr  # own slot vs peer slot
+
+
+def test_exchange_region_is_flagged():
+    env = Env(SimConfig())
+    region = FlaggedExchange.make_region(env, "z", 4)
+    assert region.flagged

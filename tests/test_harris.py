@@ -1,0 +1,119 @@
+"""Harris lock-free set functional tests."""
+
+import pytest
+
+from repro.algorithms.harris_set import HarrisSet
+from repro.algorithms.workloads import build_harris_workload
+from repro.isa.program import Program
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+def run_single(body_fn, pool=64):
+    env = Env(SimConfig(n_cores=1))
+    s = HarrisSet(env, pool_size=pool)
+    out = []
+
+    def body(tid):
+        yield from body_fn(s, out)
+
+    env.run(Program([body]))
+    return s, out
+
+
+def test_insert_and_contains():
+    def body(s, out):
+        out.append((yield from s.insert(5)))
+        out.append((yield from s.contains(5)))
+        out.append((yield from s.contains(6)))
+
+    s, out = run_single(body)
+    assert out == [True, True, False]
+    assert s.keys_host() == [5]
+
+
+def test_duplicate_insert_rejected():
+    def body(s, out):
+        out.append((yield from s.insert(5)))
+        out.append((yield from s.insert(5)))
+
+    s, out = run_single(body)
+    assert out == [True, False]
+    assert s.keys_host() == [5]
+
+
+def test_sorted_order_maintained():
+    def body(s, out):
+        for k in (9, 3, 7, 1):
+            yield from s.insert(k)
+
+    s, _ = run_single(body)
+    assert s.keys_host() == [1, 3, 7, 9]
+
+
+def test_delete():
+    def body(s, out):
+        for k in (1, 2, 3):
+            yield from s.insert(k)
+        out.append((yield from s.delete(2)))
+        out.append((yield from s.delete(2)))
+        out.append((yield from s.contains(2)))
+
+    s, out = run_single(body)
+    assert out == [True, False, False]
+    assert s.keys_host() == [1, 3]
+
+
+def test_delete_absent_key():
+    def body(s, out):
+        out.append((yield from s.delete(42)))
+
+    _, out = run_single(body)
+    assert out == [False]
+
+
+def test_reinsert_after_delete():
+    def body(s, out):
+        yield from s.insert(5)
+        yield from s.delete(5)
+        out.append((yield from s.insert(5)))
+        out.append((yield from s.contains(5)))
+
+    s, out = run_single(body)
+    assert out == [True, True]
+    assert s.keys_host() == [5]
+
+
+def test_concurrent_inserts_distinct_keys():
+    env = Env(SimConfig(n_cores=4))
+    s = HarrisSet(env, pool_size=128)
+
+    def worker(tid):
+        for i in range(6):
+            yield from s.insert(tid * 10 + i)
+
+    env.run(Program([worker] * 4), max_cycles=2_000_000)
+    expected = sorted(t * 10 + i for t in range(4) for i in range(6))
+    assert s.keys_host() == expected
+
+
+def test_concurrent_same_key_single_winner():
+    env = Env(SimConfig(n_cores=4))
+    s = HarrisSet(env, pool_size=64)
+    wins = []
+
+    def worker(tid):
+        ok = yield from s.insert(7)
+        if ok:
+            wins.append(tid)
+
+    env.run(Program([worker] * 4), max_cycles=2_000_000)
+    assert len(wins) == 1
+    assert s.keys_host() == [7]
+
+
+def test_workload_harness_invariants():
+    env = Env(SimConfig())
+    handle = build_harris_workload(env, iterations=10, workload_level=1)
+    env.run(handle.program)
+    handle.check()

@@ -1,0 +1,81 @@
+"""Property-based tests on the memory hierarchy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.config import SimConfig
+from repro.sim.stats import CoreStats
+
+
+def tiny_hier():
+    cfg = SimConfig(n_cores=2, l1_kb=1, l1_assoc=2, l2_kb=4, l2_assoc=2)
+    return MemoryHierarchy(cfg), cfg
+
+
+ACCESS = st.tuples(
+    st.integers(0, 1),                 # core
+    st.integers(0, 127),               # line index -> addr
+    st.booleans(),                     # is_write
+)
+
+
+@settings(max_examples=50)
+@given(ops=st.lists(ACCESS, min_size=1, max_size=120))
+def test_l2_inclusive_of_l1s(ops):
+    hier, cfg = tiny_hier()
+    stats = CoreStats()
+    wpl = cfg.words_per_line
+    for core, line, is_write in ops:
+        hier.access(core, line * wpl, is_write, stats)
+        # inclusivity: every line resident in any L1 is resident in L2
+        for c, l1 in enumerate(hier.l1):
+            for resident in l1.resident_lines():
+                assert hier.l2.contains(resident), (
+                    f"line {resident} in L1.{c} but not in L2"
+                )
+
+
+@settings(max_examples=50)
+@given(ops=st.lists(ACCESS, min_size=1, max_size=100))
+def test_latency_is_always_a_known_value(ops):
+    hier, cfg = tiny_hier()
+    stats = CoreStats()
+    wpl = cfg.words_per_line
+    legal = {
+        cfg.l1_latency,
+        cfg.l2_latency,
+        cfg.mem_latency,
+        cfg.l2_latency + cfg.cache_to_cache_latency,
+    }
+    for core, line, is_write in ops:
+        lat = hier.access(core, line * wpl, is_write, stats)
+        assert lat in legal, lat
+
+
+@settings(max_examples=50)
+@given(ops=st.lists(ACCESS, min_size=1, max_size=100))
+def test_dirty_owner_is_always_an_exclusive_sharer(ops):
+    hier, cfg = tiny_hier()
+    stats = CoreStats()
+    wpl = cfg.words_per_line
+    seen_lines = set()
+    for core, line, is_write in ops:
+        hier.access(core, line * wpl, is_write, stats)
+        seen_lines.add(line)
+        for l in seen_lines:
+            owner = hier.directory.dirty_owner(l)
+            if owner is not None:
+                assert hier.directory.sharers(l) == {owner}
+
+
+@settings(max_examples=40)
+@given(ops=st.lists(ACCESS, min_size=1, max_size=80))
+def test_repeat_access_is_l1_hit(ops):
+    """Immediately re-reading the same word always hits the L1."""
+    hier, cfg = tiny_hier()
+    stats = CoreStats()
+    wpl = cfg.words_per_line
+    for core, line, is_write in ops:
+        hier.access(core, line * wpl, is_write, stats)
+        assert hier.access(core, line * wpl, False, stats) == cfg.l1_latency

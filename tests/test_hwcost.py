@@ -1,0 +1,43 @@
+"""Hardware cost model tests (Section VI-E)."""
+
+from repro.core.hwcost import HardwareCost, estimate_cost
+from repro.sim.config import SimConfig
+
+
+def test_paper_claim_under_80_bytes():
+    """128-entry ROB + 8-entry SB + 4 FSB bits -> < 80 bytes per core."""
+    cost = estimate_cost(SimConfig())
+    assert cost.total_bytes < 80
+
+
+def test_fsb_bits_dominate():
+    cost = estimate_cost(SimConfig())
+    assert cost.fsb_rob_bits == 128 * 4
+    assert cost.fsb_sb_bits == 8 * 4
+    assert cost.fsb_rob_bits > cost.mapping_table_bits
+
+
+def test_cost_scales_with_rob():
+    small = estimate_cost(SimConfig(rob_size=64))
+    big = estimate_cost(SimConfig(rob_size=256))
+    assert big.total_bits - small.total_bits == (256 - 64) * 4
+
+
+def test_cost_scales_with_fsb_entries():
+    two = estimate_cost(SimConfig(fsb_entries=2))
+    eight = estimate_cost(SimConfig(fsb_entries=8))
+    assert eight.total_bits > two.total_bits
+
+
+def test_breakdown_sums():
+    cost = estimate_cost(SimConfig())
+    parts = (
+        cost.fsb_rob_bits
+        + cost.fsb_sb_bits
+        + cost.mapping_table_bits
+        + cost.fss_bits
+        + cost.shadow_fss_bits
+        + cost.overflow_counter_bits
+    )
+    assert parts == cost.total_bits
+    assert cost.total_bytes == cost.total_bits / 8

@@ -1,0 +1,97 @@
+"""Litmus tests: the memory model exhibits and forbids the right outcomes."""
+
+import pytest
+
+from repro.isa.instructions import FenceKind
+from repro.litmus.tests import (
+    coherence_rr,
+    explore,
+    iriw,
+    load_buffering,
+    message_passing,
+    store_buffering,
+)
+from repro.sim.config import MemoryModel
+
+FAST = [0, 1, 5, 40, 150, 320]
+
+
+def test_sb_relaxed_outcome_observable_under_rmo():
+    res = explore(store_buffering(fenced=False), "SB", MemoryModel.RMO, FAST)
+    assert res.observed((0, 0)), sorted(res.outcomes)
+
+
+def test_sb_relaxed_outcome_observable_under_tso():
+    res = explore(store_buffering(fenced=False), "SB", MemoryModel.TSO, FAST)
+    assert res.observed((0, 0))
+
+
+def test_sb_forbidden_under_sc():
+    res = explore(store_buffering(fenced=False), "SB", MemoryModel.SC, FAST)
+    assert not res.observed((0, 0)), sorted(res.outcomes)
+
+
+def test_sb_forbidden_with_global_fence():
+    res = explore(store_buffering(fenced=True), "SB", MemoryModel.RMO, FAST)
+    assert not res.observed((0, 0))
+
+
+def test_sb_forbidden_with_set_scope_fence():
+    """The scoped fence suffices: both racing variables are in its set."""
+    res = explore(
+        store_buffering(fenced=True, fence_kind=FenceKind.SET),
+        "SB",
+        MemoryModel.RMO,
+        FAST,
+    )
+    assert not res.observed((0, 0))
+
+
+def test_mp_reordering_observable_under_rmo():
+    res = explore(message_passing(fenced=False), "MP", MemoryModel.RMO, FAST)
+    assert res.observed((1, 0)), sorted(res.outcomes)
+
+
+def test_mp_forbidden_under_tso():
+    """TSO drains the store buffer in order: no store-store reordering."""
+    res = explore(message_passing(fenced=False), "MP", MemoryModel.TSO, FAST)
+    assert not res.observed((1, 0))
+
+
+def test_mp_forbidden_with_storestore_fence():
+    res = explore(message_passing(fenced=True), "MP", MemoryModel.RMO, FAST)
+    assert not res.observed((1, 0))
+
+
+def test_mp_forbidden_with_set_scope_fence():
+    res = explore(
+        message_passing(fenced=True, fence_kind=FenceKind.SET),
+        "MP",
+        MemoryModel.RMO,
+        FAST,
+    )
+    assert not res.observed((1, 0))
+
+
+def test_mp_eventually_delivers():
+    res = explore(message_passing(fenced=True), "MP", MemoryModel.RMO, FAST)
+    assert res.observed((1, 42))
+
+
+def test_lb_outcome_never_observed():
+    """Documented deviation: loads bind in program order, so the LB
+    relaxed outcome cannot occur even under RMO."""
+    res = explore(load_buffering(), "LB", MemoryModel.RMO, FAST)
+    assert not res.observed((1, 1))
+
+
+def test_corr_same_location_coherence():
+    res = explore(coherence_rr(), "CoRR", MemoryModel.RMO, FAST)
+    assert (1, 0) not in res.outcomes  # never new-then-old
+
+
+def test_iriw_readers_agree():
+    """Multi-copy atomicity by construction: the forbidden IRIW outcome
+    (readers disagreeing about the store order) never shows up."""
+    res = explore(iriw(), "IRIW", MemoryModel.RMO, [0, 3, 11, 150])
+    assert (1, 0, 1, 0) not in res.outcomes

@@ -1,0 +1,29 @@
+"""The litmus corpus: every entry's expectation holds under RMO."""
+
+import pytest
+
+from repro.litmus.corpus import CORPUS, run_corpus
+from repro.litmus.dsl import parse_litmus, run_litmus
+from repro.sim.config import MemoryModel
+
+FAST = [0, 1, 40, 150, 320]
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+def test_corpus_expectation_under_rmo(entry):
+    run = run_litmus(parse_litmus(entry.source), MemoryModel.RMO, FAST)
+    assert run.condition_observed == entry.observable_rmo, (
+        f"{entry.name}: expected observable={entry.observable_rmo}, "
+        f"outcomes {sorted(run.outcomes, key=str)}"
+    )
+
+
+def test_every_relaxation_vanishes_under_sc():
+    runs = run_corpus(MemoryModel.SC, FAST)
+    for entry in CORPUS:
+        assert not runs[entry.name].condition_observed, entry.name
+
+
+def test_run_corpus_covers_everything():
+    runs = run_corpus(offsets=[0, 150])
+    assert set(runs) == {e.name for e in CORPUS}

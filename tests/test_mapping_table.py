@@ -1,0 +1,77 @@
+"""Unit tests for the cid -> FSB-entry mapping table."""
+
+import pytest
+
+from repro.core.mapping_table import MappingOverflow, MappingTable
+
+
+def test_allocates_distinct_entries():
+    mt = MappingTable(capacity=4, n_fsb_class_entries=3)
+    e1 = mt.lookup_or_allocate(10)
+    e2 = mt.lookup_or_allocate(20)
+    e3 = mt.lookup_or_allocate(30)
+    assert len({e1, e2, e3}) == 3
+
+
+def test_lookup_is_stable():
+    mt = MappingTable(capacity=4, n_fsb_class_entries=3)
+    e = mt.lookup_or_allocate(10)
+    assert mt.lookup_or_allocate(10) == e
+    assert mt.lookup(10) == e
+    assert mt.lookup(99) is None
+
+
+def test_fsb_exhaustion_falls_back_to_shared_entry():
+    """Paper: 'we simply choose one specific FSB entry' when out of entries."""
+    mt = MappingTable(capacity=8, n_fsb_class_entries=2)
+    e1 = mt.lookup_or_allocate(1)
+    e2 = mt.lookup_or_allocate(2)
+    e3 = mt.lookup_or_allocate(3)  # no free FSB entry left
+    e4 = mt.lookup_or_allocate(4)
+    assert {e1, e2} == {0, 1}
+    assert e3 == mt.shared_entry
+    assert e4 == mt.shared_entry
+
+
+def test_table_capacity_overflow_raises():
+    mt = MappingTable(capacity=2, n_fsb_class_entries=3)
+    mt.lookup_or_allocate(1)
+    mt.lookup_or_allocate(2)
+    with pytest.raises(MappingOverflow):
+        mt.lookup_or_allocate(3)
+    # existing mappings still resolve
+    assert mt.lookup(1) is not None
+
+
+def test_release_invalidates_all_cids_of_entry():
+    mt = MappingTable(capacity=8, n_fsb_class_entries=1)
+    mt.lookup_or_allocate(1)
+    mt.lookup_or_allocate(2)  # shares entry 0 (only one class entry)
+    assert mt.entry_in_use(0)
+    mt.release_entry(0)
+    assert not mt.entry_in_use(0)
+    assert mt.lookup(1) is None
+    assert mt.lookup(2) is None
+    # entry is reusable afterwards
+    assert mt.lookup_or_allocate(3) == 0
+
+
+def test_release_unused_entry_is_noop():
+    mt = MappingTable(capacity=4, n_fsb_class_entries=2)
+    mt.release_entry(1)
+    assert mt.size == 0
+
+
+def test_size_and_mappings_snapshot():
+    mt = MappingTable(capacity=4, n_fsb_class_entries=3)
+    mt.lookup_or_allocate(5)
+    snap = mt.mappings()
+    assert snap == {5: snap[5]}
+    assert mt.size == 1
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MappingTable(0, 2)
+    with pytest.raises(ValueError):
+        MappingTable(2, 0)

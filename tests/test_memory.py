@@ -1,0 +1,105 @@
+"""Unit tests for the functional shared memory (relaxed visibility)."""
+
+import pytest
+
+from repro.mem.memory import SharedMemory
+
+
+@pytest.fixture
+def mem() -> SharedMemory:
+    return SharedMemory(1024, n_cores=2)
+
+
+def test_initial_zero(mem):
+    assert mem.read(0, 5) == 0
+    assert mem.read_global(5) == 0
+
+
+def test_buffered_store_invisible_to_others(mem):
+    mem.buffer_store(0, 10, 42)
+    assert mem.read(0, 10) == 42     # own forwarding
+    assert mem.read(1, 10) == 0      # peer sees old value
+    assert mem.read_global(10) == 0
+
+
+def test_drain_publishes(mem):
+    mem.buffer_store(0, 10, 42)
+    assert mem.drain_store(0, 10) == 42
+    assert mem.read(1, 10) == 42
+    assert mem.read_global(10) == 42
+
+
+def test_forwarding_returns_youngest(mem):
+    mem.buffer_store(0, 10, 1)
+    mem.buffer_store(0, 10, 2)
+    assert mem.read(0, 10) == 2
+
+
+def test_same_address_drains_fifo(mem):
+    mem.buffer_store(0, 10, 1)
+    mem.buffer_store(0, 10, 2)
+    assert mem.drain_store(0, 10) == 1
+    assert mem.read_global(10) == 1
+    assert mem.read(0, 10) == 2  # still forwarding the younger one
+    assert mem.drain_store(0, 10) == 2
+    assert mem.read_global(10) == 2
+
+
+def test_drain_without_pending_raises(mem):
+    with pytest.raises(RuntimeError):
+        mem.drain_store(0, 10)
+
+
+def test_has_pending_and_count(mem):
+    assert not mem.has_pending(0, 10)
+    mem.buffer_store(0, 10, 1)
+    mem.buffer_store(0, 11, 2)
+    assert mem.has_pending(0, 10)
+    assert not mem.has_pending(1, 10)
+    assert mem.pending_count(0) == 2
+    mem.drain_store(0, 10)
+    assert mem.pending_count(0) == 1
+
+
+def test_cas_success_and_failure(mem):
+    mem.write_global(10, 5)
+    assert mem.cas(0, 10, 5, 6)
+    assert mem.read_global(10) == 6
+    assert not mem.cas(1, 10, 5, 7)
+    assert mem.read_global(10) == 6
+
+
+def test_cas_force_drains_own_pending(mem):
+    mem.buffer_store(0, 10, 3)
+    assert mem.cas(0, 10, 3, 4)
+    assert mem.read_global(10) == 4
+    assert not mem.has_pending(0, 10)
+
+
+def test_cas_does_not_see_peer_buffer(mem):
+    mem.buffer_store(1, 10, 9)
+    assert mem.cas(0, 10, 0, 1)  # peer's store unpublished
+    assert mem.read_global(10) == 1
+    # the peer's store drains afterwards (coherence order = drain order)
+    mem.drain_store(1, 10)
+    assert mem.read_global(10) == 9
+
+
+def test_store_store_reordering_observable(mem):
+    """Out-of-order drains make PSO/RMO behaviour architectural."""
+    mem.buffer_store(0, 10, 1)   # data
+    mem.buffer_store(0, 11, 1)   # flag
+    mem.drain_store(0, 11)       # flag drains first (no fence)
+    assert mem.read(1, 11) == 1
+    assert mem.read(1, 10) == 0  # peer sees flag without data
+
+
+def test_snapshot_is_copy(mem):
+    snap = mem.snapshot()
+    mem.write_global(0, 99)
+    assert snap[0] == 0
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        SharedMemory(0, 1)

@@ -1,0 +1,101 @@
+"""Michael-Scott queue functional tests."""
+
+import pytest
+
+from repro.algorithms.ms_queue import EMPTY, MichaelScottQueue
+from repro.algorithms.workloads import build_msn_workload
+from repro.isa.program import Program
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+def test_fifo_single_thread():
+    env = Env(SimConfig(n_cores=1))
+    q = MichaelScottQueue(env, pool_size=32)
+    got = []
+
+    def body(tid):
+        for v in (10, 20, 30):
+            yield from q.enqueue(v)
+        for _ in range(4):
+            got.append((yield from q.dequeue()))
+
+    env.run(Program([body]))
+    assert got == [10, 20, 30, EMPTY]
+
+
+def test_dequeue_empty_queue():
+    env = Env(SimConfig(n_cores=1))
+    q = MichaelScottQueue(env, pool_size=8)
+    got = []
+
+    def body(tid):
+        got.append((yield from q.dequeue()))
+
+    env.run(Program([body]))
+    assert got == [EMPTY]
+
+
+def test_interleaved_producers_consumers():
+    env = Env(SimConfig(n_cores=4))
+    q = MichaelScottQueue(env, pool_size=128)
+    consumed = []
+
+    def producer(tid):
+        for i in range(10):
+            yield from q.enqueue(tid * 100 + i)
+
+    def consumer(tid):
+        empties = 0
+        while empties < 50:
+            v = yield from q.dequeue()
+            if v == EMPTY:
+                empties += 1
+            else:
+                empties = 0
+                consumed.append(v)
+
+    env.run(Program([producer, producer, consumer, consumer]), max_cycles=3_000_000)
+    remaining = q.drain_host()
+    produced = {t * 100 + i for t in (0, 1) for i in range(10)}
+    assert sorted(consumed + remaining) == sorted(produced)
+    assert len(set(consumed)) == len(consumed)  # no duplicates
+
+
+def test_per_producer_fifo():
+    """Values from one producer come out in their enqueue order."""
+    env = Env(SimConfig(n_cores=2))
+    q = MichaelScottQueue(env, pool_size=64)
+    consumed = []
+
+    def producer(tid):
+        for i in range(8):
+            yield from q.enqueue(i + 1)
+
+    def consumer(tid):
+        while len(consumed) < 8:
+            v = yield from q.dequeue()
+            if v != EMPTY:
+                consumed.append(v)
+
+    env.run(Program([producer, consumer]), max_cycles=1_000_000)
+    assert consumed == sorted(consumed)
+
+
+def test_pool_exhaustion_raises():
+    env = Env(SimConfig(n_cores=1))
+    q = MichaelScottQueue(env, pool_size=3)
+
+    def body(tid):
+        yield from q.enqueue(1)
+        yield from q.enqueue(2)  # pool: null + dummy + 1 -> exhausted
+
+    with pytest.raises(MemoryError):
+        env.run(Program([body]))
+
+
+def test_workload_harness_accounting():
+    env = Env(SimConfig())
+    handle = build_msn_workload(env, iterations=8, workload_level=1)
+    env.run(handle.program)
+    handle.check()

@@ -1,0 +1,58 @@
+"""MSHR (outstanding-miss limit) behaviour tests."""
+
+from repro.isa.instructions import Compute, Load
+from repro.isa.program import ops_program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_program
+
+
+def run_loads(n_loads, **cfg):
+    cfg.setdefault("n_cores", 1)
+    ops = [Load(4096 + i * 64) for i in range(n_loads)]
+    return run_program(ops_program([ops]), SimConfig(**cfg))
+
+
+def test_unlimited_misses_overlap_fully():
+    res = run_loads(16, mshrs=0)
+    # 16 independent cold misses pipelined: roughly one miss latency total
+    assert res.cycles < 400
+    assert res.stats.cores[0].mshr_stalls == 0
+
+
+def test_mshr_limit_serializes_miss_bursts():
+    free = run_loads(16, mshrs=0)
+    tight = run_loads(16, mshrs=2)
+    assert tight.cycles > free.cycles * 2
+    assert tight.stats.cores[0].mshr_stalls > 0
+
+
+def test_l1_hits_need_no_mshr():
+    # same line over and over: first access misses, the rest hit
+    ops = [Load(4096) for _ in range(12)]
+    res = run_program(ops_program([ops]), SimConfig(n_cores=1, mshrs=1))
+    assert res.stats.cores[0].mshr_stalls == 0
+    assert res.cycles < 400
+
+
+def test_forwarded_loads_need_no_mshr():
+    from repro.isa.instructions import Store
+
+    ops = [Store(4096, 1)] + [Load(4096) for _ in range(8)]
+    res = run_program(ops_program([ops]), SimConfig(n_cores=1, mshrs=1))
+    # every load forwards from the store buffer: no MSHR pressure
+    assert res.stats.cores[0].sb_forwards == 8
+
+
+def test_default_mshrs_do_not_change_calibrated_workloads():
+    """The default (16) is wide enough that the Figure-12 harness is
+    unaffected; this pins the calibration."""
+    from repro.algorithms.workloads import build_wsq_workload
+    from repro.runtime.lang import Env
+
+    cycles = {}
+    for mshrs in (0, 16):
+        env = Env(SimConfig(mshrs=mshrs))
+        handle = build_wsq_workload(env, iterations=10, workload_level=2)
+        cycles[mshrs] = env.run(handle.program).cycles
+        handle.check()
+    assert abs(cycles[0] - cycles[16]) / cycles[0] < 0.02

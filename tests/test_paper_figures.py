@@ -1,0 +1,190 @@
+"""Integration tests that re-enact the paper's worked examples.
+
+* Figure 6: nested class scopes -- the fence in class B orders only
+  B's accesses; the fence in class A orders A's *and* B's (B is
+  reached from inside A's method).
+* Figure 9: the FSB/mapping-table/FSS walkthrough for two nested
+  scopes, checked state by state on the scope tracker.
+* Figure 10: the timeline comparison -- the S-Fence issues as soon as
+  the in-scope store completes while the traditional fence drains the
+  whole store buffer.
+"""
+
+from repro.core.scope_tracker import ScopeTracker
+from repro.isa.instructions import (
+    Fence,
+    FenceKind,
+    FsEnd,
+    FsStart,
+    Load,
+    Store,
+    WAIT_BOTH,
+    WAIT_STORES,
+)
+from repro.isa.program import Program, ops_program
+from repro.runtime.lang import Env, ScopedStructure, scoped_method
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_program
+
+
+# ------------------------------------------------------------------- Figure 6
+class ClassB(ScopedStructure):
+    def __init__(self, env):
+        super().__init__(env, "B", FenceKind.CLASS)
+        self.n1 = self.svar("n1")
+        self.n2 = self.svar("n2")
+
+    @scoped_method
+    def funcB(self):
+        yield self.n1.store(2)       # line 15
+        yield self.fence(WAIT_BOTH)  # line 16
+        yield self.n2.store(3)       # line 17
+
+
+class ClassA(ScopedStructure):
+    def __init__(self, env):
+        super().__init__(env, "A", FenceKind.CLASS)
+        self.b = ClassB(env)
+        self.m1 = self.svar("m1")
+        self.m2 = self.svar("m2")
+
+    @scoped_method
+    def funcA1(self):
+        yield from self.b.funcB()    # line 5
+        yield self.fence(WAIT_BOTH)  # line 6
+        yield self.m1.store(10)      # line 7
+
+    @scoped_method
+    def funcA2(self):
+        yield self.m2.store(11)      # line 10
+
+
+def _trace_scope_waits(env, a):
+    """Replay funcA1's op stream against a bare tracker and record, at
+    each fence, which in-flight accesses the fence watches."""
+    tracker = ScopeTracker(env.config)
+    pending = []  # (name, mask)
+    waits_at_fence = []
+    gen = a.funcA1()
+    try:
+        op = gen.send(None)
+        while True:
+            if isinstance(op, FsStart):
+                tracker.fs_start(op.cid)
+            elif isinstance(op, FsEnd):
+                tracker.fs_end(op.cid)
+            elif isinstance(op, Store):
+                mask = tracker.dispatch_mem(is_load=False, flagged=op.flagged)
+                pending.append((op.name, mask))
+            elif isinstance(op, Fence):
+                entry = tracker.fss.top()
+                watched = [n for n, m in pending if m & (1 << entry)]
+                waits_at_fence.append(watched)
+            op = gen.send(None)
+    except StopIteration:
+        pass
+    return waits_at_fence
+
+
+def test_figure6_nested_scope_wait_sets():
+    env = Env(SimConfig(n_cores=1))
+    a = ClassA(env)
+    fence_b, fence_a = _trace_scope_waits(env, a)
+    # the fence at line 16 (inside B) orders only B's accesses so far
+    assert fence_b == ["B.opstat", "B.n1"] or fence_b == ["B.n1"]
+    # the fence at line 6 (inside A) orders the accesses to both A's
+    # and B's data (n1, n2 were made by b.funcB() called from funcA1)
+    assert "B.n1" in fence_a and "B.n2" in fence_a
+
+
+def test_figure6_runs_on_the_full_simulator():
+    env = Env(SimConfig(n_cores=1))
+    a = ClassA(env)
+
+    def body(tid):
+        yield from a.funcA1()
+        yield from a.funcA2()
+
+    res = env.run(Program([body]))
+    assert a.m1.peek() == 10 and a.m2.peek() == 11
+    assert a.b.n1.peek() == 2 and a.b.n2.peek() == 3
+    assert res.stats.fences == 2
+
+
+# ------------------------------------------------------------------- Figure 9
+def test_figure9_walkthrough():
+    """fs_start a; I0; I1; fs_start b; I2..I4; fs_end b; I5; I6;
+    fs_end a; I7 -- mapping/FSS states as in the paper's figure."""
+    t = ScopeTracker(SimConfig())
+    masks = {}
+
+    t.fs_start(0xA)
+    assert t.mapping.mappings() == {0xA: 0}
+    assert t.fss.items() == (0,)
+    masks["I0"] = t.dispatch_mem(is_load=False, flagged=False)
+    masks["I1"] = t.dispatch_mem(is_load=True, flagged=False)
+    assert masks["I0"] == masks["I1"] == 0b0001
+
+    t.fs_start(0xB)
+    assert t.mapping.mappings() == {0xA: 0, 0xB: 1}
+    assert t.fss.items() == (0, 1)
+    for i in ("I2", "I3", "I4"):
+        masks[i] = t.dispatch_mem(is_load=False, flagged=False)
+        # inner-scope ops flag the inner AND the outer entry
+        assert masks[i] == 0b0011
+
+    t.fs_end(0xB)
+    assert t.fss.items() == (0,)
+    # "the mapping table remains the same": ops of scope b are in flight
+    assert t.mapping.mappings() == {0xA: 0, 0xB: 1}
+    masks["I5"] = t.dispatch_mem(is_load=True, flagged=False)
+    masks["I6"] = t.dispatch_mem(is_load=False, flagged=False)
+    assert masks["I5"] == masks["I6"] == 0b0001
+
+    t.fs_end(0xA)
+    assert t.fss.empty
+    masks["I7"] = t.dispatch_mem(is_load=True, flagged=False)
+    assert masks["I7"] == 0  # no scope active: nothing flagged
+
+    # completing scope b's ops recycles entry 1 and drops its mapping
+    for i in ("I2", "I3", "I4"):
+        t.complete_mem(masks[i], is_load=False)
+    assert t.mapping.lookup(0xB) is None
+    # scope a still has in-flight ops, so its mapping survives
+    assert t.mapping.lookup(0xA) == 0
+
+
+# ------------------------------------------------------------------ Figure 10
+def test_figure10_timeline():
+    """St A (out-of-scope miss), St X (in-scope), FENCE, Ld Y, St B:
+    the scoped fence issues once St X completes; the traditional fence
+    waits for the store buffer to drain St A."""
+    def stream(kind):
+        return [
+            Store(4096, 1, name="St A"),      # cache miss, out of scope
+            FsStart(1),
+            Store(64, 2, name="St X"),        # in scope
+            Fence(kind, WAIT_STORES),
+            Load(128, name="Ld Y"),
+            Store(65, 3, name="St B"),
+            FsEnd(1),
+        ]
+
+    def run(kind, warm):
+        cfg = SimConfig(n_cores=1)
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(cfg, ops_program([stream(kind)]))
+        if warm:
+            # St X's and Ld Y's lines are cache-resident (the paper's
+            # premise: the in-scope data is hot)
+            sim.hierarchy.warm(0, 64, 128, into_l1=True)
+        return sim.run()
+
+    trad = run(FenceKind.GLOBAL, warm=True)
+    scoped = run(FenceKind.CLASS, warm=True)
+    assert scoped.stats.cores[0].fence_stall_cycles < trad.stats.cores[0].fence_stall_cycles
+    assert scoped.stats.cores[0].sfence_early_issues == 1
+    # both leave identical memory state: scoping changes no semantics
+    assert trad.memory.read_global(4096) == scoped.memory.read_global(4096) == 1
+    assert trad.memory.read_global(64) == 2 and trad.memory.read_global(65) == 3

@@ -1,0 +1,170 @@
+"""Tests for the runtime 'language/compiler' layer."""
+
+import pytest
+
+from repro.isa.instructions import Cas, FenceKind, Load, Store, WAIT_STORES
+from repro.isa.program import Program
+from repro.runtime.address_space import AddressSpace
+from repro.runtime.lang import Env, ScopedStructure, cid_of, scoped_method
+from repro.sim.config import SimConfig
+
+
+# ------------------------------------------------------------- address space
+def test_alloc_disjoint_and_line_aligned():
+    space = AddressSpace(4096, 8)
+    a = space.alloc("a", 3)
+    b = space.alloc("b", 5)
+    assert a % 8 == 0 and b % 8 == 0
+    assert b >= a + 3
+    assert space.owner_of(a) == "a"
+    assert space.owner_of(b + 4) == "b"
+
+
+def test_alloc_duplicate_name_rejected():
+    space = AddressSpace(4096, 8)
+    space.alloc("a", 1)
+    with pytest.raises(ValueError):
+        space.alloc("a", 1)
+
+
+def test_alloc_exhaustion():
+    space = AddressSpace(64, 8)
+    with pytest.raises(MemoryError):
+        space.alloc("big", 100)
+
+
+def test_address_zero_reserved():
+    space = AddressSpace(4096, 8)
+    assert space.alloc("first", 1) != 0
+
+
+# --------------------------------------------------------------------- env
+def test_var_ops_and_host_access():
+    env = Env(SimConfig(n_cores=1))
+    v = env.var("x", init=9)
+    assert v.peek() == 9
+    op = v.load()
+    assert isinstance(op, Load) and op.addr == v.addr
+    st = v.store(3)
+    assert isinstance(st, Store) and st.value == 3
+    c = v.cas(9, 10)
+    assert isinstance(c, Cas) and c.expected == 9
+
+
+def test_flagged_var_builds_flagged_ops():
+    env = Env(SimConfig(n_cores=1))
+    v = env.var("x", flagged=True)
+    assert v.load().flagged and v.store(1).flagged and v.cas(0, 1).flagged
+
+
+def test_array_bounds_checked():
+    env = Env(SimConfig(n_cores=1))
+    arr = env.array("a", 4)
+    with pytest.raises(IndexError):
+        arr.load(4)
+    with pytest.raises(IndexError):
+        arr.store(-1, 0)
+
+
+def test_strided_array_layout():
+    env = Env(SimConfig(n_cores=1))
+    wpl = env.config.words_per_line
+    arr = env.line_array("a", 4)
+    assert arr.addr_of(1) - arr.addr_of(0) == wpl
+    arr.poke(2, 5)
+    assert arr.peek(2) == 5
+    assert env.memory.read_global(arr.addr_of(2)) == 5
+
+
+def test_private_array_distinct_per_thread():
+    env = Env(SimConfig(n_cores=2))
+    a0 = env.private_array("p", 0, 16)
+    a1 = env.private_array("p", 1, 16)
+    assert a0.base != a1.base
+
+
+# ------------------------------------------------------------- scoped classes
+class Thing(ScopedStructure):
+    def __init__(self, env, scope=FenceKind.CLASS):
+        super().__init__(env, "thing", scope)
+        self.a = self.svar("a")
+
+    @scoped_method
+    def poke_it(self, value):
+        yield self.a.store(value)
+        yield self.fence(WAIT_STORES)
+        return value * 2
+
+
+def test_cid_is_stable_per_class():
+    assert cid_of(Thing) == cid_of(Thing)
+    class Other(ScopedStructure):
+        pass
+    assert cid_of(Other) != cid_of(Thing)
+
+
+def test_scoped_method_wraps_with_fs_ops():
+    env = Env(SimConfig(n_cores=1))
+    thing = Thing(env)
+    ops = list(thing.poke_it(3))
+    from repro.isa.instructions import FsEnd, FsStart
+
+    assert isinstance(ops[0], FsStart) and ops[0].cid == thing.cid
+    assert isinstance(ops[-1], FsEnd) and ops[-1].cid == thing.cid
+
+
+def test_scoped_method_emits_fs_end_on_early_return():
+    class Early(ScopedStructure):
+        @scoped_method
+        def maybe(self, flag):
+            if flag:
+                return 1
+            yield self.fence()
+            return 2
+
+    env = Env(SimConfig(n_cores=1))
+    e = Early(env, "early")
+    ops = list(e.maybe(True))
+    from repro.isa.instructions import FsEnd, FsStart
+
+    assert isinstance(ops[0], FsStart)
+    assert isinstance(ops[-1], FsEnd)
+
+
+def test_scoped_method_return_value_via_yield_from():
+    env = Env(SimConfig(n_cores=1))
+    thing = Thing(env)
+
+    got = {}
+
+    def body(tid):
+        got["rv"] = yield from thing.poke_it(21)
+
+    env.run(Program([body]))
+    assert got["rv"] == 42
+    assert thing.a.peek() == 21
+
+
+def test_structure_scope_controls_fence_kind_and_flags():
+    env = Env(SimConfig(n_cores=1))
+    c = Thing(env, scope=FenceKind.CLASS)
+    assert c.fence().kind is FenceKind.CLASS
+    assert not c.a.flagged
+
+    class SetThing(Thing):
+        def __init__(self, env):
+            ScopedStructure.__init__(self, env, "setthing", FenceKind.SET)
+            self.a = self.svar("a")
+
+    s = SetThing(env)
+    assert s.fence().kind is FenceKind.SET
+    assert s.a.flagged
+
+
+def test_warm_requests_applied_at_simulator_build():
+    env = Env(SimConfig(n_cores=1))
+    arr = env.line_array("warmme", 8)
+    env.request_warm(arr, 0)
+    sim = env.simulator(Program([lambda tid: iter(())]))
+    assert sim.hierarchy.resident_in_l2(arr.addr_of(0))
+    assert sim.hierarchy.resident_in_l2(arr.addr_of(7))

@@ -1,0 +1,299 @@
+"""Unit tests for the per-core S-Fence controller (ScopeTracker)."""
+
+import pytest
+
+from repro.core.scope_tracker import ScopeTracker
+from repro.isa.instructions import FenceKind, WAIT_BOTH, WAIT_LOADS, WAIT_STORES
+from repro.sim.config import SimConfig
+
+
+def make(**overrides) -> ScopeTracker:
+    return ScopeTracker(SimConfig(**overrides))
+
+
+def test_mem_op_outside_scope_gets_no_bits():
+    t = make()
+    assert t.dispatch_mem(is_load=True, flagged=False) == 0
+
+
+def test_mem_op_in_scope_sets_scope_bits():
+    t = make()
+    t.fs_start(7)
+    mask = t.dispatch_mem(is_load=False, flagged=False)
+    assert mask == t.fss.mask()
+    assert mask != 0
+
+
+def test_nested_scopes_flag_inner_and_outer():
+    """Inner-scope ops also flag all outer scopes (Section IV-A3)."""
+    t = make()
+    t.fs_start(1)
+    t.fs_start(2)
+    mask = t.dispatch_mem(is_load=True, flagged=False)
+    assert bin(mask).count("1") == 2
+
+
+def test_set_flag_adds_dedicated_entry():
+    t = make()
+    mask = t.dispatch_mem(is_load=True, flagged=True)
+    assert mask == 1 << t.fsb.set_entry
+
+
+def test_flagged_op_inside_class_scope_sets_both():
+    t = make()
+    t.fs_start(1)
+    mask = t.dispatch_mem(is_load=True, flagged=True)
+    assert mask & (1 << t.fsb.set_entry)
+    assert mask & t.fss.mask()
+
+
+def test_class_fence_waits_only_for_scope():
+    t = make()
+    # out-of-scope store
+    out_mask = t.dispatch_mem(is_load=False, flagged=False)
+    t.fs_start(1)
+    assert t.fence_ready(FenceKind.CLASS, WAIT_BOTH)  # nothing in scope yet
+    in_mask = t.dispatch_mem(is_load=False, flagged=False)
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+    assert not t.fence_ready(FenceKind.GLOBAL, WAIT_BOTH)
+    t.complete_mem(in_mask, is_load=False)
+    assert t.fence_ready(FenceKind.CLASS, WAIT_BOTH)   # scope clear
+    assert not t.fence_ready(FenceKind.GLOBAL, WAIT_BOTH)  # global still waits
+    t.complete_mem(out_mask, is_load=False)
+    assert t.fence_ready(FenceKind.GLOBAL, WAIT_BOTH)
+
+
+def test_set_fence_checks_only_set_entry():
+    t = make()
+    t.dispatch_mem(is_load=False, flagged=False)
+    assert t.fence_ready(FenceKind.SET, WAIT_BOTH)
+    m = t.dispatch_mem(is_load=False, flagged=True)
+    assert not t.fence_ready(FenceKind.SET, WAIT_BOTH)
+    t.complete_mem(m, is_load=False)
+    assert t.fence_ready(FenceKind.SET, WAIT_BOTH)
+
+
+def test_wait_mask_respected():
+    t = make()
+    t.fs_start(1)
+    m = t.dispatch_mem(is_load=True, flagged=False)
+    assert t.fence_ready(FenceKind.CLASS, WAIT_STORES)   # only a load pending
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_LOADS)
+    t.complete_mem(m, is_load=True)
+    assert t.fence_ready(FenceKind.CLASS, WAIT_LOADS)
+
+
+def test_scoped_fences_disabled_degrades_to_global():
+    t = make(scoped_fences=False)
+    t.fs_start(1)
+    t.dispatch_mem(is_load=False, flagged=False)  # mask is 0 when disabled
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+    assert not t.fence_ready(FenceKind.SET, WAIT_BOTH)
+
+
+def test_class_fence_outside_any_scope_is_global():
+    t = make()
+    t.dispatch_mem(is_load=False, flagged=False)
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+
+
+def test_fs_end_pops_and_recycles():
+    t = make()
+    t.fs_start(1)
+    m = t.dispatch_mem(is_load=True, flagged=False)
+    t.fs_end(1)
+    assert t.fss.empty
+    # mapping still alive: the op is in flight
+    assert t.mapping.lookup(1) is not None
+    t.complete_mem(m, is_load=True)
+    # all bits cleared and scope closed -> mapping invalidated
+    assert t.mapping.lookup(1) is None
+
+
+def test_mapping_survives_while_scope_on_stack():
+    t = make()
+    t.fs_start(1)
+    m = t.dispatch_mem(is_load=True, flagged=False)
+    t.complete_mem(m, is_load=True)
+    # scope still open: mapping must not be recycled
+    assert t.mapping.lookup(1) is not None
+    t.fs_end(1)
+    assert t.mapping.lookup(1) is None
+
+
+def test_unmatched_fs_end_is_noop():
+    t = make()
+    t.fs_end(99)
+    assert t.unmatched_fs_ends == 1
+    assert t.fss.empty
+
+
+# ------------------------------------------------------------------ overflow
+def test_fss_overflow_enters_counter_mode():
+    t = make(fss_entries=2, mapping_entries=8, fsb_entries=4)
+    t.fs_start(1)
+    t.fs_start(2)
+    t.fs_start(3)  # FSS full -> overflow counter
+    assert t.overflow_count == 1
+    # while in overflow, class fences degrade to global
+    out = t.dispatch_mem(is_load=False, flagged=False)
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+    t.complete_mem(out, is_load=False)
+    assert t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+    # fs_end unwinds the counter before touching the FSS
+    t.fs_end(3)
+    assert t.overflow_count == 0
+    assert len(t.fss) == 2
+
+
+def test_mapping_overflow_enters_counter_mode():
+    t = make(mapping_entries=1, fss_entries=8)
+    t.fs_start(1)
+    t.fs_start(2)  # table full -> counter mode
+    assert t.overflow_count == 1
+    t.fs_end(2)
+    t.fs_end(1)
+    assert t.overflow_count == 0
+    assert t.fss.empty
+
+
+def test_overflow_period_ops_stay_visible_to_later_fences():
+    """Regression for a soundness hole in a naive reading of the paper's
+    overflow scheme: an op dispatched while the overflow counter is
+    active must still be waited for by a class fence in a *later*
+    re-activation of its scope.  The tracker flags such ops with every
+    class entry (found by the Figure-5 lockstep property test)."""
+    t = make(mapping_entries=1)
+    t.fs_start(1)
+    blocker = t.dispatch_mem(is_load=False, flagged=False)
+    t.fs_end(1)
+    # cid 1 still owns the single mapping slot (its op is in flight),
+    # so entering cid 3 overflows into counter mode
+    t.fs_start(3)
+    assert t.overflow_count == 1
+    orphan = t.dispatch_mem(is_load=False, flagged=False)
+    t.fs_end(3)
+    assert t.overflow_count == 0
+    # cid 1's op completes; its mapping recycles; cid 3 can now map
+    t.complete_mem(blocker, is_load=False)
+    t.fs_start(3)
+    # the class fence in this re-activation must wait for the orphan op
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+    t.complete_mem(orphan, is_load=False)
+    assert t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+
+
+def test_deep_nesting_counter():
+    t = make(fss_entries=1)
+    for cid in range(5):
+        t.fs_start(cid)
+    assert t.overflow_count == 4
+    for _ in range(4):
+        t.fs_end(0)
+    assert t.overflow_count == 0
+    assert len(t.fss) == 1
+
+
+# --------------------------------------------------------------- speculation
+def test_shadow_tracks_nonspeculative_ops():
+    t = make()
+    t.fs_start(1)
+    assert t.shadow_fss.items() == t.fss.items()
+    t.fs_end(1)
+    assert t.shadow_fss.items() == t.fss.items() == ()
+
+
+def test_squash_restores_fss_from_shadow():
+    t = make()
+    t.fs_start(1)
+    t.begin_speculation()
+    # wrong-path scope ops: only FSS is updated
+    t.fs_end(1)
+    t.fs_start(2)
+    assert t.fss.items() != t.shadow_fss.items()
+    t.squash()
+    assert t.fss.items() == t.shadow_fss.items() == t.fss.items()
+    assert t.fss.items() == (t.mapping.lookup(1),)
+
+
+def test_confirm_applies_queued_ops_to_shadow():
+    t = make()
+    t.begin_speculation()
+    t.fs_start(1)
+    assert t.shadow_fss.empty
+    t.confirm_speculation()
+    assert t.shadow_fss.items() == t.fss.items()
+
+
+def test_nested_speculation_applies_in_order():
+    t = make()
+    t.begin_speculation()
+    t.fs_start(1)
+    t.begin_speculation()
+    t.fs_start(2)
+    t.confirm_speculation()  # oldest branch confirms
+    assert t.shadow_fss.items() == (t.mapping.lookup(1),)
+    t.confirm_speculation()
+    assert t.shadow_fss.items() == t.fss.items()
+
+
+def test_confirm_without_begin_raises():
+    t = make()
+    with pytest.raises(RuntimeError):
+        t.confirm_speculation()
+
+
+def test_squash_restores_overflow_counter():
+    t = make(fss_entries=1)
+    t.fs_start(1)
+    t.begin_speculation()
+    t.fs_start(2)  # overflow on the wrong path
+    assert t.overflow_count == 1
+    t.squash()
+    assert t.overflow_count == 0
+
+
+def test_wrong_path_double_fs_end_recovers():
+    """The paper's motivating case: a wrong-path fs_end pops the FSS;
+    after the squash restores FSS', the correct-path fs_end matches."""
+    t = make()
+    t.fs_start(1)
+    t.begin_speculation()
+    t.fs_end(1)      # wrong path
+    t.squash()       # mispredict detected
+    assert len(t.fss) == 1
+    t.fs_end(1)      # refetched correct path
+    assert t.fss.empty
+
+
+# ----------------------------------------------------------- in-window helpers
+def test_resolve_fence_scope():
+    t = make()
+    assert t.resolve_fence_scope(FenceKind.GLOBAL) == t.GLOBAL_SCOPE
+    assert t.resolve_fence_scope(FenceKind.CLASS) == t.GLOBAL_SCOPE  # no scope open
+    assert t.resolve_fence_scope(FenceKind.SET) == t.fsb.set_entry
+    t.fs_start(1)
+    assert t.resolve_fence_scope(FenceKind.CLASS) == t.fss.top()
+
+
+def test_fence_ready_at_head_only_watches_sb():
+    t = make()
+    m = t.dispatch_mem(is_load=False, flagged=False)
+    # store still in the window, not in the SB: at-head check passes
+    assert t.fence_ready_at_head(t.GLOBAL_SCOPE, WAIT_BOTH)
+    t.store_retired(m)
+    assert not t.fence_ready_at_head(t.GLOBAL_SCOPE, WAIT_BOTH)
+    assert t.fence_ready_at_head(t.GLOBAL_SCOPE, WAIT_LOADS)
+    t.complete_mem(m, is_load=False, in_sb=True)
+    assert t.fence_ready_at_head(t.GLOBAL_SCOPE, WAIT_BOTH)
+
+
+def test_pending_for_scope_counts():
+    t = make()
+    t.fs_start(1)
+    t.dispatch_mem(is_load=True, flagged=False)
+    t.dispatch_mem(is_load=False, flagged=False)
+    e = t.fss.top()
+    assert t.pending_for_scope(e, WAIT_BOTH) == 2
+    assert t.pending_for_scope(e, WAIT_LOADS) == 1
+    assert t.pending_for_scope(t.GLOBAL_SCOPE, WAIT_STORES) == 1

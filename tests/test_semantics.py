@@ -1,0 +1,99 @@
+"""Tests for the executable Figure 5 semantics (AbstractScopeMachine)."""
+
+import pytest
+
+from repro.core.semantics import AbstractScopeMachine
+
+
+def test_scopeent_scopeex():
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    m.enter_method(2)
+    assert m.fseq == [1, 2]
+    m.exit_method(2)
+    assert m.fseq == [1]
+
+
+def test_exit_must_match_top():
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    with pytest.raises(ValueError):
+        m.exit_method(2)
+
+
+def test_memop_added_to_all_scopes_in_fseq():
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    m.enter_method(2)
+    op = m.mem_op()
+    assert op in m.pending_in(1)
+    assert op in m.pending_in(2)
+
+
+def test_memop_outside_scopes():
+    m = AbstractScopeMachine()
+    op = m.mem_op()
+    assert m.all_pending() == {op}
+    assert m.scope == {}
+
+
+def test_duplicate_cid_counts_once():
+    """[[s]] is the *set* of methods: recursive calls add the op once."""
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    m.enter_method(1)
+    op = m.mem_op()
+    assert m.pending_in(1) == {op}
+    m.complete(op)
+    assert m.pending_in(1) == set()
+
+
+def test_fence_rule():
+    m = AbstractScopeMachine()
+    outside = m.mem_op()
+    m.enter_method(1)
+    assert m.fence_ready()  # Scope(C(f)) empty
+    inside = m.mem_op()
+    assert not m.fence_ready()
+    assert m.fence_pending() == {inside}
+    m.complete(inside)
+    assert m.fence_ready()
+    # the outside op never mattered for the scoped fence
+    assert outside in m.all_pending()
+
+
+def test_fence_outside_method_waits_for_everything():
+    m = AbstractScopeMachine()
+    op = m.mem_op()
+    assert m.fence_pending() == {op}
+
+
+def test_completion_removes_from_every_scope():
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    m.enter_method(2)
+    op = m.mem_op()
+    m.exit_method(2)
+    m.complete(op)
+    assert m.pending_in(1) == set()
+    assert m.pending_in(2) == set()
+    assert m.all_pending() == set()
+
+
+def test_scope_survives_method_exit_until_completion():
+    """Ops stay in their scope after fs_end until the memory system
+    completes them -- the reason the hardware keeps mappings alive."""
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    op = m.mem_op()
+    m.exit_method(1)
+    assert m.pending_in(1) == {op}
+
+
+def test_depth_and_multiplicity():
+    m = AbstractScopeMachine()
+    m.enter_method(1)
+    m.mem_op()
+    m.mem_op()
+    assert m.depth() == 1
+    assert m.scope_multiplicity()[1] == 2

@@ -1,0 +1,108 @@
+"""Property test: the hardware tracker against the Figure 5 semantics.
+
+Random instruction streams drive the abstract machine (the paper's
+operational semantics) and the hardware :class:`ScopeTracker` in
+lockstep.  Soundness: whenever the hardware lets a class fence issue,
+the abstract semantics must agree it may complete (the hardware is
+allowed to be stricter -- FSB-entry sharing and overflow only ever add
+ordering).  With ample hardware resources the two are exactly
+equivalent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.scope_tracker import ScopeTracker
+from repro.core.semantics import AbstractScopeMachine
+from repro.isa.instructions import FenceKind, WAIT_BOTH
+from repro.sim.config import SimConfig
+
+CIDS = [1, 2, 3, 4, 5]
+
+
+class ScopeLockstep(RuleBasedStateMachine):
+    """Drives both machines; subclasses pick the hardware sizing."""
+
+    hw_config: SimConfig = SimConfig()
+    exact: bool = True
+
+    def __init__(self):
+        super().__init__()
+        self.hw = ScopeTracker(self.hw_config)
+        self.abs = AbstractScopeMachine()
+        self.open: list[int] = []           # cid stack
+        self.pending: list[tuple[int, int, bool]] = []  # (abs op id, mask, is_load)
+
+    @rule(cid=st.sampled_from(CIDS))
+    def enter(self, cid):
+        self.hw.fs_start(cid)
+        self.abs.enter_method(cid)
+        self.open.append(cid)
+
+    @precondition(lambda self: self.open)
+    @rule()
+    def exit(self):
+        cid = self.open.pop()
+        self.hw.fs_end(cid)
+        self.abs.exit_method(cid)
+
+    @rule(is_load=st.booleans())
+    def mem_op(self, is_load):
+        mask = self.hw.dispatch_mem(is_load=is_load, flagged=False)
+        op = self.abs.mem_op()
+        self.pending.append((op, mask, is_load))
+
+    @precondition(lambda self: self.pending)
+    @rule(data=st.data())
+    def complete(self, data):
+        idx = data.draw(st.integers(0, len(self.pending) - 1))
+        op, mask, is_load = self.pending.pop(idx)
+        self.hw.complete_mem(mask, is_load=is_load)
+        self.abs.complete(op)
+
+    @invariant()
+    def fence_soundness(self):
+        hw_ready = self.hw.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+        abs_ready = self.abs.fence_ready()
+        if hw_ready:
+            assert abs_ready, (
+                "hardware let a class fence issue while the abstract "
+                f"semantics still has pending ops: {self.abs.fence_pending()}"
+            )
+        if self.exact and abs_ready:
+            assert hw_ready, (
+                "with ample resources the hardware must match the "
+                "abstract semantics exactly"
+            )
+
+    @invariant()
+    def global_fence_matches_all_pending(self):
+        hw_ready = self.hw.fence_ready(FenceKind.GLOBAL, WAIT_BOTH)
+        assert hw_ready == (not self.abs.all_pending())
+
+
+class AmpleScopeLockstep(ScopeLockstep):
+    """Enough FSB/FSS/mapping capacity that no sharing ever happens."""
+
+    hw_config = SimConfig(
+        fsb_entries=len(CIDS) + 1, fss_entries=32, mapping_entries=len(CIDS)
+    )
+    exact = True
+
+
+class TinyScopeLockstep(ScopeLockstep):
+    """Tiny hardware: sharing/overflow kick in; only soundness holds."""
+
+    hw_config = SimConfig(fsb_entries=2, fss_entries=2, mapping_entries=1)
+    exact = False
+
+
+class TestAmpleResources(AmpleScopeLockstep.TestCase):
+    settings = settings(max_examples=50, stateful_step_count=40)
+
+
+class TestTinyResources(TinyScopeLockstep.TestCase):
+    settings = settings(max_examples=50, stateful_step_count=40)

@@ -1,0 +1,106 @@
+"""Multicore simulator loop tests: warping, determinism, diagnostics."""
+
+import pytest
+
+from repro.isa.instructions import Compute, Fence, FenceKind, Load, Store
+from repro.isa.program import Program, ops_program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import CycleLimitError, Simulator, run_program
+
+
+def test_more_threads_than_cores_rejected():
+    prog = ops_program([[], [], []])
+    with pytest.raises(ValueError):
+        Simulator(SimConfig(n_cores=2), prog)
+
+
+def test_idle_cores_allowed():
+    prog = ops_program([[Compute(5)]])
+    res = run_program(prog, SimConfig(n_cores=8))
+    assert res.cycles >= 5
+    assert res.stats.cores[1].instructions == 0
+
+
+def test_cycle_limit():
+    prog = ops_program([[Compute(10_000)]])
+    with pytest.raises(CycleLimitError):
+        run_program(prog, SimConfig(n_cores=1), max_cycles=100)
+
+
+def test_total_cycles_is_max_over_cores():
+    prog = ops_program([[Compute(50)], [Compute(500)]])
+    res = run_program(prog, SimConfig(n_cores=2))
+    assert res.stats.cores[1].cycles > res.stats.cores[0].cycles
+    assert res.cycles == res.stats.cores[1].cycles
+    assert res.cycles >= 500
+
+
+def test_determinism():
+    def make():
+        def t0(tid):
+            for i in range(10):
+                yield Store(100 + i, i)
+                v = yield Load(100 + i)
+                yield Compute(3)
+
+        def t1(tid):
+            for i in range(10):
+                v = yield Load(100 + i)
+                yield Store(200 + i, v)
+
+        return Program([t0, t1])
+
+    r1 = run_program(make(), SimConfig(n_cores=2))
+    r2 = run_program(make(), SimConfig(n_cores=2))
+    assert r1.cycles == r2.cycles
+    assert r1.stats.summary() == r2.stats.summary()
+
+
+def test_warp_preserves_fence_stall_accounting():
+    """A 300-cycle stall behind a traditional fence must be charged to
+    fence_stall_cycles even though the simulator warps over the idle
+    cycles."""
+    ops = [Store(4096, 1), Fence(FenceKind.GLOBAL), Load(100)]
+    res = run_program(ops_program([ops]), SimConfig(n_cores=1))
+    core = res.stats.cores[0]
+    assert core.fence_stall_cycles >= 250
+    # stalls can never exceed total cycles
+    assert core.fence_stall_cycles <= res.cycles
+
+
+def test_spin_loop_makes_progress_across_cores():
+    done = {}
+
+    def writer(tid):
+        yield Compute(200)
+        yield Store(100, 1)
+
+    def spinner(tid):
+        while True:
+            v = yield Load(100)
+            if v:
+                done["seen"] = True
+                return
+
+    res = run_program(Program([writer, spinner]), SimConfig(n_cores=2))
+    assert done.get("seen")
+    assert res.cycles >= 200
+
+
+def test_memory_shared_between_cores():
+    def producer(tid):
+        yield Store(100, 42)
+
+    def consumer(tid):
+        while True:
+            v = yield Load(100)
+            if v == 42:
+                return
+
+    res = run_program(Program([producer, consumer]), SimConfig(n_cores=2))
+    assert res.memory.read_global(100) == 42
+
+
+def test_run_program_config_overrides():
+    res = run_program(ops_program([[Compute(1)]]), n_cores=1, rob_size=64)
+    assert res.stats.instructions == 1

@@ -1,0 +1,155 @@
+"""In-window speculation (Section VI-B, T+/S+) behaviour tests."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Cas,
+    Compute,
+    Fence,
+    FenceKind,
+    FsEnd,
+    FsStart,
+    Load,
+    Store,
+    WAIT_BOTH,
+    WAIT_STORES,
+)
+from repro.isa.program import Program, ops_program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import run_program
+
+
+def run_ops(ops, **cfg):
+    cfg.setdefault("n_cores", 1)
+    cfg.setdefault("in_window_speculation", True)
+    return run_program(ops_program([ops]), SimConfig(**cfg))
+
+
+def test_speculation_reduces_fence_stalls():
+    ops = [Store(4096, 1), Fence(FenceKind.GLOBAL, WAIT_BOTH), Load(200), Compute(50)]
+    spec = run_ops(list(ops))
+    nospec = run_ops(list(ops), in_window_speculation=False)
+    assert spec.stats.cores[0].fence_stall_cycles < nospec.stats.cores[0].fence_stall_cycles
+    assert spec.cycles < nospec.cycles
+
+
+def test_speculative_fence_still_orders_stores():
+    """A store after a speculative fence may not become visible before
+    the pre-fence store: the held-store discipline."""
+    observed = []
+
+    def writer(tid):
+        yield Store(4096, 1)                 # slow (cold miss)
+        yield Fence(FenceKind.GLOBAL, WAIT_STORES)
+        yield Store(4104, 1)                 # would drain fast if not held
+        yield Compute(600)
+
+    def reader(tid):
+        while True:
+            b = yield Load(4104)
+            if b:
+                a = yield Load(4096)
+                observed.append((a, b))
+                return
+
+    res = run_program(
+        Program([writer, reader]),
+        SimConfig(n_cores=2, in_window_speculation=True),
+    )
+    assert observed == [(1, 1)]  # never flag-without-data
+
+
+def test_non_speculable_fence_blocks_dispatch():
+    ops_spec = [Store(4096, 1), Fence(FenceKind.GLOBAL, speculable=True), Load(200)]
+    ops_nospec = [Store(4096, 1), Fence(FenceKind.GLOBAL, speculable=False), Load(200)]
+    spec = run_ops(list(ops_spec))
+    blocked = run_ops(list(ops_nospec))
+    assert blocked.stats.cores[0].fence_stall_cycles > spec.stats.cores[0].fence_stall_cycles
+
+
+def test_cas_never_passes_open_fence():
+    """A CAS publishes at dispatch, so it must wait for open fences."""
+    def body(tid):
+        yield Store(4096, 7)
+        yield Fence(FenceKind.GLOBAL, WAIT_STORES)
+        ok = yield Cas(100, 0, 1)
+        assert ok
+
+    res = run_program(Program([body]), SimConfig(n_cores=1, in_window_speculation=True))
+    # the CAS had to sit out the fence -> counted as fence stall
+    assert res.stats.cores[0].fence_stall_cycles > 100
+
+
+def test_scoped_speculative_fence_completes_early():
+    """A class fence's countdown covers only its scope: it completes
+    while an out-of-scope cold store is still draining."""
+    ops = [
+        Store(4096, 1),                      # out of scope, slow
+        FsStart(1),
+        Store(100, 2),                       # in scope
+        Fence(FenceKind.CLASS, WAIT_STORES),
+        Load(200),
+        FsEnd(1),
+        Compute(5),
+    ]
+    scoped = run_ops(list(ops))
+    trad = run_ops(
+        [
+            Store(4096, 1),
+            Store(100, 2),
+            Fence(FenceKind.GLOBAL, WAIT_STORES),
+            Load(200),
+            Compute(5),
+        ]
+    )
+    assert scoped.cycles <= trad.cycles
+
+
+def test_fences_complete_oldest_first():
+    """A younger fence's held store may not drain while an older fence
+    is still open, even if the younger fence's scope is clear."""
+    observed = []
+
+    def writer(tid):
+        yield Store(4096, 1)                       # slow, global scope
+        yield Fence(FenceKind.GLOBAL, WAIT_STORES)  # fence A (waits long)
+        yield FsStart(1)
+        yield Fence(FenceKind.CLASS, WAIT_STORES)   # fence B (scope empty)
+        yield Store(4104, 1)                        # held behind A via B
+        yield FsEnd(1)
+        yield Compute(600)
+
+    def reader(tid):
+        while True:
+            b = yield Load(4104)
+            if b:
+                a = yield Load(4096)
+                observed.append((a, b))
+                return
+
+    run_program(
+        Program([writer, reader]),
+        SimConfig(n_cores=2, in_window_speculation=True),
+    )
+    assert observed == [(1, 1)]
+
+
+def test_sfence_early_issue_stat_in_spec_mode():
+    ops = [
+        Store(4096, 1),
+        FsStart(1),
+        Fence(FenceKind.CLASS, WAIT_STORES),
+        FsEnd(1),
+    ]
+    res = run_ops(list(ops))
+    assert res.stats.cores[0].sfence_early_issues == 1
+
+
+def test_program_drains_all_holds_at_exit():
+    ops = [
+        Store(4096, 1),
+        Fence(FenceKind.GLOBAL, WAIT_STORES),
+        Store(4104, 2),
+    ]
+    res = run_ops(list(ops))
+    assert res.memory.read_global(4104) == 2

@@ -1,0 +1,153 @@
+"""Spinlock and barrier primitives under the relaxed simulator."""
+
+import pytest
+
+from repro.isa.instructions import Compute, FenceKind, Probe
+from repro.isa.program import Program
+from repro.runtime.lang import Env
+from repro.runtime.sync import SenseBarrier, SpinLock
+from repro.sim.config import SimConfig
+
+
+# ----------------------------------------------------------------------- lock
+def test_spinlock_mutual_exclusion():
+    env = Env(SimConfig(n_cores=4))
+    lock = SpinLock(env)
+    state = {"inside": 0, "max": 0}
+
+    def enter(cycle):
+        state["inside"] += 1
+        state["max"] = max(state["max"], state["inside"])
+
+    def leave(cycle):
+        state["inside"] -= 1
+
+    def worker(tid):
+        for i in range(6):
+            yield from lock.lock()
+            yield Probe(fn=enter)
+            yield Compute(15)
+            yield Probe(fn=leave)
+            yield from lock.unlock()
+
+    env.run(Program([worker] * 4), max_cycles=3_000_000)
+    assert state["max"] == 1 and state["inside"] == 0
+    assert lock.holder_view() == 0
+
+
+def test_spinlock_publishes_critical_section_data():
+    """With the default release fence, the next owner sees the previous
+    owner's protected stores."""
+    env = Env(SimConfig(n_cores=4))
+    lock = SpinLock(env)
+    shared = env.var("protected")
+    reads = []
+
+    def worker(tid):
+        for _ in range(5):
+            yield from lock.lock()
+            v = yield shared.load()
+            reads.append(v)
+            yield shared.store(v + 1)
+            yield from lock.unlock()
+
+    env.run(Program([worker] * 4), max_cycles=3_000_000)
+    # no lost updates: the 20 reads see 0..19 in order
+    assert reads == list(range(20))
+    assert shared.peek() == 20
+
+
+def test_scoped_release_leaks_stale_protected_data():
+    """unlock(publish_all=False) scopes the release fence to the lock
+    word: the lock hand-off can beat a slow (cold-miss) protected store,
+    so the next owner reads stale data -- Figure 1's 'user orders their
+    own data' contract made visible.  The default full-fence release
+    never leaks."""
+
+    def run(publish_all: bool) -> int:
+        env = Env(SimConfig(n_cores=4))
+        lock = SpinLock(env, name="l", scope=FenceKind.SET)
+        index = env.var("index")
+        slots = env.line_array("slots", 64)  # each slot: a cold line
+        stale = []
+
+        def worker(tid):
+            for _ in range(4):
+                yield from lock.lock()
+                idx = yield index.load()
+                if idx > 0:
+                    prev = yield slots.load(idx - 1)
+                    if prev == 0:
+                        stale.append(idx - 1)
+                yield slots.store(idx, tid + 1)  # slow: cold-miss store
+                yield index.store(idx + 1)       # fast: hot line
+                yield from lock.unlock(publish_all=publish_all)
+
+        env.run(Program([worker] * 4), max_cycles=3_000_000)
+        return len(stale)
+
+    assert run(publish_all=True) == 0, "full-fence release must never leak"
+    assert run(publish_all=False) > 0, (
+        "expected stale reads with a set-scope release fence"
+    )
+
+
+# -------------------------------------------------------------------- barrier
+def test_barrier_rendezvous():
+    env = Env(SimConfig(n_cores=4))
+    barrier = SenseBarrier(env, 4)
+    order = []
+
+    def worker(tid):
+        yield Compute(10 + tid * 50)  # staggered arrivals
+        order.append(("before", tid))
+        yield from barrier.wait(tid)
+        order.append(("after", tid))
+
+    env.run(Program([worker] * 4), max_cycles=2_000_000)
+    befores = [i for i, (phase, _) in enumerate(order) if phase == "before"]
+    afters = [i for i, (phase, _) in enumerate(order) if phase == "after"]
+    assert max(befores) < min(afters), order
+
+
+def test_barrier_reusable_across_episodes():
+    env = Env(SimConfig(n_cores=3))
+    barrier = SenseBarrier(env, 3)
+    counter = env.var("episodes")
+    seen = []
+
+    def worker(tid):
+        for episode in range(4):
+            yield from barrier.wait(tid)
+            if tid == 0:
+                yield counter.store(episode + 1)
+            yield from barrier.wait(tid)
+            seen.append((tid, episode, (yield counter.load())))
+
+    env.run(Program([worker] * 3), max_cycles=3_000_000)
+    # after the second barrier of episode e, every thread reads e+1
+    assert all(value == episode + 1 for _, episode, value in seen)
+
+
+def test_barrier_publishes_pre_barrier_stores():
+    env = Env(SimConfig(n_cores=2))
+    barrier = SenseBarrier(env, 2)
+    data = env.var("pre")
+    got = []
+
+    def writer(tid):
+        yield data.store(99)
+        yield from barrier.wait(tid)
+
+    def reader(tid):
+        yield from barrier.wait(tid)
+        got.append((yield data.load()))
+
+    env.run(Program([writer, reader]), max_cycles=2_000_000)
+    assert got == [99]
+
+
+def test_barrier_validation():
+    env = Env(SimConfig(n_cores=1))
+    with pytest.raises(ValueError):
+        SenseBarrier(env, 0)

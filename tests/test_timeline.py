@@ -1,0 +1,73 @@
+"""Tests for the execution-timeline recorder."""
+
+from repro.isa.instructions import Compute, Fence, FenceKind, Load, Store
+from repro.isa.program import ops_program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.sim.timeline import Segment, TimelineRecorder
+
+
+def run_with_timeline(ops, **cfg):
+    cfg.setdefault("n_cores", 1)
+    tl = TimelineRecorder()
+    sim = Simulator(SimConfig(**cfg), ops_program([ops]), timeline=tl)
+    res = sim.run()
+    return res, tl
+
+
+def test_records_fence_stall_segment():
+    res, tl = run_with_timeline(
+        [Store(4096, 1), Fence(FenceKind.GLOBAL), Load(64)]
+    )
+    states = tl.state_cycles(0)
+    assert states.get("fence", 0) >= 250
+    assert "run" in states
+    segs = tl.segments(0)
+    assert any(s.state == "fence" and s.length >= 250 for s in segs)
+
+
+def test_segments_cover_the_whole_run():
+    res, tl = run_with_timeline([Compute(40), Compute(40)])
+    segs = tl.segments(0)
+    assert segs[0].start == 0
+    # segments are contiguous and ordered
+    for a, b in zip(segs, segs[1:]):
+        assert b.start == a.end + 1
+    assert segs[-1].end >= res.cycles - 1
+
+
+def test_state_cycles_sum_matches_span():
+    res, tl = run_with_timeline([Store(64, 1), Compute(20)])
+    segs = tl.segments(0)
+    total = sum(s.length for s in segs)
+    assert total == segs[-1].end - segs[0].start + 1
+
+
+def test_render_mentions_each_core():
+    def t0(tid):
+        yield Compute(10)
+
+    from repro.isa.program import Program
+
+    tl = TimelineRecorder()
+    sim = Simulator(SimConfig(n_cores=2), Program([t0, t0]), timeline=tl)
+    sim.run()
+    out = tl.render()
+    assert "core 0" in out and "core 1" in out
+
+
+def test_render_truncates_long_timelines():
+    ops = []
+    for i in range(30):
+        ops.append(Store(4096 + i * 64, 1))
+        ops.append(Fence(FenceKind.GLOBAL))
+    _, tl = run_with_timeline(ops)
+    out = tl.render(max_segments=3)
+    assert "segments)" in out
+
+
+def test_empty_recorder():
+    tl = TimelineRecorder()
+    assert tl.segments(0) == []
+    assert tl.cores() == []
+    assert tl.render() == ""

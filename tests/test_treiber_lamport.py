@@ -1,0 +1,118 @@
+"""Treiber stack and Lamport SPSC queue (extension algorithms)."""
+
+import pytest
+
+from repro.algorithms.lamport_queue import EMPTY as LQ_EMPTY
+from repro.algorithms.lamport_queue import LamportQueue
+from repro.algorithms.treiber_stack import EMPTY as TS_EMPTY
+from repro.algorithms.treiber_stack import TreiberStack
+from repro.isa.program import Program
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+
+# ------------------------------------------------------------------- treiber
+def test_treiber_lifo():
+    env = Env(SimConfig(n_cores=1))
+    s = TreiberStack(env, pool_size=16)
+    got = []
+
+    def body(tid):
+        for v in (1, 2, 3):
+            yield from s.push(v)
+        for _ in range(4):
+            got.append((yield from s.pop()))
+
+    env.run(Program([body]))
+    assert got == [3, 2, 1, TS_EMPTY]
+
+
+def test_treiber_values_host():
+    env = Env(SimConfig(n_cores=1))
+    s = TreiberStack(env, pool_size=16)
+
+    def body(tid):
+        for v in (1, 2, 3):
+            yield from s.push(v)
+
+    env.run(Program([body]))
+    assert s.values_host() == [3, 2, 1]
+
+
+def test_treiber_concurrent_push_pop_no_loss():
+    env = Env(SimConfig(n_cores=4))
+    s = TreiberStack(env, pool_size=128)
+    popped = []
+
+    def pusher(tid):
+        for i in range(8):
+            yield from s.push(tid * 100 + i)
+
+    def popper(tid):
+        empties = 0
+        while empties < 40:
+            v = yield from s.pop()
+            if v == TS_EMPTY:
+                empties += 1
+            else:
+                empties = 0
+                popped.append(v)
+
+    env.run(Program([pusher, pusher, popper, popper]), max_cycles=3_000_000)
+    pushed = {t * 100 + i for t in (0, 1) for i in range(8)}
+    assert sorted(popped + s.values_host()) == sorted(pushed)
+    assert len(set(popped)) == len(popped)
+
+
+# ------------------------------------------------------------------- lamport
+def test_lamport_fifo_spsc():
+    env = Env(SimConfig(n_cores=2))
+    q = LamportQueue(env, capacity=8)
+    got = []
+
+    def producer(tid):
+        sent = 0
+        while sent < 12:
+            ok = yield from q.enqueue(sent + 1)
+            if ok:
+                sent += 1
+
+    def consumer(tid):
+        while len(got) < 12:
+            v = yield from q.dequeue()
+            if v != LQ_EMPTY:
+                got.append(v)
+
+    env.run(Program([producer, consumer]), max_cycles=1_000_000)
+    assert got == list(range(1, 13))
+
+
+def test_lamport_full_detection():
+    env = Env(SimConfig(n_cores=1))
+    q = LamportQueue(env, capacity=4)
+    results = []
+
+    def body(tid):
+        for v in range(5):
+            results.append((yield from q.enqueue(v)))
+
+    env.run(Program([body]))
+    assert results == [True, True, True, False, False]
+
+
+def test_lamport_empty_detection():
+    env = Env(SimConfig(n_cores=1))
+    q = LamportQueue(env, capacity=4)
+    got = []
+
+    def body(tid):
+        got.append((yield from q.dequeue()))
+
+    env.run(Program([body]))
+    assert got == [LQ_EMPTY]
+
+
+def test_lamport_invalid_capacity():
+    env = Env(SimConfig(n_cores=1))
+    with pytest.raises(ValueError):
+        LamportQueue(env, capacity=1)

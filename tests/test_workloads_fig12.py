@@ -1,0 +1,66 @@
+"""Figure 12 behaviours: the workload harnesses' speedup structure.
+
+Small-scale versions of the Figure 12 runs (the full sweep lives in
+``benchmarks/bench_fig12_workload.py``); these check the *qualitative*
+claims: S-Fence never loses, the benefit exists at moderate workload,
+and all safety checkers pass under both fence flavours.
+"""
+
+import pytest
+
+from repro.algorithms.dekker import build_workload as build_dekker_workload
+from repro.algorithms.workloads import (
+    build_harris_workload,
+    build_msn_workload,
+    build_wsq_workload,
+)
+from repro.runtime.lang import Env
+from repro.sim.config import SimConfig
+
+BUILDERS = {
+    "dekker": lambda env, lvl: build_dekker_workload(env, workload_level=lvl, iterations=10),
+    "wsq": lambda env, lvl: build_wsq_workload(env, workload_level=lvl, iterations=12),
+    "msn": lambda env, lvl: build_msn_workload(env, workload_level=lvl, iterations=8),
+    "harris": lambda env, lvl: build_harris_workload(env, workload_level=lvl, iterations=8),
+}
+
+
+def run(name, level, scoped):
+    env = Env(SimConfig(scoped_fences=scoped))
+    handle = BUILDERS[name](env, level)
+    res = env.run(handle.program, max_cycles=3_000_000)
+    handle.check()
+    return res
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_safe_under_both_fence_flavours(name):
+    for scoped in (False, True):
+        run(name, 1, scoped)  # the checker inside run() validates safety
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_sfence_never_slower(name):
+    trad = run(name, 2, scoped=False)
+    scoped = run(name, 2, scoped=True)
+    assert scoped.cycles <= trad.cycles
+
+
+@pytest.mark.parametrize("name", ["wsq", "dekker"])
+def test_sfence_benefit_at_moderate_workload(name):
+    trad = run(name, 2, scoped=False)
+    scoped = run(name, 2, scoped=True)
+    assert trad.cycles / scoped.cycles > 1.05
+
+
+@pytest.mark.parametrize("name", ["wsq"])
+def test_speedup_rises_from_level_one(name):
+    s1 = run(name, 1, scoped=False).cycles / run(name, 1, scoped=True).cycles
+    s2 = run(name, 2, scoped=False).cycles / run(name, 2, scoped=True).cycles
+    assert s2 > s1
+
+
+def test_fence_stalls_shrink_with_scoping():
+    trad = run("wsq", 2, scoped=False)
+    scoped = run("wsq", 2, scoped=True)
+    assert scoped.stats.fence_stall_cycles < trad.stats.fence_stall_cycles
