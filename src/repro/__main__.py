@@ -7,6 +7,9 @@ Commands:
 * ``hwcost`` — print the Section VI-E hardware bill of materials.
 * ``litmus <file>`` — run a textual litmus test (see
   :mod:`repro.litmus.dsl`) and report the observed outcomes.
+* ``chaos`` — fault-injection sweep over the lock-free algorithm suite
+  with ordering-invariant checking (see :mod:`repro.chaos`); exits
+  non-zero if any case fails.
 
 The figure commands are thin wrappers over the same drivers the
 pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
@@ -152,12 +155,23 @@ def cmd_hwcost(_: float) -> None:
     ))
 
 
-def cmd_litmus(path: str, model_name: str) -> None:
-    from .litmus.dsl import parse_litmus, run_litmus
+def cmd_litmus(path: str, model_name: str) -> int:
+    from .litmus.dsl import LitmusParseError, parse_litmus, run_litmus
 
-    with open(path) as fh:
-        test = parse_litmus(fh.read())
-    run = run_litmus(test, MemoryModel(model_name))
+    try:
+        with open(path) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"litmus: cannot read {path}: {exc.strerror or exc}", file=sys.stderr)
+        return 2
+    try:
+        # statement parsing is partly lazy (thread bodies are parsed as
+        # the guest generators execute), so run under the same guard
+        test = parse_litmus(source)
+        run = run_litmus(test, MemoryModel(model_name))
+    except LitmusParseError as exc:
+        print(f"litmus: {path}: {exc}", file=sys.stderr)
+        return 2
     print(f"litmus {test.name} under {model_name}:")
     print(f"  registers: {run.register_names}")
     for outcome in sorted(run.outcomes, key=str):
@@ -165,6 +179,59 @@ def cmd_litmus(path: str, model_name: str) -> None:
     if test.condition:
         verdict = "OBSERVED" if run.condition_observed else "never observed"
         print(f"  exists {test.condition}: {verdict}")
+    return 0
+
+
+def cmd_chaos(ns) -> int:
+    from .chaos.runner import ALGORITHMS, SCENARIOS, sweep
+
+    algos = ns.algos.split(",") if ns.algos else None
+    scenarios = ns.scenarios.split(",") if ns.scenarios else None
+    n_seeds = ns.seeds
+    if n_seeds is None:
+        n_seeds = 2 if ns.smoke else 20
+    try:
+        reports = sweep(
+            algos=algos,
+            scenarios=scenarios,
+            n_seeds=n_seeds,
+            seed_base=ns.seed_base,
+            base_budget=ns.budget,
+        )
+    except KeyError as exc:
+        print(f"chaos: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    # aggregate per (scenario, algorithm) across seeds
+    rows = []
+    for scenario in scenarios or list(SCENARIOS):
+        for algo in algos or list(ALGORITHMS):
+            cell = [r for r in reports if r.scenario == scenario and r.algo == algo]
+            if not cell:
+                continue
+            n_ok = sum(1 for r in cell if r.ok)
+            injected = sum(sum(r.injected.values()) for r in cell)
+            rows.append((
+                scenario, algo, f"{n_ok}/{len(cell)}",
+                sum(r.fences_checked for r in cell),
+                sum(r.violations for r in cell),
+                injected,
+            ))
+    print(format_table(
+        ["scenario", "algo", "ok", "fences checked", "violations", "faults injected"],
+        rows,
+        title=f"chaos sweep -- {n_seeds} seed(s) from {ns.seed_base}",
+    ))
+    failures = [r for r in reports if not r.ok]
+    for r in failures:
+        print(f"\nFAIL {r.algo}/{r.scenario} seed={r.seed} scope={r.scope}: {r.status}")
+        if r.detail:
+            print(r.detail)
+    if failures:
+        print(f"\n{len(failures)}/{len(reports)} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(reports)} cases passed")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -174,18 +241,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost", "litmus"],
+        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost", "litmus", "chaos"],
     )
     parser.add_argument("args", nargs="*", help="litmus: <file>")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     parser.add_argument("--model", default="rmo", help="litmus: memory model (sc/tso/pso/rmo)")
+    chaos_group = parser.add_argument_group("chaos options")
+    chaos_group.add_argument("--seeds", type=int, default=None,
+                             help="chaos: seeds per (scenario, algo) cell [20; --smoke: 2]")
+    chaos_group.add_argument("--seed-base", type=int, default=0,
+                             help="chaos: first seed of the sweep")
+    chaos_group.add_argument("--algos", default="",
+                             help="chaos: comma-separated algorithm subset")
+    chaos_group.add_argument("--scenarios", default="",
+                             help="chaos: comma-separated scenario subset")
+    chaos_group.add_argument("--budget", type=int, default=400_000,
+                             help="chaos: base cycle budget before escalation")
+    chaos_group.add_argument("--smoke", action="store_true",
+                             help="chaos: quick CI sweep (2 seeds)")
     ns = parser.parse_args(argv)
 
     if ns.command == "litmus":
         if not ns.args:
             parser.error("litmus requires a file argument")
-        cmd_litmus(ns.args[0], ns.model)
-        return 0
+        return cmd_litmus(ns.args[0], ns.model)
+    if ns.command == "chaos":
+        return cmd_chaos(ns)
     {
         "fig12": cmd_fig12,
         "fig13": cmd_fig13,

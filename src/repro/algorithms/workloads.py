@@ -46,6 +46,7 @@ def build_wsq_workload(
     workload_level: int = 1,
     n_threads: int = 8,
     use_fences: bool = True,
+    emit_branches: bool = False,
 ) -> WorkloadHandle:
     """Owner puts/takes, thieves steal (the paper's motivating pattern)."""
     deque = WorkStealingDeque(
@@ -55,7 +56,8 @@ def build_wsq_workload(
     puts: list[int] = []
     extracted: list[tuple[object, int]] = []
     works = [
-        PrivateWork(env, tid, workload_level, name="wsq.priv")
+        PrivateWork(env, tid, workload_level, name="wsq.priv",
+                    emit_branches=emit_branches)
         for tid in range(n_threads)
     ]
 
@@ -118,6 +120,7 @@ def build_msn_workload(
     workload_level: int = 1,
     n_threads: int = 8,
     use_fences: bool = True,
+    emit_branches: bool = False,
 ) -> WorkloadHandle:
     """All threads enqueue and dequeue on one shared MS queue."""
     queue = MichaelScottQueue(
@@ -129,7 +132,8 @@ def build_msn_workload(
     enqueued: list[int] = []
     dequeued: list[int] = []
     works = [
-        PrivateWork(env, tid, workload_level, name="msn.priv")
+        PrivateWork(env, tid, workload_level, name="msn.priv",
+                    emit_branches=emit_branches)
         for tid in range(n_threads)
     ]
 
@@ -173,6 +177,7 @@ def build_harris_workload(
     key_space: int = 16,
     seed: int = 7,
     use_fences: bool = True,
+    emit_branches: bool = False,
 ) -> WorkloadHandle:
     """Random inserts/deletes/lookups over a small contended key space."""
     sset = HarrisSet(
@@ -185,7 +190,8 @@ def build_harris_workload(
     ins_ok: Counter = Counter()
     del_ok: Counter = Counter()
     works = [
-        PrivateWork(env, tid, workload_level, name="harris.priv")
+        PrivateWork(env, tid, workload_level, name="harris.priv",
+                    emit_branches=emit_branches)
         for tid in range(n_threads)
     ]
 
@@ -237,6 +243,7 @@ def build_treiber_workload(
     workload_level: int = 1,
     n_threads: int = 8,
     use_fences: bool = True,
+    emit_branches: bool = False,
 ) -> WorkloadHandle:
     """All threads push/pop on one shared Treiber stack (extension)."""
     stack = TreiberStack(
@@ -248,7 +255,8 @@ def build_treiber_workload(
     pushed: list[int] = []
     popped: list[int] = []
     works = [
-        PrivateWork(env, tid, workload_level, name="treiber.priv")
+        PrivateWork(env, tid, workload_level, name="treiber.priv",
+                    emit_branches=emit_branches)
         for tid in range(n_threads)
     ]
 
@@ -290,12 +298,15 @@ def build_lamport_workload(
     workload_level: int = 1,
     capacity: int = 16,
     use_fences: bool = True,
+    emit_branches: bool = False,
 ) -> WorkloadHandle:
     """One producer, one consumer over a Lamport SPSC ring (extension)."""
     queue = LamportQueue(env, capacity=capacity, scope=scope, use_fences=use_fences)
     consumed: list[int] = []
     works = [
-        PrivateWork(env, tid, workload_level, name="lamport.priv") for tid in (0, 1)
+        PrivateWork(env, tid, workload_level, name="lamport.priv",
+                    emit_branches=emit_branches)
+        for tid in (0, 1)
     ]
 
     def producer(tid: int):

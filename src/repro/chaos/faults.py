@@ -1,0 +1,121 @@
+"""Deterministic seeded fault injectors.
+
+A :class:`ChaosEngine` perturbs a run through the explicit hook points
+the simulator exposes -- ``MemoryHierarchy.fault``, ``Core.chaos``,
+``ScopeTracker.chaos_overflow`` -- according to a :class:`FaultPlan`.
+Every injector is *timing-only* or *strictly-more-ordering*: latency
+spikes and drain throttling postpone visibility, forced mispredictions
+squash-and-restore scope state, forced scope overflow degrades fences
+toward traditional fences.  A perturbed run therefore must still
+satisfy every ordering invariant and every algorithm-level checker;
+any failure is a simulator bug, not an artefact of the injection.
+
+Determinism: each (purpose, core) pair gets its own ``random.Random``
+stream seeded from ``FaultPlan.seed``, and the simulator's cycle loop
+is deterministic, so the *sequence of injection decisions* -- and hence
+the entire perturbed run -- is a pure function of (program, config,
+plan).  Re-running with the same seed reproduces a failure exactly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from functools import partial
+from random import Random
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, how often, and under which seed."""
+
+    seed: int = 0
+    # memory-latency perturbation (mem/hierarchy.py hook)
+    mem_spike_prob: float = 0.0    # chance an access gets a big spike
+    mem_spike_cycles: int = 500    # spike magnitude
+    mem_jitter: int = 0            # uniform extra latency in [0, jitter]
+    # forced branch mispredictions (cpu/core.py + cpu/predictor.py hooks)
+    branch_flip_prob: float = 0.0
+    # forced scope-capacity pressure (core/scope_tracker.py hook)
+    scope_overflow_prob: float = 0.0
+    # store-buffer drain throttling (cpu/core.py write-port hook)
+    drain_stall_prob: float = 0.0
+    drain_stall_cycles: int = 40
+
+    def with_(self, **kwargs) -> "FaultPlan":
+        return replace(self, **kwargs)
+
+    @property
+    def active(self) -> bool:
+        return any((
+            self.mem_spike_prob, self.mem_jitter, self.branch_flip_prob,
+            self.scope_overflow_prob, self.drain_stall_prob,
+        ))
+
+
+class ChaosEngine:
+    """Installs a :class:`FaultPlan` into a simulator and injects."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counts: Counter = Counter()
+        self._rngs: dict[tuple[str, int], Random] = {}
+
+    def _rng(self, purpose: str, core: int) -> Random:
+        key = (purpose, core)
+        rng = self._rngs.get(key)
+        if rng is None:
+            rng = self._rngs[key] = Random(f"{self.plan.seed}:{purpose}:{core}")
+        return rng
+
+    # ------------------------------------------------------------- installation
+    def install(self, sim) -> "ChaosEngine":
+        """Attach this engine's hooks to a built Simulator."""
+        sim.hierarchy.fault = self.mem_fault
+        for core in sim.cores:
+            core.chaos = self
+            core.tracker.chaos_overflow = partial(self.scope_overflow, core.core_id)
+        return self
+
+    # ----------------------------------------------------------------- injectors
+    def mem_fault(self, core: int, addr: int, is_write: bool, latency: int) -> int:
+        plan = self.plan
+        rng = self._rng("mem", core)
+        if plan.mem_jitter:
+            extra = rng.randint(0, plan.mem_jitter)
+            if extra:
+                self.counts["mem_jitter"] += 1
+                latency += extra
+        if plan.mem_spike_prob and rng.random() < plan.mem_spike_prob:
+            self.counts["mem_spike"] += 1
+            latency += plan.mem_spike_cycles
+        return latency
+
+    def force_mispredict(self, core: int, pc: int) -> bool:
+        plan = self.plan
+        if plan.branch_flip_prob and self._rng("branch", core).random() < plan.branch_flip_prob:
+            self.counts["branch_flip"] += 1
+            return True
+        return False
+
+    def scope_overflow(self, core: int, cid: int) -> bool:
+        plan = self.plan
+        if plan.scope_overflow_prob and self._rng("scope", core).random() < plan.scope_overflow_prob:
+            self.counts["scope_overflow"] += 1
+            return True
+        return False
+
+    def drain_delay(self, core: int, cycle: int) -> int:
+        plan = self.plan
+        if plan.drain_stall_prob and self._rng("drain", core).random() < plan.drain_stall_prob:
+            self.counts["drain_stall"] += 1
+            return plan.drain_stall_cycles
+        return 0
+
+    # ------------------------------------------------------------------- summary
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> dict[str, int]:
+        return dict(self.counts)

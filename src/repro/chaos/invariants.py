@@ -1,0 +1,282 @@
+"""Ordering-invariant checker for perturbed (and unperturbed) runs.
+
+The checker implements the core monitor protocol (see
+:mod:`repro.sim.trace`) and *independently* re-derives the S-Fence
+guarantees from the raw event stream -- it deliberately does not trust
+the scope tracker's FSB counters, FSS, or overflow logic, because those
+are exactly the structures a simulator bug would corrupt.  It mirrors
+scope state from the ``fs_start``/``fs_end`` events and keeps its own
+in-flight tables keyed by each op's program-order sequence number.
+
+Checked invariants:
+
+* **scope-mask** -- every memory op dispatched inside open scopes
+  carries the FSB bits of *all* of them (inner ops flag outer scopes,
+  Section IV-A3); ops dispatched during an overflow episode carry every
+  class bit; set-scope-flagged ops carry the set bit.
+* **fence-order** -- when a fence issues (blocking) or completes
+  (speculative), no older memory op of a waited-on kind in the fence's
+  scope is still in flight.  For a degraded/traditional fence the scope
+  is *all* older ops -- which is the "overflow mode is at least as
+  strong as a traditional fence" guarantee.
+* **overflow-degrade** -- a class fence issued while the overflow
+  counter is non-zero must have resolved to global scope.
+* **store-past-fence** -- a store never drains (becomes globally
+  visible) while an older speculatively-issued fence is incomplete.
+* **cas-past-fence** -- a CAS (which publishes at dispatch) never
+  dispatches past an incomplete speculative fence.
+* **stream-sanity** -- completions/drains match dispatches (a corrupted
+  event stream fails loudly instead of vacuously passing).
+
+Violations are collected (bounded) rather than raised mid-run so a
+sweep can report all of them; call :meth:`OrderingChecker.assert_ok`
+at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.scope_tracker import ScopeTracker
+from ..isa.instructions import WAIT_LOADS, WAIT_STORES
+from ..sim.config import SimConfig
+
+GLOBAL = ScopeTracker.GLOBAL_SCOPE
+OVERFLOWED = ScopeTracker.OVERFLOWED
+UNMATCHED = ScopeTracker.UNMATCHED
+
+
+class OrderingViolationError(AssertionError):
+    """At least one ordering invariant failed during a run."""
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed check, with enough context to reproduce/debug."""
+
+    rule: str
+    core: int
+    cycle: int
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.rule}] core {self.core} @ cycle {self.cycle}: {self.detail}"
+
+
+class _CoreState:
+    """Per-core mirror of scope state + in-flight op tables."""
+
+    __slots__ = ("loads", "stores", "scopes", "overflow", "fences")
+
+    def __init__(self) -> None:
+        self.loads: dict[int, int] = {}     # seq -> fsb mask (until complete)
+        self.stores: dict[int, int] = {}    # seq -> fsb mask (until drain/complete)
+        self.scopes: list[int] = []         # mirrored FSS (FSB entries)
+        self.overflow = 0                   # mirrored overflow counter
+        self.fences: dict[int, tuple[int, int, int]] = {}  # fid -> (seq, scope, waits)
+
+
+class OrderingChecker:
+    """Consumes monitor events and accumulates invariant violations."""
+
+    #: stop recording (but keep counting) beyond this many violations
+    MAX_RECORDED = 200
+
+    def __init__(self, config: SimConfig | None = None) -> None:
+        self.config = config if config is not None else SimConfig()
+        n = self.config.fsb_entries
+        self._set_bit = 1 << (n - 1)
+        self._all_class_mask = (1 << (n - 1)) - 1
+        self._cores: dict[int, _CoreState] = {}
+        self.violations: list[InvariantViolation] = []
+        self.violation_count = 0
+        self.events_seen = 0
+        self.fences_checked = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _core(self, core: int) -> _CoreState:
+        st = self._cores.get(core)
+        if st is None:
+            st = self._cores[core] = _CoreState()
+        return st
+
+    def _flag(self, rule: str, core: int, cycle: int, detail: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.MAX_RECORDED:
+            self.violations.append(InvariantViolation(rule, core, cycle, detail))
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def assert_ok(self) -> None:
+        if self.ok:
+            return
+        shown = "\n".join(v.render() for v in self.violations[:20])
+        more = self.violation_count - min(self.violation_count, 20)
+        raise OrderingViolationError(
+            f"{self.violation_count} ordering-invariant violation(s)\n{shown}"
+            + (f"\n... and {more} more" if more else "")
+        )
+
+    def report(self) -> dict:
+        """Headline numbers for sweep tables."""
+        return {
+            "events": self.events_seen,
+            "fences_checked": self.fences_checked,
+            "violations": self.violation_count,
+        }
+
+    # ------------------------------------------------------- monitor protocol
+    def on_mem_dispatch(self, core, cycle, seq, op, addr, mask, flagged) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if self.config.scoped_fences:
+            expected = 0
+            for e in st.scopes:
+                expected |= 1 << e
+            if st.overflow > 0:
+                expected |= self._all_class_mask
+            if flagged:
+                expected |= self._set_bit
+            if mask & expected != expected:
+                self._flag(
+                    "scope-mask", core, cycle,
+                    f"{op} seq={seq} addr={addr} mask={mask:#x} lacks required "
+                    f"bits {expected & ~mask:#x} (open scopes {st.scopes}, "
+                    f"overflow={st.overflow}, flagged={flagged})",
+                )
+        if op == "load":
+            st.loads[seq] = mask
+        else:
+            if op == "cas" and st.fences:
+                self._flag(
+                    "cas-past-fence", core, cycle,
+                    f"cas seq={seq} dispatched while speculative fences "
+                    f"{sorted(st.fences)} are incomplete",
+                )
+            st.stores[seq] = mask
+
+    def on_mem_complete(self, core, cycle, seq, is_load) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        table = st.loads if is_load else st.stores
+        if table.pop(seq, None) is None:
+            self._flag(
+                "stream-sanity", core, cycle,
+                f"{'load' if is_load else 'store/cas'} seq={seq} completed "
+                f"without a matching dispatch",
+            )
+
+    def on_store_drain(self, core, cycle, seq) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if st.stores.pop(seq, None) is None:
+            self._flag(
+                "stream-sanity", core, cycle,
+                f"store seq={seq} drained without a matching dispatch",
+            )
+        for fid, (fseq, _scope, _waits) in st.fences.items():
+            if fseq < seq:
+                self._flag(
+                    "store-past-fence", core, cycle,
+                    f"store seq={seq} drained while older fence fid={fid} "
+                    f"(dispatched after mem seq {fseq}) is incomplete",
+                )
+
+    def _check_fence(self, st, core, cycle, scope, waits, seq, label) -> None:
+        """No older in-scope op of a waited kind may still be in flight."""
+        self.fences_checked += 1
+        pending = []
+        if waits & WAIT_LOADS:
+            pending.extend(
+                ("load", s, m) for s, m in st.loads.items() if s <= seq
+            )
+        if waits & WAIT_STORES:
+            pending.extend(
+                ("store", s, m) for s, m in st.stores.items() if s <= seq
+            )
+        for kind, s, m in pending:
+            if scope != GLOBAL and not (m >> scope) & 1:
+                continue  # out of the fence's scope: allowed to float past
+            self._flag(
+                "fence-order", core, cycle,
+                f"{label} (scope={'global' if scope == GLOBAL else scope}, "
+                f"waits={waits}, after mem seq {seq}) passed while older "
+                f"{kind} seq={s} mask={m:#x} was still in flight",
+            )
+
+    def on_fence_pass(self, core, cycle, kind, waits, scope, seq) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if kind == "class" and st.overflow > 0 and scope != GLOBAL:
+            self._flag(
+                "overflow-degrade", core, cycle,
+                f"class fence resolved to entry {scope} while the overflow "
+                f"counter is {st.overflow} (must degrade to global)",
+            )
+        self._check_fence(st, core, cycle, scope, waits, seq, f"{kind}-fence")
+
+    def on_fence_open(self, core, cycle, fid, kind, waits, scope, seq) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if kind == "class" and st.overflow > 0 and scope != GLOBAL:
+            self._flag(
+                "overflow-degrade", core, cycle,
+                f"speculative class fence fid={fid} resolved to entry {scope} "
+                f"while the overflow counter is {st.overflow}",
+            )
+        st.fences[fid] = (seq, scope, waits)
+
+    def on_fence_complete(self, core, cycle, fid) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        rec = st.fences.pop(fid, None)
+        if rec is None:
+            self._flag(
+                "stream-sanity", core, cycle,
+                f"fence fid={fid} completed without a matching open",
+            )
+            return
+        seq, scope, waits = rec
+        self._check_fence(st, core, cycle, scope, waits, seq,
+                          f"speculative fence fid={fid}")
+
+    def on_scope(self, core, cycle, action, cid, entry) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if action == "start":
+            if entry == OVERFLOWED:
+                st.overflow += 1
+            else:
+                st.scopes.append(entry)
+        else:  # "end"
+            if entry == OVERFLOWED:
+                st.overflow -= 1
+                if st.overflow < 0:
+                    self._flag(
+                        "stream-sanity", core, cycle,
+                        f"fs_end cid={cid} drained the overflow counter "
+                        f"below zero",
+                    )
+                    st.overflow = 0
+            elif entry == UNMATCHED:
+                pass  # wrong-path artefact; hardware no-op
+            else:
+                if not st.scopes or st.scopes[-1] != entry:
+                    self._flag(
+                        "stream-sanity", core, cycle,
+                        f"fs_end cid={cid} popped entry {entry} but the "
+                        f"mirrored FSS top is "
+                        f"{st.scopes[-1] if st.scopes else 'empty'}",
+                    )
+                if st.scopes:
+                    st.scopes.pop()
+
+    def on_squash(self, core, cycle, scopes, overflow) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        # resync the mirror with the post-restore FSS: the tracker's own
+        # wrong-path bookkeeping (FSS') is authoritative across a squash
+        st.scopes = list(scopes)
+        st.overflow = overflow

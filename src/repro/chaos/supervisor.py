@@ -1,0 +1,160 @@
+"""Supervised runner: cycle-budget escalation + failure classification.
+
+Chaos runs burn more cycles than clean runs (latency spikes, forced
+squashes, drain throttling), so a fixed ``max_cycles`` would misreport
+slow-but-healthy runs as failures.  :func:`run_supervised` wraps
+``Simulator.run`` in an escalation ladder: start from a base cycle
+budget and double it (up to a cap) whenever the run hits
+:class:`~repro.sim.simulator.CycleLimitError`.  Each attempt rebuilds
+the simulator from scratch via the caller's factory, so attempts are
+independent deterministic replays, not resumptions.
+
+Failure classification:
+
+* **deadlock** -- the simulator proved no core can ever progress
+  (:class:`DeadlockError`).  Deterministic; never retried.
+* **livelock** -- two consecutive attempts exhausted different budgets
+  while retiring the *same* total instruction count: more cycles bought
+  zero forward progress, so no budget will finish the run.
+* **budget** -- the escalation ladder ran out while the run was still
+  retiring instructions; likely just slow, rerun with a bigger base.
+
+Every classified failure carries the last run's
+:class:`~repro.sim.diagnostics.SimDiagnostic` plus the per-attempt
+history, so ``python -m repro chaos`` can print a full post-mortem.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..sim.diagnostics import SimDiagnostic
+from ..sim.simulator import CycleLimitError, DeadlockError, SimResult
+
+
+class FailureKind(enum.Enum):
+    DEADLOCK = "deadlock"
+    LIVELOCK = "livelock"
+    BUDGET = "budget"
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One rung of the escalation ladder."""
+
+    budget: int
+    outcome: str          # "ok" / "deadlock" / "cycle-limit"
+    cycles: int           # cycles consumed (== budget unless "ok")
+    instructions: int     # total instructions retired across cores
+
+
+class ChaosFailure(RuntimeError):
+    """A supervised run that could not be completed."""
+
+    def __init__(
+        self,
+        kind: FailureKind,
+        message: str,
+        diagnostic: SimDiagnostic | None = None,
+        attempts: tuple[Attempt, ...] = (),
+    ) -> None:
+        ladder = " -> ".join(
+            f"{a.budget}cy:{a.outcome}(insns={a.instructions})" for a in attempts
+        )
+        full = f"[{kind.value}] {message}"
+        if ladder:
+            full += f"\n  attempts: {ladder}"
+        if diagnostic is not None:
+            full += f"\n{diagnostic.render()}"
+        super().__init__(full)
+        self.kind = kind
+        self.diagnostic = diagnostic
+        self.attempts = attempts
+
+
+@dataclass
+class SupervisedOutcome:
+    """Result of :func:`run_supervised` (success or classified failure)."""
+
+    result: SimResult | None = None
+    attempts: list[Attempt] = field(default_factory=list)
+    failure: ChaosFailure | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def run_supervised(
+    build,
+    base_budget: int = 200_000,
+    escalations: int = 3,
+    factor: int = 2,
+    raise_on_failure: bool = True,
+) -> SupervisedOutcome:
+    """Run ``build()`` -> ``Simulator`` under the escalation ladder.
+
+    ``build`` must return a *fresh, fully wired* simulator each call
+    (fault hooks and monitors attached); it is invoked once per attempt
+    so every rung replays the identical deterministic run under a larger
+    budget.
+    """
+    outcome = SupervisedOutcome()
+    attempts = outcome.attempts
+    budget = base_budget
+    prev_instructions: int | None = None
+    last_diag: SimDiagnostic | None = None
+
+    for rung in range(escalations + 1):
+        sim = build()
+        try:
+            result = sim.run(max_cycles=budget)
+        except DeadlockError as exc:
+            diag = exc.diagnostic
+            insns = diag.total_instructions if diag is not None else -1
+            attempts.append(Attempt(budget, "deadlock", diag.cycle if diag else -1, insns))
+            outcome.failure = ChaosFailure(
+                FailureKind.DEADLOCK,
+                f"deadlock after {insns} instructions",
+                diagnostic=diag,
+                attempts=tuple(attempts),
+            )
+            break
+        except CycleLimitError as exc:
+            diag = exc.diagnostic
+            last_diag = diag
+            insns = diag.total_instructions if diag is not None else -1
+            attempts.append(Attempt(budget, "cycle-limit", budget, insns))
+            if prev_instructions is not None and insns == prev_instructions:
+                outcome.failure = ChaosFailure(
+                    FailureKind.LIVELOCK,
+                    f"no forward progress between budgets "
+                    f"{attempts[-2].budget} and {budget} cycles "
+                    f"(stuck at {insns} instructions)",
+                    diagnostic=diag,
+                    attempts=tuple(attempts),
+                )
+                break
+            prev_instructions = insns
+            budget *= factor
+        else:
+            attempts.append(Attempt(
+                budget, "ok", result.cycles,
+                sum(c.instructions for c in result.stats.cores),
+            ))
+            outcome.result = result
+            break
+    else:
+        outcome.failure = ChaosFailure(
+            FailureKind.BUDGET,
+            f"still running after {escalations + 1} attempts "
+            f"(final budget {attempts[-1].budget} cycles); the run kept "
+            f"making progress, so this is likely slowness, not a hang",
+            diagnostic=last_diag,
+            attempts=tuple(attempts),
+        )
+
+    if outcome.failure is not None and raise_on_failure:
+        raise outcome.failure
+    return outcome

@@ -69,6 +69,10 @@ class MappingTable:
     def entry_in_use(self, entry: int) -> bool:
         return any(e == entry for e in self._map.values())
 
+    def free_entries(self) -> tuple[int, ...]:
+        """Snapshot of the FSB-entry free list (tests/diagnostics)."""
+        return tuple(self._free)
+
     @property
     def size(self) -> int:
         return len(self._map)

@@ -46,7 +46,13 @@ class ScopeTracker:
         "unmatched_fs_ends",
         "overflow_events",
         "_all_class_mask",
+        "chaos_overflow",
     )
+
+    #: ``fs_start``/``fs_end`` outcome sentinels (also used by the chaos
+    #: invariant checker to mirror scope state from the event stream)
+    OVERFLOWED = -2   # the scope was only counted (overflow mode)
+    UNMATCHED = -3    # fs_end with no open scope (wrong-path artefact)
 
     def __init__(self, config: SimConfig) -> None:
         self.config = config
@@ -64,38 +70,52 @@ class ScopeTracker:
         self._spec_queue: list[list] = []
         self.unmatched_fs_ends = 0
         self.overflow_events = 0
+        # optional fault-injection hook (chaos harness): called as
+        # ``chaos_overflow(cid) -> bool`` at each fs_start; True forces
+        # the overflow-counter path even though the FSS/mapping table
+        # still have room.  Overflow mode over-constrains ordering
+        # (every fence degrades to a traditional fence), so forcing it
+        # is always safe -- it exercises the degraded path the paper's
+        # safety argument leans on.
+        self.chaos_overflow = None
 
     # -- class-scope delimiters -------------------------------------------------
-    def fs_start(self, cid: int) -> None:
-        if self.overflow_count > 0 or self.fss.full:
+    def fs_start(self, cid: int) -> int:
+        """Open a scope; returns its FSB entry or ``OVERFLOWED``."""
+        forced = self.chaos_overflow is not None and self.chaos_overflow(cid)
+        if forced or self.overflow_count > 0 or self.fss.full:
             # excessive-scope fallback: just count nesting depth
             self.overflow_count += 1
             self.overflow_events += 1
             self._record_shadow("ovf+", 0)
-            return
+            return self.OVERFLOWED
         try:
             entry = self.mapping.lookup_or_allocate(cid)
         except MappingOverflow:
             self.overflow_count += 1
             self.overflow_events += 1
             self._record_shadow("ovf+", 0)
-            return
+            return self.OVERFLOWED
         self.fss.push(entry)
         self._record_shadow("push", entry)
+        return entry
 
-    def fs_end(self, cid: int) -> None:
+    def fs_end(self, cid: int) -> int:
+        """Close the innermost scope; returns its FSB entry,
+        ``OVERFLOWED`` (counter decrement) or ``UNMATCHED`` (no-op)."""
         if self.overflow_count > 0:
             self.overflow_count -= 1
             self._record_shadow("ovf-", 0)
-            return
+            return self.OVERFLOWED
         if self.fss.empty:
             # unmatched pop (only possible on a wrong speculative path);
             # hardware treats it as a no-op.
             self.unmatched_fs_ends += 1
-            return
+            return self.UNMATCHED
         entry = self.fss.pop()
         self._record_shadow("pop", entry)
         self._maybe_release(entry)
+        return entry
 
     # -- speculation (branch prediction) ------------------------------------------
     def begin_speculation(self) -> None:

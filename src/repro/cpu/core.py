@@ -30,6 +30,7 @@ the quantity Figures 13-16 break out.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Generator
 
 from ..core.scope_tracker import ScopeTracker
@@ -62,6 +63,7 @@ from .rob import (
     K_LOAD,
     K_PROBE,
     K_STORE,
+    KIND_NAMES,
     ReorderBuffer,
     RobEntry,
 )
@@ -109,11 +111,22 @@ class Core:
         # older in-scope memory ops the fence still waits for]
         self._spec_fence_groups: list[list] = []
         self._mem_seq = 0  # program-order sequence numbers for memory ops
+        self._next_fence_id = 0  # ids for speculatively issued fences
         self._outstanding_misses = 0  # loads missing L1, bounded by MSHRs
+        self._sb_hold_until = 0  # chaos: store-drain throttle release cycle
         self.finished = True
         self.finish_cycle = 0
         self.stall_reason: str | None = None
         self.tracer = None  # optional TraceCollector
+        # chaos-harness hooks: ``chaos`` injects faults (forced branch
+        # mispredictions, store-drain throttling), ``monitor`` receives
+        # the ordering-event stream the invariant checker consumes.
+        # Both default to None and cost one attribute test when unused.
+        self.chaos = None
+        self.monitor = None
+        self.retire_log: deque | None = (
+            deque(maxlen=config.retire_log_len) if config.retire_log_len > 0 else None
+        )
 
     # ------------------------------------------------------------------ set-up
     def bind(self, gen: Generator[Op, object, object] | None) -> None:
@@ -134,6 +147,8 @@ class Core:
             candidates.append(self._events[0][0])
         if self._blocked_until > now:
             candidates.append(self._blocked_until)
+        if self._sb_hold_until > now and not self.sb.empty:
+            candidates.append(self._sb_hold_until)
         future = [c for c in candidates if c > now]
         return min(future) if future else None
 
@@ -148,7 +163,7 @@ class Core:
         if self._events:
             progress |= self._apply_completions(cycle)
         if self._spec_fence_groups:
-            progress |= self._try_complete_open_fences()
+            progress |= self._try_complete_open_fences(cycle)
         if not self.rob.empty:
             progress |= self._retire(cycle)
         if not self.sb.empty:
@@ -191,12 +206,22 @@ class Core:
                     self._fence_countdown(entry.fsb_mask, True, entry.seq)
                     if entry.value:
                         self._outstanding_misses -= 1
+                    if self.monitor is not None:
+                        self.monitor.on_mem_complete(self.core_id, cycle, entry.seq, True)
                 elif entry.kind == K_CAS:
                     self.tracker.complete_mem(entry.fsb_mask, is_load=False)
                     self._fence_countdown(entry.fsb_mask, False, entry.seq)
+                    if self.monitor is not None:
+                        self.monitor.on_mem_complete(self.core_id, cycle, entry.seq, False)
                 elif entry.kind == K_BRANCH:
                     if entry.value:  # mispredict flag stored in .value
                         self.tracker.squash()
+                        if self.monitor is not None:
+                            self.monitor.on_squash(
+                                self.core_id, cycle,
+                                self.tracker.fss.items(),
+                                self.tracker.overflow_count,
+                            )
                     else:
                         self.tracker.confirm_speculation()
             else:  # _EV_SB: store drain completed -> becomes globally visible
@@ -205,6 +230,8 @@ class Core:
                 self.tracker.complete_mem(sbe.fsb_mask, is_load=False, in_sb=True)
                 self._fence_countdown(sbe.fsb_mask, False, sbe.op_seq)
                 self.sb.remove(sbe)
+                if self.monitor is not None:
+                    self.monitor.on_store_drain(self.core_id, cycle, sbe.op_seq)
         return progress
 
     # ------------------------------------------------------------------ retire
@@ -228,6 +255,8 @@ class Core:
                 sbe.op_seq = head.seq
                 self.tracker.store_retired(head.fsb_mask)
             self.rob.pop_head()
+            if self.retire_log is not None:
+                self.retire_log.append((cycle, KIND_NAMES[head.kind], head.addr))
             progress = True
         return progress
 
@@ -253,7 +282,7 @@ class Core:
                 continue
             grp[2] -= 1
 
-    def _try_complete_open_fences(self) -> bool:
+    def _try_complete_open_fences(self, cycle: int) -> bool:
         """Complete speculative fences whose condition already holds.
 
         A fence completes when its countdown of older in-scope memory
@@ -263,8 +292,11 @@ class Core:
         """
         progress = False
         while self._spec_fence_groups and self._spec_fence_groups[0][2] <= 0:
-            fe = self._spec_fence_groups[0][0]
+            grp = self._spec_fence_groups[0]
+            fe = grp[0]
             fe.done = True
+            if self.monitor is not None:
+                self.monitor.on_fence_complete(self.core_id, cycle, grp[3])
             self._release_fence_holds(fe)
             progress = True
         return progress
@@ -291,9 +323,18 @@ class Core:
 
     # ------------------------------------------------------------- store drain
     def _issue_store(self, cycle: int) -> bool:
+        if cycle < self._sb_hold_until:
+            return False  # chaos: write port throttled
         entry = self.sb.next_issuable()
         if entry is None:
             return False
+        if self.chaos is not None:
+            # chaos: delay the drain (the store stays buffered, which is
+            # always safe -- visibility is only ever postponed)
+            hold = self.chaos.drain_delay(self.core_id, cycle)
+            if hold > 0:
+                self._sb_hold_until = cycle + hold
+                return False
         latency = self.hierarchy.access(self.core_id, entry.addr, True, self.stats)
         self.sb.mark_inflight(entry, cycle + latency)
         self._schedule(cycle + latency, _EV_SB, entry)
@@ -381,6 +422,11 @@ class Core:
             self._mem_seq += 1
             entry.seq = self._mem_seq
             entry.fsb_mask = tracker.dispatch_mem(is_load=True, flagged=op.flagged)
+            if self.monitor is not None:
+                self.monitor.on_mem_dispatch(
+                    self.core_id, cycle, entry.seq, "load", op.addr,
+                    entry.fsb_mask, op.flagged,
+                )
             value = self.memory.read(self.core_id, op.addr)
             if forwarded:
                 latency = 1  # store-to-load forwarding from own buffer
@@ -418,6 +464,11 @@ class Core:
             entry.seq = self._mem_seq
             entry.fsb_mask = tracker.dispatch_mem(is_load=False, flagged=op.flagged)
             entry.done = True  # value and address are ready at dispatch
+            if self.monitor is not None:
+                self.monitor.on_mem_dispatch(
+                    self.core_id, cycle, entry.seq, "store", op.addr,
+                    entry.fsb_mask, op.flagged,
+                )
             self.memory.buffer_store(self.core_id, op.addr, op.value)
             if at_dispatch:
                 # RMO: the store enters the store buffer immediately (the
@@ -450,7 +501,15 @@ class Core:
                 entry.seq = self._mem_seq  # ops <= seq are older
                 self.rob.push(entry)
                 countdown = tracker.pending_for_scope(entry.scope_entry, waits)
-                self._spec_fence_groups.append([entry, [], countdown])
+                self._next_fence_id += 1
+                self._spec_fence_groups.append(
+                    [entry, [], countdown, self._next_fence_id]
+                )
+                if self.monitor is not None:
+                    self.monitor.on_fence_open(
+                        self.core_id, cycle, self._next_fence_id,
+                        op.kind.value, waits, entry.scope_entry, entry.seq,
+                    )
                 stats.fences += 1
                 if tracker.would_stall_as_global(waits):
                     stats.sfence_early_issues += 1
@@ -462,6 +521,11 @@ class Core:
                 return False
             if tracker.would_stall_as_global(waits):
                 stats.sfence_early_issues += 1
+            if self.monitor is not None:
+                self.monitor.on_fence_pass(
+                    self.core_id, cycle, op.kind.value, waits,
+                    tracker.resolve_fence_scope(op.kind), self._mem_seq,
+                )
             entry = RobEntry(K_FENCE, cycle)
             entry.done = True
             self.rob.push(entry)
@@ -501,6 +565,11 @@ class Core:
             self._mem_seq += 1
             entry.seq = self._mem_seq
             entry.fsb_mask = tracker.dispatch_mem(is_load=False, flagged=op.flagged)
+            if self.monitor is not None:
+                self.monitor.on_mem_dispatch(
+                    self.core_id, cycle, entry.seq, "cas", op.addr,
+                    entry.fsb_mask, op.flagged,
+                )
             success = self.memory.cas(self.core_id, op.addr, op.expected, op.new)
             latency = self.hierarchy.access(self.core_id, op.addr, True, stats)
             self._schedule(cycle + latency, _EV_ROB, entry)
@@ -521,14 +590,18 @@ class Core:
             return True
 
         if cls is FsStart:
-            tracker.fs_start(op.cid)
+            placed = tracker.fs_start(op.cid)
+            if self.monitor is not None:
+                self.monitor.on_scope(self.core_id, cycle, "start", op.cid, placed)
             entry = RobEntry(K_FS, cycle)
             entry.done = True
             self.rob.push(entry)
             return True
 
         if cls is FsEnd:
-            tracker.fs_end(op.cid)
+            placed = tracker.fs_end(op.cid)
+            if self.monitor is not None:
+                self.monitor.on_scope(self.core_id, cycle, "end", op.cid, placed)
             entry = RobEntry(K_FS, cycle)
             entry.done = True
             self.rob.push(entry)
@@ -540,6 +613,11 @@ class Core:
                 mispredict = self.predictor.update(op.pc, op.taken)
             else:
                 mispredict = op.mispredict
+            if self.chaos is not None and not mispredict:
+                # chaos: forcing a mispredict squashes speculative scope
+                # state and restores FSS from FSS' -- always safe, only
+                # slower (the guest stream itself is never wrong-path)
+                mispredict = self.chaos.force_mispredict(self.core_id, op.pc)
             entry.value = 1 if mispredict else 0
             resolve = cycle + cfg.branch_latency
             tracker.begin_speculation()

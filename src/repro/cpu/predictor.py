@@ -19,7 +19,7 @@ _WEAK_TAKEN = 2
 class TwoBitPredictor:
     """Pattern history table of 2-bit saturating counters."""
 
-    __slots__ = ("entries", "_table", "predictions", "mispredictions")
+    __slots__ = ("entries", "_table", "predictions", "mispredictions", "force")
 
     def __init__(self, entries: int = 512) -> None:
         if entries < 1 or entries & (entries - 1):
@@ -28,6 +28,13 @@ class TwoBitPredictor:
         self._table = [_WEAK_TAKEN] * entries  # weakly taken, like most PHTs
         self.predictions = 0
         self.mispredictions = 0
+        # optional fault-injection hook (chaos harness): called as
+        # ``force(pc, taken, predicted) -> bool``; True forces this
+        # branch to be reported as mispredicted.  Forcing a mispredict
+        # is always architecturally safe -- the core squashes and pays
+        # the penalty -- which is exactly the FSS' restore path the
+        # chaos harness wants to hammer.
+        self.force = None
 
     def _index(self, pc: int) -> int:
         return pc & (self.entries - 1)
@@ -46,6 +53,8 @@ class TwoBitPredictor:
             self._table[idx] -= 1
         self.predictions += 1
         mispredicted = predicted != taken
+        if not mispredicted and self.force is not None and self.force(pc, taken, predicted):
+            mispredicted = True
         if mispredicted:
             self.mispredictions += 1
         return mispredicted

@@ -36,6 +36,12 @@ class MemoryHierarchy:
         ]
         self.l2 = Cache(config.l2_lines, config.l2_assoc, name="l2")
         self.directory = Directory()
+        # optional fault-injection hook (chaos harness): called as
+        # ``fault(core, addr, is_write, latency) -> latency`` after the
+        # architectural latency is resolved.  Injected latency may only
+        # model slower memory, never a functional change, so every
+        # perturbation keeps the run architecturally valid.
+        self.fault = None
 
     def line_of(self, addr: int) -> int:
         if self._line_shift is not None:
@@ -45,6 +51,13 @@ class MemoryHierarchy:
     # ------------------------------------------------------------------------
     def access(self, core: int, addr: int, is_write: bool, stats: CoreStats) -> int:
         """Perform one timed access; returns the latency in cycles."""
+        latency = self._access(core, addr, is_write, stats)
+        fault = self.fault
+        if fault is not None:
+            latency = max(1, fault(core, addr, is_write, latency))
+        return latency
+
+    def _access(self, core: int, addr: int, is_write: bool, stats: CoreStats) -> int:
         cfg = self.config
         line = self.line_of(addr)
         l1 = self.l1[core]

@@ -67,8 +67,14 @@ def scoped_method(fn):
         yield FsStart(cid)
         try:
             result = yield from fn(self, *args, **kwargs)
-        finally:
+        except GeneratorExit:
+            # the guest was abandoned mid-run (aborted/failed simulation
+            # being torn down): yielding FsEnd during close() is illegal
+            raise
+        except BaseException:
             yield FsEnd(cid)
+            raise
+        yield FsEnd(cid)
         return result
 
     wrapper.__scoped__ = True

@@ -103,6 +103,10 @@ class SimConfig:
     predictor_entries: int = 512
     seed: int = 12345
 
+    # keep the last N retired ops per core in a ring buffer for failure
+    # diagnostics (0 disables; the chaos harness enables it)
+    retire_log_len: int = 0
+
     # --- Limits ---------------------------------------------------------------
     mem_size_words: int = 1 << 22  # functional memory size (32 MB of words)
     max_cycles: int = 50_000_000

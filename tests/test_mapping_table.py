@@ -70,6 +70,54 @@ def test_size_and_mappings_snapshot():
     assert mt.size == 1
 
 
+# ------------------------------------------------ recycling under overflow
+def test_shared_entry_release_recycles_all_sharers():
+    """With FSB entries exhausted, several cids share the fallback entry;
+    releasing it must invalidate every sharer and free the entry exactly
+    once."""
+    mt = MappingTable(capacity=8, n_fsb_class_entries=2)
+    mt.lookup_or_allocate(1)          # entry 0
+    mt.lookup_or_allocate(2)          # entry 1
+    mt.lookup_or_allocate(3)          # shares fallback entry 0
+    mt.lookup_or_allocate(4)          # shares fallback entry 0
+    assert mt.free_entries() == ()
+    assert mt.lookup(1) == mt.lookup(3) == mt.lookup(4) == mt.shared_entry
+    mt.release_entry(mt.shared_entry)
+    for cid in (1, 3, 4):
+        assert mt.lookup(cid) is None
+    assert mt.lookup(2) is not None   # the other entry is untouched
+    assert mt.free_entries().count(mt.shared_entry) == 1
+    # the recycled entry is allocatable again (not the shared fallback)
+    assert mt.lookup_or_allocate(9) == mt.shared_entry
+    assert mt.free_entries() == ()
+
+
+def test_release_does_not_duplicate_free_entry():
+    """Releasing an entry twice (complete + fs_end race in the tracker)
+    must not put it on the free list twice."""
+    mt = MappingTable(capacity=8, n_fsb_class_entries=2)
+    mt.lookup_or_allocate(1)
+    mt.lookup_or_allocate(2)
+    mt.release_entry(1)
+    mt.release_entry(1)               # second release: mapping already gone
+    assert mt.free_entries().count(1) == 1
+    e1 = mt.lookup_or_allocate(10)
+    e2 = mt.lookup_or_allocate(11)
+    assert e1 == 1 and e2 == mt.shared_entry  # 1 handed out exactly once
+
+
+def test_capacity_overflow_after_recycling_clears():
+    """MappingOverflow pressure goes away once stale mappings recycle."""
+    mt = MappingTable(capacity=2, n_fsb_class_entries=3)
+    mt.lookup_or_allocate(1)
+    e2 = mt.lookup_or_allocate(2)
+    with pytest.raises(MappingOverflow):
+        mt.lookup_or_allocate(3)
+    mt.release_entry(e2)
+    assert mt.lookup_or_allocate(3) is not None
+    assert mt.size == 2
+
+
 def test_invalid_construction():
     with pytest.raises(ValueError):
         MappingTable(0, 2)

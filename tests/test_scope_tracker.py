@@ -183,6 +183,59 @@ def test_overflow_period_ops_stay_visible_to_later_fences():
     assert t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
 
 
+def test_fs_start_returns_entry_or_sentinel():
+    t = make(fss_entries=1)
+    entry = t.fs_start(1)
+    assert entry >= 0 and entry == t.fss.top()
+    assert t.fs_start(2) == ScopeTracker.OVERFLOWED
+    assert t.fs_end(2) == ScopeTracker.OVERFLOWED
+    assert t.fs_end(1) == entry
+    assert t.fs_end(1) == ScopeTracker.UNMATCHED
+
+
+def test_chaos_overflow_hook_forces_counter_mode():
+    """The fault-injection hook must push fs_start onto the overflow
+    counter even though FSS and mapping table have plenty of room."""
+    forced = []
+    t = make()
+    t.chaos_overflow = lambda cid: forced.append(cid) or True
+    assert t.fs_start(1) == ScopeTracker.OVERFLOWED
+    assert forced == [1]
+    assert t.overflow_count == 1 and t.fss.empty
+    assert t.mapping.size == 0
+    # degraded behaviour is exactly the organic-overflow behaviour
+    m = t.dispatch_mem(is_load=False, flagged=False)
+    assert m == t._all_class_mask
+    assert not t.fence_ready(FenceKind.CLASS, WAIT_BOTH)
+    t.complete_mem(m, is_load=False)
+    assert t.fs_end(1) == ScopeTracker.OVERFLOWED
+    assert t.overflow_count == 0
+
+
+def test_chaos_overflow_hook_can_decline():
+    t = make()
+    t.chaos_overflow = lambda cid: False
+    assert t.fs_start(1) >= 0
+    assert t.overflow_count == 0
+
+
+def test_overflow_dispatch_mask_is_all_class_entries():
+    t = make(fss_entries=1)
+    t.fs_start(1)
+    t.fs_start(2)  # overflow
+    m = t.dispatch_mem(is_load=True, flagged=True)
+    assert m == t._all_class_mask | (1 << t.fsb.set_entry)
+
+
+def test_set_fence_keeps_scope_during_overflow():
+    """Set fences never degrade: their FSB column survives counter mode."""
+    t = make(fss_entries=1)
+    t.fs_start(1)
+    t.fs_start(2)  # overflow
+    assert t.resolve_fence_scope(FenceKind.SET) == t.fsb.set_entry
+    assert t.resolve_fence_scope(FenceKind.CLASS) == t.GLOBAL_SCOPE
+
+
 def test_deep_nesting_counter():
     t = make(fss_entries=1)
     for cid in range(5):

@@ -27,6 +27,38 @@ def test_cycle_limit():
         run_program(prog, SimConfig(n_cores=1), max_cycles=100)
 
 
+def test_cycle_limit_carries_diagnostic():
+    prog = ops_program([[Compute(10_000)], [Compute(1)]])
+    with pytest.raises(CycleLimitError) as exc_info:
+        run_program(prog, SimConfig(n_cores=2), max_cycles=100)
+    diag = exc_info.value.diagnostic
+    assert diag is not None
+    assert diag.reason == "cycle-limit" and diag.cycle == 100
+    assert len(diag.cores) == 2
+    assert [c.core_id for c in diag.running_cores] == [0]
+    # the post-mortem is part of the exception text
+    assert "cycle-limit" in str(exc_info.value)
+    assert "core 0" in str(exc_info.value)
+
+
+def test_diagnostic_includes_retire_log_when_enabled():
+    ops = [Store(100, 1), Load(100), Compute(10_000)]
+    with pytest.raises(CycleLimitError) as exc_info:
+        run_program(ops_program([ops]),
+                    SimConfig(n_cores=1, retire_log_len=4), max_cycles=500)
+    snap = exc_info.value.diagnostic.cores[0]
+    kinds = [kind for _, kind, _ in snap.last_retired]
+    assert "store" in kinds and "load" in kinds
+    assert "last retired" in exc_info.value.diagnostic.render()
+
+
+def test_retire_log_disabled_by_default():
+    prog = ops_program([[Compute(10_000)]])
+    with pytest.raises(CycleLimitError) as exc_info:
+        run_program(prog, SimConfig(n_cores=1), max_cycles=100)
+    assert exc_info.value.diagnostic.cores[0].last_retired == ()
+
+
 def test_total_cycles_is_max_over_cores():
     prog = ops_program([[Compute(50)], [Compute(500)]])
     res = run_program(prog, SimConfig(n_cores=2))
