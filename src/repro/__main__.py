@@ -10,8 +10,15 @@ Commands:
 * ``chaos`` — fault-injection sweep over the lock-free algorithm suite
   with ordering-invariant checking (see :mod:`repro.chaos`); exits
   non-zero if any case fails.
+* ``campaign`` — run job sets (chaos × seeds, figure cells, the litmus
+  corpus) on the parallel campaign engine with an on-disk result cache
+  (see :mod:`repro.campaign`).
 
-The figure commands are thin wrappers over the same drivers the
+Every simulation-grid command accepts ``--parallel N`` to fan cells out
+over N crash-isolated worker processes, and ``--cache-dir``/
+``--no-cache`` to control result memoisation.  Parallelism and caching
+never change any number in any table — only how fast it appears.  The
+figure commands are thin wrappers over the same cell drivers the
 pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
 """
 
@@ -20,126 +27,73 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis.report import format_table
-from .analysis.speedup import measure, normalized_series
+from .analysis.report import (
+    StreamAggregator,
+    failure_counts,
+    format_table,
+    render_failure_counts,
+)
 from .core.hwcost import estimate_cost
-from .isa.instructions import FenceKind
-from .runtime.lang import Env
 from .sim.config import MemoryModel, SimConfig
 
+#: default on-disk result cache location (relative to the working dir)
+DEFAULT_CACHE_DIR = ".campaign-cache"
 
-def _scaled(n: int, scale: float) -> int:
-    return max(2, int(round(n * scale)))
-
-
-def cmd_fig12(scale: float) -> None:
-    from .algorithms.dekker import build_workload as dekker
-    from .algorithms.workloads import (
-        build_harris_workload,
-        build_msn_workload,
-        build_wsq_workload,
-    )
-
-    builders = {
-        "dekker": lambda env, lvl: dekker(env, workload_level=lvl, iterations=_scaled(25, scale)),
-        "wsq": lambda env, lvl: build_wsq_workload(env, workload_level=lvl, iterations=_scaled(30, scale)),
-        "msn": lambda env, lvl: build_msn_workload(env, workload_level=lvl, iterations=_scaled(15, scale)),
-        "harris": lambda env, lvl: build_harris_workload(env, workload_level=lvl, iterations=_scaled(15, scale)),
-    }
-    rows = []
-    for name, build in builders.items():
-        curve = []
-        for level in range(1, 7):
-            cycles = {}
-            for scoped in (False, True):
-                env = Env(SimConfig(scoped_fences=scoped))
-                handle = build(env, level)
-                res = env.run(handle.program)
-                handle.check()
-                cycles[scoped] = res.cycles
-            curve.append(cycles[False] / cycles[True])
-        rows.append((name, " ".join(f"{s:.3f}" for s in curve), f"{max(curve):.2f}x"))
-    print(format_table(["benchmark", "speedup @ workload 1..6", "peak"], rows,
-                       title="Figure 12 -- impact of workload"))
+#: full chaos sweep depth when neither --seeds nor --smoke is given
+CHAOS_DEFAULT_SEEDS = 20
+CHAOS_SMOKE_SEEDS = 2
 
 
-def _app_builders(scale: float):
-    from .apps.barnes import build_barnes
-    from .apps.pst import build_pst
-    from .apps.ptc import build_ptc
-    from .apps.radiosity import build_radiosity
+# --------------------------------------------------------------- campaign glue
+def _make_cache(ns):
+    """The ResultCache this invocation should use (or None)."""
+    from .campaign import ResultCache
 
-    return {
-        "pst": (lambda env, k: build_pst(env, scope=k, n_vertices=_scaled(160, scale)), FenceKind.CLASS),
-        "ptc": (lambda env, k: build_ptc(env, scope=k, n_vertices=_scaled(48, min(scale, 1.3))), FenceKind.CLASS),
-        "barnes": (lambda env, k: build_barnes(env, scope=k, n_bodies=_scaled(192, scale)), FenceKind.SET),
-        "radiosity": (lambda env, k: build_radiosity(env, scope=k, n_patches=_scaled(128, scale)), FenceKind.SET),
-    }
-
-
-def cmd_fig13(scale: float) -> None:
-    rows = []
-    for name, (builder, kind) in _app_builders(scale).items():
-        points = []
-        for label, scope, spec in (
-            ("T", FenceKind.GLOBAL, False),
-            ("S", kind, False),
-            ("T+", FenceKind.GLOBAL, True),
-            ("S+", kind, True),
-        ):
-            points.append(measure(
-                lambda env: builder(env, scope),
-                SimConfig(in_window_speculation=spec),
-                label=label,
-            ))
-        for s in normalized_series(points, points[0]):
-            rows.append((name, s["label"], s["normalized_time"], s["fence_stalls"], s["others"]))
-    print(format_table(["app", "config", "normalized", "fence stalls", "others"], rows,
-                       title="Figure 13 -- normalized execution time"))
+    if ns.no_cache:
+        return None
+    if ns.cache_dir:
+        return ResultCache(ns.cache_dir)
+    # parallel runs default to the shared cache so re-invocations resume
+    if ns.parallel > 0:
+        return ResultCache(DEFAULT_CACHE_DIR)
+    return None
 
 
-def cmd_fig14(scale: float) -> None:
-    from .algorithms.workloads import build_harris_workload, build_msn_workload
-    from .apps.pst import build_pst
-    from .apps.ptc import build_ptc
+def _run_jobs(jobs, ns, label: str):
+    """Execute a job list under this invocation's engine settings."""
+    from .campaign import run_campaign
 
-    builders = {
-        "msn": lambda env, k: build_msn_workload(env, scope=k, iterations=_scaled(12, scale), workload_level=2),
-        "harris": lambda env, k: build_harris_workload(env, scope=k, iterations=_scaled(12, scale), workload_level=2),
-        "pst": lambda env, k: build_pst(env, scope=k, n_vertices=_scaled(128, scale)),
-        "ptc": lambda env, k: build_ptc(env, scope=k, n_vertices=_scaled(48, min(scale, 1.3))),
-    }
-    rows = []
-    for name, builder in builders.items():
-        cs = measure(lambda env: builder(env, FenceKind.CLASS), SimConfig(), "C.S.")
-        ss = measure(lambda env: builder(env, FenceKind.SET), SimConfig(), "S.S.")
-        rows.append((name, cs.cycles, ss.cycles, f"{ss.cycles / cs.cycles:.3f}"))
-    print(format_table(["benchmark", "class scope", "set scope", "set/class"], rows,
-                       title="Figure 14 -- class vs set scope"))
+    agg = StreamAggregator(len(jobs))
+    live = sys.stderr.isatty()
 
+    def progress(outcome, done, total):
+        agg.add(outcome.ok, outcome.cached, outcome.job.label())
+        if live:
+            print(f"\r{label}: {agg.line()}", end="", file=sys.stderr)
 
-def _sweep(scale: float, field: str, values: list[int], title: str) -> None:
-    rows = []
-    for name, (builder, kind) in _app_builders(scale).items():
-        speedups = []
-        for value in values:
-            cfg = SimConfig(**{field: value})
-            t = measure(lambda env: builder(env, FenceKind.GLOBAL), cfg, "T")
-            s = measure(lambda env: builder(env, kind), cfg, "S")
-            speedups.append(t.cycles / s.cycles)
-        rows.append((name, " ".join(f"{x:.3f}" for x in speedups)))
-    print(format_table(["app", f"S-Fence speedup @ {field} {values}"], rows, title=title))
+    result = run_campaign(jobs, parallel=ns.parallel, cache=_make_cache(ns),
+                          progress=progress, job_timeout=ns.job_timeout)
+    if live:
+        print(file=sys.stderr)
+    print(f"{label}: {agg.summary()} "
+          f"({result.executed} executed, {result.cached} from cache)",
+          file=sys.stderr)
+    return result
 
 
-def cmd_fig15(scale: float) -> None:
-    _sweep(scale, "mem_latency", [200, 300, 500], "Figure 15 -- varying memory latency")
+def cmd_figure(figure: str, ns) -> int:
+    from .campaign import assemble_figure, figure_jobs
+
+    jobs = figure_jobs(figure, ns.scale)
+    result = _run_jobs(jobs, ns, figure)
+    print(assemble_figure(figure, jobs, result.results()))
+    for outcome in result.failures:
+        print(f"\nFAIL {outcome.job.label()}: {outcome.status}\n{outcome.error}",
+              file=sys.stderr)
+    return 0 if result.ok else 1
 
 
-def cmd_fig16(scale: float) -> None:
-    _sweep(scale, "rob_size", [64, 128, 256], "Figure 16 -- varying ROB size")
-
-
-def cmd_hwcost(_: float) -> None:
+def cmd_hwcost(ns) -> int:
     cost = estimate_cost(SimConfig())
     print(format_table(
         ["structure", "bits"],
@@ -153,6 +107,7 @@ def cmd_hwcost(_: float) -> None:
         ],
         title="Section VI-E -- hardware cost per core",
     ))
+    return 0
 
 
 def cmd_litmus(path: str, model_name: str) -> int:
@@ -182,30 +137,26 @@ def cmd_litmus(path: str, model_name: str) -> int:
     return 0
 
 
-def cmd_chaos(ns) -> int:
-    from .chaos.runner import ALGORITHMS, SCENARIOS, sweep
+# ----------------------------------------------------------------------- chaos
+def _resolve_chaos_seeds(ns) -> tuple[int, bool]:
+    """The seeds-per-cell count, and whether --smoke truncated it."""
+    if ns.seeds is not None:
+        return ns.seeds, False
+    if ns.smoke:
+        return CHAOS_SMOKE_SEEDS, True
+    return CHAOS_DEFAULT_SEEDS, False
 
-    algos = ns.algos.split(",") if ns.algos else None
-    scenarios = ns.scenarios.split(",") if ns.scenarios else None
-    n_seeds = ns.seeds
-    if n_seeds is None:
-        n_seeds = 2 if ns.smoke else 20
-    try:
-        reports = sweep(
-            algos=algos,
-            scenarios=scenarios,
-            n_seeds=n_seeds,
-            seed_base=ns.seed_base,
-            base_budget=ns.budget,
-        )
-    except KeyError as exc:
-        print(f"chaos: {exc.args[0]}", file=sys.stderr)
-        return 2
 
-    # aggregate per (scenario, algorithm) across seeds
+def _print_chaos_summary(reports, n_seeds: int, seed_base: int,
+                         truncated: bool) -> int:
+    """Aggregate table + exit-status summary shared by both chaos paths."""
+    from .chaos.runner import ALGORITHMS, SCENARIOS
+
+    scenarios = [s for s in SCENARIOS if any(r.scenario == s for r in reports)]
+    algos = [a for a in ALGORITHMS if any(r.algo == a for r in reports)]
     rows = []
-    for scenario in scenarios or list(SCENARIOS):
-        for algo in algos or list(ALGORITHMS):
+    for scenario in scenarios:
+        for algo in algos:
             cell = [r for r in reports if r.scenario == scenario and r.algo == algo]
             if not cell:
                 continue
@@ -220,18 +171,139 @@ def cmd_chaos(ns) -> int:
     print(format_table(
         ["scenario", "algo", "ok", "fences checked", "violations", "faults injected"],
         rows,
-        title=f"chaos sweep -- {n_seeds} seed(s) from {ns.seed_base}",
+        title=f"chaos sweep -- {n_seeds} seed(s) from {seed_base}",
     ))
     failures = [r for r in reports if not r.ok]
     for r in failures:
         print(f"\nFAIL {r.algo}/{r.scenario} seed={r.seed} scope={r.scope}: {r.status}")
         if r.detail:
             print(r.detail)
+
+    # exit-status summary: per-scenario failure counts are always
+    # surfaced, and a truncated seed list is called out explicitly so a
+    # green smoke run can't be mistaken for full-depth coverage
+    per_scenario = failure_counts((r.scenario, r.ok) for r in reports)
+    if truncated:
+        dropped = CHAOS_DEFAULT_SEEDS - n_seeds
+        print(f"\nsmoke: ran {n_seeds} of the default {CHAOS_DEFAULT_SEEDS} "
+              f"seeds per cell ({dropped} dropped; coverage is reduced)",
+              file=sys.stderr)
+    print(f"failures by scenario: {render_failure_counts(per_scenario)}",
+          file=sys.stderr)
     if failures:
         print(f"\n{len(failures)}/{len(reports)} case(s) failed", file=sys.stderr)
         return 1
     print(f"\nall {len(reports)} cases passed")
     return 0
+
+
+def _chaos_reports_from_outcomes(outcomes):
+    """ChaosReports from campaign outcomes (engine failures included)."""
+    from .chaos.runner import ChaosReport
+
+    reports = []
+    for outcome in outcomes:
+        if outcome.ok:
+            reports.append(ChaosReport(**outcome.result))
+        else:
+            p = outcome.job.params
+            reports.append(ChaosReport(
+                algo=p["algo"], scenario=p["scenario"], seed=p["seed"],
+                scope="?", status=outcome.status, detail=outcome.error,
+            ))
+    return reports
+
+
+def cmd_chaos(ns) -> int:
+    from .chaos.runner import sweep
+
+    algos = ns.algos.split(",") if ns.algos else None
+    scenarios = ns.scenarios.split(",") if ns.scenarios else None
+    n_seeds, truncated = _resolve_chaos_seeds(ns)
+
+    try:
+        if ns.parallel > 0:
+            from .campaign import chaos_jobs
+
+            jobs = chaos_jobs(
+                algos=algos, scenarios=scenarios, n_seeds=n_seeds,
+                seed_base=ns.seed_base, base_budget=ns.budget,
+            )
+            result = _run_jobs(jobs, ns, "chaos")
+            reports = _chaos_reports_from_outcomes(result.outcomes)
+        else:
+            reports = sweep(
+                algos=algos, scenarios=scenarios, n_seeds=n_seeds,
+                seed_base=ns.seed_base, base_budget=ns.budget,
+            )
+    except KeyError as exc:
+        print(f"chaos: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return _print_chaos_summary(reports, n_seeds, ns.seed_base, truncated)
+
+
+# -------------------------------------------------------------------- campaign
+def cmd_campaign(ns) -> int:
+    """Run the selected job sets on the engine, cached and resumable."""
+    from .campaign import (
+        FIGURES,
+        assemble_figure,
+        chaos_jobs,
+        figure_jobs,
+        litmus_jobs,
+    )
+
+    run_chaos = ns.chaos or not (ns.figures or ns.litmus)
+    figures = []
+    if ns.figures:
+        figures = list(FIGURES) if ns.figures == "all" else ns.figures.split(",")
+        for f in figures:
+            if f not in FIGURES:
+                print(f"campaign: unknown figure {f!r} (have {FIGURES})",
+                      file=sys.stderr)
+                return 2
+
+    status = 0
+    if run_chaos:
+        algos = ns.algos.split(",") if ns.algos else None
+        scenarios = ns.scenarios.split(",") if ns.scenarios else None
+        n_seeds, truncated = _resolve_chaos_seeds(ns)
+        try:
+            jobs = chaos_jobs(algos=algos, scenarios=scenarios, n_seeds=n_seeds,
+                              seed_base=ns.seed_base, base_budget=ns.budget)
+        except KeyError as exc:
+            print(f"campaign: {exc.args[0]}", file=sys.stderr)
+            return 2
+        result = _run_jobs(jobs, ns, "campaign/chaos")
+        reports = _chaos_reports_from_outcomes(result.outcomes)
+        status |= _print_chaos_summary(reports, n_seeds, ns.seed_base, truncated)
+
+    for figure in figures:
+        jobs = figure_jobs(figure, ns.scale)
+        result = _run_jobs(jobs, ns, f"campaign/{figure}")
+        print(assemble_figure(figure, jobs, result.results()))
+        if not result.ok:
+            status |= 1
+
+    if ns.litmus:
+        jobs = litmus_jobs(model=ns.model)
+        result = _run_jobs(jobs, ns, "campaign/litmus")
+        rows = []
+        for outcome in result.outcomes:
+            if outcome.ok:
+                r = outcome.result
+                rows.append((r["name"],
+                             "observable" if r["expect_observable"] else "forbidden",
+                             "observed" if r["condition_observed"] else "not observed",
+                             "ok" if r["ok"] else "MISMATCH"))
+                if not r["ok"]:
+                    status |= 1
+            else:
+                rows.append((outcome.job.params["name"], "?", outcome.status, "FAIL"))
+                status |= 1
+        print(format_table(["test", "expected (rmo)", "simulator", "verdict"],
+                           rows, title="litmus corpus"))
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -241,24 +313,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost", "litmus", "chaos"],
+        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost",
+                 "litmus", "chaos", "campaign"],
     )
     parser.add_argument("args", nargs="*", help="litmus: <file>")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     parser.add_argument("--model", default="rmo", help="litmus: memory model (sc/tso/pso/rmo)")
-    chaos_group = parser.add_argument_group("chaos options")
+
+    engine_group = parser.add_argument_group("campaign engine options")
+    engine_group.add_argument("--parallel", type=int, default=0, metavar="N",
+                              help="fan cells out over N worker processes "
+                                   "(0: run in-process)")
+    engine_group.add_argument("--cache-dir", default="",
+                              help=f"result cache directory [{DEFAULT_CACHE_DIR} "
+                                   f"when parallel]")
+    engine_group.add_argument("--no-cache", action="store_true",
+                              help="disable the on-disk result cache")
+    engine_group.add_argument("--job-timeout", type=float, default=600.0,
+                              help="kill a worker with no progress for this "
+                                   "many seconds [600]")
+
+    chaos_group = parser.add_argument_group("chaos/campaign sweep options")
     chaos_group.add_argument("--seeds", type=int, default=None,
-                             help="chaos: seeds per (scenario, algo) cell [20; --smoke: 2]")
+                             help=f"seeds per (scenario, algo) cell "
+                                  f"[{CHAOS_DEFAULT_SEEDS}; --smoke: {CHAOS_SMOKE_SEEDS}]")
     chaos_group.add_argument("--seed-base", type=int, default=0,
-                             help="chaos: first seed of the sweep")
+                             help="first seed of the sweep")
     chaos_group.add_argument("--algos", default="",
-                             help="chaos: comma-separated algorithm subset")
+                             help="comma-separated algorithm subset")
     chaos_group.add_argument("--scenarios", default="",
-                             help="chaos: comma-separated scenario subset")
+                             help="comma-separated scenario subset")
     chaos_group.add_argument("--budget", type=int, default=400_000,
-                             help="chaos: base cycle budget before escalation")
+                             help="base cycle budget before escalation")
     chaos_group.add_argument("--smoke", action="store_true",
-                             help="chaos: quick CI sweep (2 seeds)")
+                             help="quick CI sweep (truncated seed list)")
+
+    campaign_group = parser.add_argument_group("campaign job sets")
+    campaign_group.add_argument("--chaos", action="store_true",
+                                help="campaign: include the chaos sweep (default "
+                                     "when no set is selected)")
+    campaign_group.add_argument("--figures", default="",
+                                help="campaign: comma-separated figures "
+                                     "(fig12..fig16) or 'all'")
+    campaign_group.add_argument("--litmus", action="store_true",
+                                help="campaign: include the litmus corpus")
     ns = parser.parse_args(argv)
 
     if ns.command == "litmus":
@@ -267,15 +365,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_litmus(ns.args[0], ns.model)
     if ns.command == "chaos":
         return cmd_chaos(ns)
-    {
-        "fig12": cmd_fig12,
-        "fig13": cmd_fig13,
-        "fig14": cmd_fig14,
-        "fig15": cmd_fig15,
-        "fig16": cmd_fig16,
-        "hwcost": cmd_hwcost,
-    }[ns.command](ns.scale)
-    return 0
+    if ns.command == "campaign":
+        return cmd_campaign(ns)
+    if ns.command == "hwcost":
+        return cmd_hwcost(ns)
+    return cmd_figure(ns.command, ns)
 
 
 if __name__ == "__main__":

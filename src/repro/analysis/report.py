@@ -67,6 +67,81 @@ def stacked_bar_rows(series: list[dict]) -> list[tuple[str, str, str, str]]:
     ]
 
 
+def progress_line(
+    done: int,
+    total: int,
+    ok: int = 0,
+    failed: int = 0,
+    cached: int = 0,
+    width: int = 24,
+) -> str:
+    """One-line campaign progress bar: ``[#####...] 12/40 ok=10 ...``."""
+    filled = int(round(width * min(done, total) / total)) if total else 0
+    bar = "#" * filled + "." * (width - filled)
+    return (f"[{bar}] {done}/{total} ok={ok} failed={failed} cached={cached}")
+
+
+class StreamAggregator:
+    """Aggregate campaign job outcomes as they stream in.
+
+    The campaign engine completes jobs out of submission order (cache
+    hits first, then whichever worker finishes); this accumulator keeps
+    the running counts a progress display needs without waiting for the
+    full result list.
+    """
+
+    def __init__(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self.ok = 0
+        self.failed = 0
+        self.cached = 0
+        self.failures: list[str] = []
+
+    def add(self, ok: bool, cached: bool = False, label: str = "") -> None:
+        self.done += 1
+        if ok:
+            self.ok += 1
+        else:
+            self.failed += 1
+            if label:
+                self.failures.append(label)
+        if cached:
+            self.cached += 1
+
+    def line(self, width: int = 24) -> str:
+        return progress_line(self.done, self.total, self.ok, self.failed,
+                             self.cached, width=width)
+
+    def summary(self) -> str:
+        out = (f"{self.done}/{self.total} job(s): {self.ok} ok, "
+               f"{self.failed} failed, {self.cached} from cache")
+        if self.failures:
+            out += " -- failed: " + ", ".join(self.failures[:10])
+            if len(self.failures) > 10:
+                out += f" (+{len(self.failures) - 10} more)"
+        return out
+
+
+def failure_counts(rows: Iterable[tuple[str, bool]]) -> dict[str, int]:
+    """Per-group failure tally from ``(group, ok)`` pairs.
+
+    Every group seen appears in the result -- including groups with
+    zero failures -- so a truncated sweep still reports the full
+    scenario list it covered rather than silently narrowing it.
+    """
+    counts: dict[str, int] = {}
+    for group, ok in rows:
+        counts.setdefault(group, 0)
+        if not ok:
+            counts[group] += 1
+    return counts
+
+
+def render_failure_counts(counts: dict[str, int]) -> str:
+    return " ".join(f"{group}={n}" for group, n in counts.items())
+
+
 def ascii_series(values: Sequence[float], width: int = 40, label_fmt: str = "{:.3f}") -> list[str]:
     """Tiny horizontal bar chart (one line per value)."""
     if not values:

@@ -32,6 +32,19 @@ class RunPoint:
         return 1.0 - self.fence_stall_fraction
 
 
+def ratio(numerator, denominator) -> float | None:
+    """Speedup ``numerator / denominator`` that survives bad cells.
+
+    Returns ``None`` when either side is missing (a dropped or failed
+    campaign cell) or the denominator is zero (a degenerate zero-cycle
+    baseline), so table assembly can print ``n/a`` instead of dividing
+    by zero deep inside a sweep.
+    """
+    if numerator is None or denominator is None or not denominator:
+        return None
+    return numerator / denominator
+
+
 def measure(
     build: Callable[[Env], object],
     config: SimConfig,

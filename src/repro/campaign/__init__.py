@@ -1,0 +1,51 @@
+"""Parallel campaign engine: cached, resumable, crash-isolated sweeps.
+
+The evaluation surfaces of this repo -- chaos sweeps, the Figure 12-16
+benchmark tables, the litmus corpus -- are all embarrassingly parallel
+grids of independent simulations.  This package turns each of them into
+a declarative job list (:mod:`~repro.campaign.jobs`), executes the list
+on a pool of crash-isolated worker processes
+(:mod:`~repro.campaign.engine`), and memoises every completed cell in a
+content-addressed on-disk cache (:mod:`~repro.campaign.cache`) so
+re-runs and interrupted campaigns resume without re-simulating
+anything.  Determinism is the contract throughout: the same job list
+with the same seeds produces byte-identical results inline, on one
+worker, or on many.
+"""
+
+from .cache import ResultCache, code_fingerprint, job_key
+from .engine import (
+    CampaignResult,
+    DEFAULT_JOB_TIMEOUT,
+    JobOutcome,
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    run_campaign,
+)
+from .figures import FIGURES, assemble_figure, figure_jobs, run_figure_cell
+from .jobs import Job, chaos_jobs, execute_job, litmus_jobs, probe_jobs
+
+__all__ = [
+    "CampaignResult",
+    "DEFAULT_JOB_TIMEOUT",
+    "FIGURES",
+    "Job",
+    "JobOutcome",
+    "ResultCache",
+    "STATUS_CRASH",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "assemble_figure",
+    "chaos_jobs",
+    "code_fingerprint",
+    "execute_job",
+    "figure_jobs",
+    "job_key",
+    "litmus_jobs",
+    "probe_jobs",
+    "run_campaign",
+    "run_figure_cell",
+]

@@ -1,0 +1,131 @@
+"""Content-addressed on-disk result cache for campaign jobs.
+
+A campaign must be resumable: killing a sweep half-way and re-invoking
+it should re-execute only the cells that never completed.  The cache
+keys every job by a SHA-256 over its *content* -- the job kind, its
+full parameter payload, and a fingerprint of the ``repro`` source tree
+-- so a result is reused only while both the inputs and the code that
+produced it are unchanged.  Editing any simulator source invalidates
+every key at once (coarse, but sound: there is no per-module dependency
+tracking that could silently serve stale numbers).
+
+Layout under the cache root::
+
+    objects/<key[:2]>/<key>.json   one completed job result each
+    manifest.jsonl                 append-only log of completed jobs
+
+Object files carry no timestamps or host data, so a warm re-run is
+byte-identical to the run that populated it -- the campaign engine's
+determinism contract extends to the cache.  Writes go through a
+temp-file + ``os.replace`` so a killed campaign never leaves a torn
+object behind (a partial temp file is simply ignored and overwritten).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+#: result statuses worth persisting.  Worker crashes and timeouts are
+#: environment-dependent (host load, wall clocks) and must be retried,
+#: never resumed from cache.
+CACHEABLE_STATUSES = ("ok",)
+
+_fingerprint_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + content).
+
+    Computed once per process; any change to the package -- scenario
+    presets, simulator timing, workload builders -- yields a new
+    fingerprint and therefore a cold cache.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        root = Path(__file__).resolve().parents[1]
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _fingerprint_cache = h.hexdigest()
+    return _fingerprint_cache
+
+
+def job_key(kind: str, params: dict, fingerprint: str) -> str:
+    """Deterministic content hash of one job."""
+    payload = json.dumps(
+        {"kind": kind, "params": params, "code": fingerprint},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of completed job results."""
+
+    def __init__(self, root: str | os.PathLike, fingerprint: str | None = None) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ keys
+    def key_for(self, job) -> str:
+        return job_key(job.kind, job.params, self.fingerprint)
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    # ---------------------------------------------------------------- lookup
+    def get(self, job) -> dict | None:
+        """The cached result payload for ``job``, or None."""
+        path = self._object_path(self.key_for(job))
+        try:
+            with open(path) as fh:
+                obj = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return obj["result"]
+
+    # ----------------------------------------------------------------- store
+    def put(self, job, status: str, result: dict) -> None:
+        if status not in CACHEABLE_STATUSES:
+            return
+        key = self.key_for(job)
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        obj = {"key": key, "kind": job.kind, "params": job.params,
+               "status": status, "result": result}
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(obj, fh, sort_keys=True)
+        os.replace(tmp, path)
+        with open(self.root / "manifest.jsonl", "a") as fh:
+            fh.write(json.dumps(
+                {"key": key, "kind": job.kind, "status": status},
+                sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------- inventory
+    def manifest(self) -> list[dict]:
+        """Every completed-job record, in completion order."""
+        path = self.root / "manifest.jsonl"
+        if not path.exists():
+            return []
+        out = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def __len__(self) -> int:
+        return sum(1 for _ in (self.root / "objects").rglob("*.json"))

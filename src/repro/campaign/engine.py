@@ -1,0 +1,243 @@
+"""The campaign executor: cached, resumable, crash-isolated fan-out.
+
+``run_campaign`` takes a declarative job list and executes it either
+inline (``parallel=0``) or on a pool of worker *processes*
+(``parallel>=1``).  Three properties are the contract:
+
+* **Determinism** -- results are returned in job-submission order and
+  each job's payload is a pure function of its parameters (see
+  :func:`repro.campaign.jobs.execute_job`), so a campaign produces the
+  identical outcome list whether it ran inline, on one worker, or on
+  sixteen.  Nothing host- or wall-clock-dependent enters a payload.
+* **Crash isolation** -- every job runs in its own worker process (one
+  process per job, at most ``parallel`` alive at once).  A worker that
+  dies is classified ``worker-crash``; one that stops heartbeating past
+  the job timeout is killed and classified ``worker-timeout``; an
+  exception inside the job is ``error`` with the traceback.  None of
+  them abort the campaign.
+* **Resumability** -- with a :class:`~repro.campaign.cache.ResultCache`
+  attached, completed jobs are served from disk and *zero* simulations
+  re-execute; an interrupted campaign continues from wherever its
+  manifest left off.
+
+Workers are forked (POSIX) so they inherit the loaded simulator modules
+instead of re-importing them; the spawn fallback keeps the engine
+functional on platforms without ``fork``.  The chaos supervisor's
+escalation ladder runs entirely inside the worker -- each budget rung
+sends a heartbeat over the result pipe, which resets the parent's
+deadline so a legitimately escalating case is never confused with a
+hung one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+
+from .cache import ResultCache
+from .jobs import Job, execute_job
+
+#: outcome statuses (job-level; a chaos job whose *case* deadlocked is
+#: still status "ok" here -- the classification is in its payload)
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_CRASH = "worker-crash"
+STATUS_TIMEOUT = "worker-timeout"
+
+FAILURE_STATUSES = (STATUS_ERROR, STATUS_CRASH, STATUS_TIMEOUT)
+
+#: default per-job wall-clock budget between heartbeats (seconds).
+#: Generous: a single escalation rung of a storm case is well under a
+#: minute; only a genuinely wedged worker trips this.
+DEFAULT_JOB_TIMEOUT = 600.0
+
+
+@dataclass
+class JobOutcome:
+    """One job's terminal state."""
+
+    job: Job
+    status: str
+    result: dict | None = None
+    cached: bool = False
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes, in job-submission order, plus execution counters."""
+
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    executed: int = 0     # jobs that actually ran (not cache hits)
+    cached: int = 0       # jobs served from the result cache
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def results(self) -> list[dict | None]:
+        return [o.result for o in self.outcomes]
+
+
+def _worker_entry(conn, job: Job) -> None:
+    """Worker-process body: run one job, ship the payload back."""
+    try:
+        result = execute_job(job, heartbeat=lambda: conn.send(("heartbeat",)))
+        conn.send(("done", STATUS_OK, result))
+    except Exception:
+        conn.send(("done", STATUS_ERROR, traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+class _ActiveWorker:
+    __slots__ = ("index", "process", "conn", "deadline", "timeout")
+
+    def __init__(self, index, process, conn, timeout):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.timeout = timeout
+        self.deadline = time.monotonic() + timeout
+
+    def beat(self) -> None:
+        self.deadline = time.monotonic() + self.timeout
+
+
+def run_campaign(
+    jobs: list[Job],
+    parallel: int = 0,
+    cache: ResultCache | None = None,
+    progress=None,
+    job_timeout: float = DEFAULT_JOB_TIMEOUT,
+) -> CampaignResult:
+    """Execute ``jobs``; see the module docstring for the contract.
+
+    ``parallel=0`` runs inline in this process (still cache-aware and
+    still per-job isolated from lazy global state); ``parallel>=1``
+    uses that many worker processes.  ``progress(outcome, done, total)``
+    is invoked once per job as it completes (cache hits first, then
+    executions in *completion* order -- the returned list is always in
+    submission order regardless).
+    """
+    campaign = CampaignResult(outcomes=[None] * len(jobs))  # type: ignore[list-item]
+    done = 0
+
+    def finish(index: int, outcome: JobOutcome) -> None:
+        nonlocal done
+        campaign.outcomes[index] = outcome
+        done += 1
+        if outcome.cached:
+            campaign.cached += 1
+        else:
+            campaign.executed += 1
+        if progress is not None:
+            progress(outcome, done, len(jobs))
+
+    # ---------------------------------------------------------- cache pass
+    pending: list[int] = []
+    for i, job in enumerate(jobs):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            finish(i, JobOutcome(job, STATUS_OK, hit, cached=True))
+        else:
+            pending.append(i)
+
+    # ---------------------------------------------------------- inline mode
+    if parallel <= 0:
+        for i in pending:
+            job = jobs[i]
+            try:
+                result = execute_job(job)
+                outcome = JobOutcome(job, STATUS_OK, result)
+            except Exception:
+                outcome = JobOutcome(job, STATUS_ERROR, None,
+                                     error=traceback.format_exc())
+            if cache is not None:
+                cache.put(job, outcome.status, outcome.result)
+            finish(i, outcome)
+        return campaign
+
+    # ------------------------------------------------------------ pool mode
+    ctx = _mp_context()
+    queue = list(pending)
+    active: dict[object, _ActiveWorker] = {}
+
+    def settle(outcome_index: int, outcome: JobOutcome) -> None:
+        if cache is not None and outcome.ok:
+            cache.put(jobs[outcome_index], outcome.status, outcome.result)
+        finish(outcome_index, outcome)
+
+    def reap(worker: _ActiveWorker, kill: bool, status: str, error: str) -> None:
+        if kill:
+            worker.process.terminate()
+        worker.process.join()
+        worker.conn.close()
+        del active[worker.conn]
+        settle(worker.index, JobOutcome(jobs[worker.index], status, None, error=error))
+
+    while queue or active:
+        while queue and len(active) < parallel:
+            index = queue.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_worker_entry, args=(child_conn, jobs[index]),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            active[parent_conn] = _ActiveWorker(index, proc, parent_conn, job_timeout)
+
+        now = time.monotonic()
+        wait_for = max(0.01, min(w.deadline for w in active.values()) - now)
+        ready = _conn_wait(list(active), timeout=wait_for)
+
+        for conn in ready:
+            worker = active[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # pipe closed without a "done": the worker died mid-job
+                worker.process.join()
+                code = worker.process.exitcode
+                conn.close()
+                del active[conn]
+                settle(worker.index, JobOutcome(
+                    jobs[worker.index], STATUS_CRASH, None,
+                    error=f"worker exited with code {code} before reporting"))
+                continue
+            if message[0] == "heartbeat":
+                worker.beat()
+                continue
+            _tag, status, payload = message
+            worker.process.join()
+            conn.close()
+            del active[conn]
+            if status == STATUS_OK:
+                settle(worker.index, JobOutcome(jobs[worker.index], STATUS_OK, payload))
+            else:
+                settle(worker.index, JobOutcome(jobs[worker.index], status, None,
+                                                error=str(payload)))
+
+        now = time.monotonic()
+        for worker in [w for w in active.values() if w.deadline <= now]:
+            reap(worker, kill=True, status=STATUS_TIMEOUT,
+                 error=f"no progress for {worker.timeout:.0f}s; worker killed")
+
+    return campaign

@@ -1,0 +1,260 @@
+"""Figure 12-16 as declarative campaign cells.
+
+Each paper figure is a table whose cells are independent simulations --
+exactly the shape the campaign engine wants.  :func:`figure_jobs`
+enumerates a figure into picklable cell jobs, :func:`run_figure_cell`
+executes one cell (in whatever process the engine chose), and
+:func:`assemble_figure` folds the cell results back into the same
+ASCII table the serial CLI has always printed.  The enumeration order
+is the serial loop order, so ``--parallel`` changes wall-clock time and
+nothing else.
+
+Cell parameters are plain data (names, levels, scale factors); the
+builder callables live in module-level registries and are resolved
+inside the executing process, never pickled.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_table
+from ..analysis.speedup import measure, normalized_series, ratio
+from ..isa.instructions import FenceKind
+from ..runtime.lang import Env
+from ..sim.config import SimConfig
+from .jobs import Job
+
+FIGURES = ("fig12", "fig13", "fig14", "fig15", "fig16")
+
+#: the parameter each sweep figure varies, and the values it takes
+_SWEEPS = {
+    "fig15": ("mem_latency", [200, 300, 500], "Figure 15 -- varying memory latency"),
+    "fig16": ("rob_size", [64, 128, 256], "Figure 16 -- varying ROB size"),
+}
+
+_FIG12_LEVELS = range(1, 7)
+_FIG13_CONFIGS = (
+    ("T", "global", False),
+    ("S", None, False),       # None -> the app's native scoped kind
+    ("T+", "global", True),
+    ("S+", None, True),
+)
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(2, int(round(n * scale)))
+
+
+# ------------------------------------------------------------------ registries
+def _fig12_builders(scale: float):
+    from ..algorithms.dekker import build_workload as dekker
+    from ..algorithms.workloads import (
+        build_harris_workload,
+        build_msn_workload,
+        build_wsq_workload,
+    )
+
+    return {
+        "dekker": lambda env, lvl: dekker(env, workload_level=lvl, iterations=_scaled(25, scale)),
+        "wsq": lambda env, lvl: build_wsq_workload(env, workload_level=lvl, iterations=_scaled(30, scale)),
+        "msn": lambda env, lvl: build_msn_workload(env, workload_level=lvl, iterations=_scaled(15, scale)),
+        "harris": lambda env, lvl: build_harris_workload(env, workload_level=lvl, iterations=_scaled(15, scale)),
+    }
+
+
+def _app_builders(scale: float):
+    from ..apps.barnes import build_barnes
+    from ..apps.pst import build_pst
+    from ..apps.ptc import build_ptc
+    from ..apps.radiosity import build_radiosity
+
+    return {
+        "pst": (lambda env, k: build_pst(env, scope=k, n_vertices=_scaled(160, scale)), FenceKind.CLASS),
+        "ptc": (lambda env, k: build_ptc(env, scope=k, n_vertices=_scaled(48, min(scale, 1.3))), FenceKind.CLASS),
+        "barnes": (lambda env, k: build_barnes(env, scope=k, n_bodies=_scaled(192, scale)), FenceKind.SET),
+        "radiosity": (lambda env, k: build_radiosity(env, scope=k, n_patches=_scaled(128, scale)), FenceKind.SET),
+    }
+
+
+def _fig14_builders(scale: float):
+    from ..algorithms.workloads import build_harris_workload, build_msn_workload
+    from ..apps.pst import build_pst
+    from ..apps.ptc import build_ptc
+
+    return {
+        "msn": lambda env, k: build_msn_workload(env, scope=k, iterations=_scaled(12, scale), workload_level=2),
+        "harris": lambda env, k: build_harris_workload(env, scope=k, iterations=_scaled(12, scale), workload_level=2),
+        "pst": lambda env, k: build_pst(env, scope=k, n_vertices=_scaled(128, scale)),
+        "ptc": lambda env, k: build_ptc(env, scope=k, n_vertices=_scaled(48, min(scale, 1.3))),
+    }
+
+
+# ---------------------------------------------------------------- enumeration
+def figure_jobs(figure: str, scale: float = 1.0) -> list[Job]:
+    """All cell jobs of one figure, in serial loop order."""
+    if figure == "fig12":
+        return [
+            Job("figure", {"figure": figure, "bench": bench, "level": level,
+                           "scoped": scoped, "scale": scale})
+            for bench in _fig12_builders(scale)
+            for level in _FIG12_LEVELS
+            for scoped in (False, True)
+        ]
+    if figure == "fig13":
+        return [
+            Job("figure", {"figure": figure, "app": app, "label": label,
+                           "scope": scope, "spec": spec, "scale": scale})
+            for app in _app_builders(scale)
+            for label, scope, spec in _FIG13_CONFIGS
+        ]
+    if figure == "fig14":
+        return [
+            Job("figure", {"figure": figure, "bench": bench, "scope": scope.value,
+                           "scale": scale})
+            for bench in _fig14_builders(scale)
+            for scope in (FenceKind.CLASS, FenceKind.SET)
+        ]
+    if figure in _SWEEPS:
+        param, values, _title = _SWEEPS[figure]
+        return [
+            Job("figure", {"figure": figure, "app": app, "param": param,
+                           "value": value, "scope": scope, "scale": scale})
+            for app in _app_builders(scale)
+            for value in values
+            for scope in ("global", None)
+        ]
+    raise KeyError(f"unknown figure {figure!r} (have {FIGURES})")
+
+
+# ------------------------------------------------------------------ execution
+def _resolve_scope(spec: str | None, native: FenceKind) -> FenceKind:
+    return FenceKind(spec) if spec is not None else native
+
+
+def run_figure_cell(params: dict) -> dict:
+    """Execute one figure cell; returns the cell's headline numbers."""
+    figure = params["figure"]
+    scale = params["scale"]
+    if figure == "fig12":
+        build = _fig12_builders(scale)[params["bench"]]
+        env = Env(SimConfig(scoped_fences=params["scoped"]))
+        handle = build(env, params["level"])
+        res = env.run(handle.program)
+        handle.check()
+        return {"cycles": res.cycles}
+    if figure == "fig13":
+        builder, native = _app_builders(scale)[params["app"]]
+        scope = _resolve_scope(params["scope"], native)
+        point = measure(
+            lambda env: builder(env, scope),
+            SimConfig(in_window_speculation=params["spec"]),
+            label=params["label"],
+        )
+        return {"cycles": point.cycles,
+                "fence_stall_cycles": point.fence_stall_cycles,
+                "fence_stall_fraction": point.fence_stall_fraction}
+    if figure == "fig14":
+        build = _fig14_builders(scale)[params["bench"]]
+        point = measure(lambda env: build(env, FenceKind(params["scope"])),
+                        SimConfig(), label=params["scope"])
+        return {"cycles": point.cycles}
+    if figure in _SWEEPS:
+        builder, native = _app_builders(scale)[params["app"]]
+        scope = _resolve_scope(params["scope"], native)
+        cfg = SimConfig(**{params["param"]: params["value"]})
+        point = measure(lambda env: builder(env, scope), cfg,
+                        label=params["scope"] or "scoped")
+        return {"cycles": point.cycles}
+    raise KeyError(f"unknown figure {figure!r}")
+
+
+# ------------------------------------------------------------------- assembly
+def _cell_map(jobs: list[Job], results: list[dict | None]) -> dict[tuple, dict | None]:
+    """Index results by the identifying parameters of each job."""
+    out = {}
+    for job, result in zip(jobs, results):
+        key = tuple(sorted(
+            (k, v) for k, v in job.params.items() if k not in ("figure", "scale")
+        ))
+        out[key] = result
+    return out
+
+
+def _get(cells: dict, **params) -> dict | None:
+    return cells.get(tuple(sorted(params.items())))
+
+
+def _fmt_ratio(value: float | None) -> str:
+    return f"{value:.3f}" if value is not None else "n/a"
+
+
+def assemble_figure(figure: str, jobs: list[Job], results: list[dict | None]) -> str:
+    """Fold cell results into the figure's table (missing cells -> n/a)."""
+    scale = jobs[0].params["scale"] if jobs else 1.0
+    cells = _cell_map(jobs, results)
+    if figure == "fig12":
+        rows = []
+        for bench in _fig12_builders(scale):
+            curve = []
+            for level in _FIG12_LEVELS:
+                trad = _get(cells, bench=bench, level=level, scoped=False)
+                scoped = _get(cells, bench=bench, level=level, scoped=True)
+                curve.append(ratio(trad and trad["cycles"], scoped and scoped["cycles"]))
+            peak = max((s for s in curve if s is not None), default=None)
+            rows.append((bench, " ".join(_fmt_ratio(s) for s in curve),
+                         f"{peak:.2f}x" if peak is not None else "n/a"))
+        return format_table(["benchmark", "speedup @ workload 1..6", "peak"], rows,
+                            title="Figure 12 -- impact of workload")
+    if figure == "fig13":
+        rows = []
+        for app in _app_builders(scale):
+            points = []
+            for label, scope, spec in _FIG13_CONFIGS:
+                cell = _get(cells, app=app, label=label, scope=scope, spec=spec)
+                if cell is None:
+                    continue
+                points.append(_point_from_cell(label, cell))
+            if not points:
+                rows.append((app, "n/a", "n/a", "n/a", "n/a"))
+                continue
+            for s in normalized_series(points, points[0]):
+                rows.append((app, s["label"], s["normalized_time"],
+                             s["fence_stalls"], s["others"]))
+        return format_table(["app", "config", "normalized", "fence stalls", "others"],
+                            rows, title="Figure 13 -- normalized execution time")
+    if figure == "fig14":
+        rows = []
+        for bench in _fig14_builders(scale):
+            cs = _get(cells, bench=bench, scope="class")
+            ss = _get(cells, bench=bench, scope="set")
+            rows.append((
+                bench,
+                cs["cycles"] if cs else "n/a",
+                ss["cycles"] if ss else "n/a",
+                _fmt_ratio(ratio(ss and ss["cycles"], cs and cs["cycles"])),
+            ))
+        return format_table(["benchmark", "class scope", "set scope", "set/class"],
+                            rows, title="Figure 14 -- class vs set scope")
+    if figure in _SWEEPS:
+        param, values, title = _SWEEPS[figure]
+        rows = []
+        for app in _app_builders(scale):
+            speedups = []
+            for value in values:
+                t = _get(cells, app=app, param=param, value=value, scope="global")
+                s = _get(cells, app=app, param=param, value=value, scope=None)
+                speedups.append(ratio(t and t["cycles"], s and s["cycles"]))
+            rows.append((app, " ".join(_fmt_ratio(x) for x in speedups)))
+        return format_table(["app", f"S-Fence speedup @ {param} {values}"], rows,
+                            title=title)
+    raise KeyError(f"unknown figure {figure!r}")
+
+
+def _point_from_cell(label: str, cell: dict):
+    from ..analysis.speedup import RunPoint
+
+    return RunPoint(
+        label=label,
+        cycles=cell["cycles"],
+        fence_stall_cycles=cell["fence_stall_cycles"],
+        fence_stall_fraction=cell["fence_stall_fraction"],
+    )

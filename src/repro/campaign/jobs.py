@@ -1,0 +1,232 @@
+"""Declarative campaign jobs and their runners.
+
+A :class:`Job` is a picklable, JSON-serialisable description of one
+unit of work -- ``(kind, params)`` -- with no live objects attached, so
+it can cross a process boundary and be content-hashed for the result
+cache.  :func:`execute_job` is the single entry point both the inline
+path and the worker processes use: it resets per-process lazy state
+(class-id assignment) and dispatches to the kind's runner, so a job's
+result is a pure function of its parameters and the code version --
+never of which jobs ran before it in the same process.
+
+Job kinds:
+
+* ``chaos``  -- one supervised fault-injection case
+  (:func:`repro.chaos.runner.run_chaos_case`); result is the flattened
+  :class:`~repro.chaos.runner.ChaosReport`.
+* ``figure`` -- one cell of a Figure 12-16 table
+  (:mod:`repro.campaign.figures`).
+* ``litmus`` -- one corpus litmus test checked against its expected
+  RMO observability.
+* ``probe``  -- a chaos case that additionally records the full
+  monitor event stream; used by the determinism regression tests to
+  prove in-process, subprocess and pool execution are byte-identical.
+* ``selftest`` -- engine plumbing checks (crash/hang/error on demand).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable, cacheable unit of campaign work."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def label(self) -> str:
+        p = self.params
+        if self.kind == "chaos" or self.kind == "probe":
+            return f"{self.kind}:{p['algo']}/{p['scenario']}#{p['seed']}"
+        if self.kind == "figure":
+            return f"{p['figure']}:{p.get('bench') or p.get('app')}"
+        if self.kind == "litmus":
+            return f"litmus:{p['name']}"
+        return self.kind
+
+
+# --------------------------------------------------------------------- builders
+def chaos_jobs(
+    algos=None,
+    scenarios=None,
+    n_seeds: int = 20,
+    seed_base: int = 0,
+    base_budget: int = 400_000,
+    escalations: int = 3,
+) -> list[Job]:
+    """The chaos sweep cross product, in the serial sweep's exact order."""
+    from ..chaos.runner import ALGORITHMS, SCENARIOS
+
+    algos = list(ALGORITHMS) if algos is None else list(algos)
+    scenarios = list(SCENARIOS) if scenarios is None else list(scenarios)
+    for name in algos:
+        if name not in ALGORITHMS:
+            raise KeyError(f"unknown algorithm {name!r} (have {sorted(ALGORITHMS)})")
+    for name in scenarios:
+        if name not in SCENARIOS:
+            raise KeyError(f"unknown scenario {name!r} (have {sorted(SCENARIOS)})")
+    return [
+        Job("chaos", {
+            "algo": algo, "scenario": scenario, "seed": seed_base + s,
+            "base_budget": base_budget, "escalations": escalations,
+        })
+        for scenario in scenarios
+        for algo in algos
+        for s in range(n_seeds)
+    ]
+
+
+def litmus_jobs(model: str = "rmo", offsets: list[int] | None = None) -> list[Job]:
+    """One job per litmus-corpus entry."""
+    from ..litmus.corpus import CORPUS
+
+    offsets = offsets or [0, 1, 40, 150, 320]
+    return [
+        Job("litmus", {
+            "name": entry.name, "source": entry.source, "model": model,
+            "offsets": list(offsets), "expect_observable": entry.observable_rmo,
+        })
+        for entry in CORPUS
+    ]
+
+
+def probe_jobs(cases: list[tuple[str, str, int]], base_budget: int = 400_000) -> list[Job]:
+    """Determinism probes over (algo, scenario, seed) cases."""
+    return [
+        Job("probe", {"algo": a, "scenario": sc, "seed": s,
+                      "base_budget": base_budget})
+        for a, sc, s in cases
+    ]
+
+
+# ---------------------------------------------------------------------- runners
+def _run_chaos_job(params: dict, heartbeat=None) -> dict:
+    from ..chaos.runner import run_chaos_case
+
+    report = run_chaos_case(
+        params["algo"], params["scenario"], params["seed"],
+        base_budget=params.get("base_budget", 400_000),
+        escalations=params.get("escalations", 3),
+        on_attempt=None if heartbeat is None else (lambda _attempt: heartbeat()),
+    )
+    return asdict(report)
+
+
+def _run_figure_job(params: dict, heartbeat=None) -> dict:
+    from .figures import run_figure_cell
+
+    return run_figure_cell(params)
+
+
+def _run_litmus_job(params: dict, heartbeat=None) -> dict:
+    from ..litmus.dsl import parse_litmus, run_litmus
+    from ..sim.config import MemoryModel
+
+    test = parse_litmus(params["source"])
+    run = run_litmus(test, MemoryModel(params["model"]), list(params["offsets"]))
+    expected = params["expect_observable"]
+    return {
+        "name": test.name,
+        "registers": run.register_names,
+        "outcomes": sorted(list(o) for o in run.outcomes),
+        "condition_observed": run.condition_observed,
+        "expect_observable": expected,
+        "ok": run.condition_observed == expected,
+    }
+
+
+def _run_probe_job(params: dict, heartbeat=None) -> dict:
+    """A chaos case that also digests the full monitor event stream.
+
+    The digest (not the raw stream -- storms produce hundreds of
+    thousands of events) is what the determinism regression compares
+    across execution modes: any divergence in any field of any event
+    changes the hash.
+    """
+    from ..chaos.faults import ChaosEngine
+    from ..chaos.invariants import OrderingChecker
+    from ..chaos.runner import ALGORITHMS, SCENARIOS
+    from ..chaos.supervisor import run_supervised
+    from ..isa.instructions import FenceKind
+    from ..runtime.lang import Env
+    from ..sim.config import SimConfig
+    from ..sim.trace import MonitorFanout, OrderEventLog
+
+    scen = SCENARIOS[params["scenario"]]
+    build_algo = ALGORITHMS[params["algo"]]
+    seed = params["seed"]
+    scope = FenceKind.SET if seed % 2 else FenceKind.CLASS
+    state: dict = {}
+
+    def build():
+        cfg = SimConfig(n_cores=4, retire_log_len=16, **scen.config)
+        env = Env(cfg)
+        handle = build_algo(env, scope, scen.emit_branches)
+        sim = env.simulator(handle.program)
+        ChaosEngine(scen.plan.with_(seed=seed)).install(sim)
+        log = OrderEventLog()
+        checker = OrderingChecker(cfg)
+        for core in sim.cores:
+            core.monitor = MonitorFanout(log, checker)
+        state.update(log=log, checker=checker)
+        return sim
+
+    outcome = run_supervised(
+        build, base_budget=params.get("base_budget", 400_000),
+        raise_on_failure=False,
+    )
+    log: OrderEventLog = state["log"]
+    digest = hashlib.sha256()
+    for ev in log.events:
+        digest.update(repr(ev).encode())
+    return {
+        "status": "ok" if outcome.ok else outcome.failure.kind.value,
+        "stats": outcome.result.stats.summary() if outcome.ok else None,
+        "cycles": outcome.result.cycles if outcome.ok else -1,
+        "events": len(log.events),
+        "events_sha": digest.hexdigest(),
+        "violations": state["checker"].violation_count,
+    }
+
+
+def _run_selftest_job(params: dict, heartbeat=None) -> dict:
+    mode = params.get("mode", "ok")
+    if mode == "crash":
+        os._exit(17)
+    if mode == "hang":
+        while True:  # killed by the engine's job timeout
+            time.sleep(0.05)
+    if mode == "error":
+        raise RuntimeError("selftest error job")
+    return {"mode": mode, "echo": params.get("echo")}
+
+
+_RUNNERS = {
+    "chaos": _run_chaos_job,
+    "figure": _run_figure_job,
+    "litmus": _run_litmus_job,
+    "probe": _run_probe_job,
+    "selftest": _run_selftest_job,
+}
+
+
+def execute_job(job: Job, heartbeat=None) -> dict:
+    """Run one job in the current process; returns its result payload.
+
+    Resets lazily assigned class ids first so the result is independent
+    of whatever ran earlier in this process -- the property that lets a
+    pool worker, a fresh subprocess and the inline path all produce the
+    identical payload for the same job.
+    """
+    from ..runtime.lang import reset_cids
+
+    runner = _RUNNERS.get(job.kind)
+    if runner is None:
+        raise KeyError(f"unknown job kind {job.kind!r} (have {sorted(_RUNNERS)})")
+    reset_cids()
+    return runner(job.params, heartbeat=heartbeat)

@@ -144,8 +144,13 @@ def run_chaos_case(
     seed: int,
     base_budget: int = 400_000,
     escalations: int = 3,
+    on_attempt=None,
 ) -> ChaosReport:
-    """Run one (algorithm, scenario, seed) case under supervision."""
+    """Run one (algorithm, scenario, seed) case under supervision.
+
+    ``on_attempt`` is forwarded to the supervisor's escalation ladder;
+    campaign workers use it to heartbeat between budget rungs.
+    """
     scen = SCENARIOS[scenario]
     build_algo = ALGORITHMS[algo]
     # alternate the fence flavour so both class- and set-scope paths
@@ -167,7 +172,7 @@ def run_chaos_case(
 
     outcome = run_supervised(
         build, base_budget=base_budget, escalations=escalations,
-        raise_on_failure=False,
+        raise_on_failure=False, on_attempt=on_attempt,
     )
     checker: OrderingChecker = state["checker"]
     report = ChaosReport(

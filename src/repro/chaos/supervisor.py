@@ -92,6 +92,7 @@ def run_supervised(
     escalations: int = 3,
     factor: int = 2,
     raise_on_failure: bool = True,
+    on_attempt=None,
 ) -> SupervisedOutcome:
     """Run ``build()`` -> ``Simulator`` under the escalation ladder.
 
@@ -99,9 +100,21 @@ def run_supervised(
     (fault hooks and monitors attached); it is invoked once per attempt
     so every rung replays the identical deterministic run under a larger
     budget.
+
+    ``on_attempt(attempt)`` is called after every rung (success or
+    not).  Campaign workers use it as a liveness heartbeat: a case
+    climbing the budget ladder keeps signalling progress, so the
+    engine's wall-clock watchdog only fires on a genuinely wedged
+    worker, never on a legitimately slow escalation.
     """
     outcome = SupervisedOutcome()
     attempts = outcome.attempts
+
+    def record(attempt: Attempt) -> None:
+        attempts.append(attempt)
+        if on_attempt is not None:
+            on_attempt(attempt)
+
     budget = base_budget
     prev_instructions: int | None = None
     last_diag: SimDiagnostic | None = None
@@ -113,7 +126,7 @@ def run_supervised(
         except DeadlockError as exc:
             diag = exc.diagnostic
             insns = diag.total_instructions if diag is not None else -1
-            attempts.append(Attempt(budget, "deadlock", diag.cycle if diag else -1, insns))
+            record(Attempt(budget, "deadlock", diag.cycle if diag else -1, insns))
             outcome.failure = ChaosFailure(
                 FailureKind.DEADLOCK,
                 f"deadlock after {insns} instructions",
@@ -125,7 +138,7 @@ def run_supervised(
             diag = exc.diagnostic
             last_diag = diag
             insns = diag.total_instructions if diag is not None else -1
-            attempts.append(Attempt(budget, "cycle-limit", budget, insns))
+            record(Attempt(budget, "cycle-limit", budget, insns))
             if prev_instructions is not None and insns == prev_instructions:
                 outcome.failure = ChaosFailure(
                     FailureKind.LIVELOCK,
@@ -139,7 +152,7 @@ def run_supervised(
             prev_instructions = insns
             budget *= factor
         else:
-            attempts.append(Attempt(
+            record(Attempt(
                 budget, "ok", result.cycles,
                 sum(c.instructions for c in result.stats.cores),
             ))

@@ -23,6 +23,7 @@ ever uses ``C(f)``, so tracking cids directly loses nothing.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 
 
@@ -96,3 +97,140 @@ class AbstractScopeMachine:
     def scope_multiplicity(self) -> Counter:
         """How many pending ops each cid currently has (diagnostics)."""
         return Counter({cid: len(ops) for cid, ops in self.scope.items()})
+
+
+# ---------------------------------------------------------------------------
+# Reference memory model: the allowed-outcome set of a litmus program.
+#
+# The differential fuzz tests need an oracle that is *at least as weak*
+# as the simulator under RMO, so that every outcome the simulator
+# observes must fall inside the oracle's allowed set.  The model below
+# is axiomatic-by-enumeration: each thread's memory operations may be
+# reordered into any linear extension of a small constraint set, the
+# reordered threads are interleaved every possible way over a single
+# multi-copy-atomic memory, and a load returns the most recent store to
+# its location in that global order.
+#
+# Per-thread ordering constraints (everything else may reorder):
+#
+# * same-location program order is preserved (coherence; also covers
+#   store->load forwarding, which reads the in-order value), and
+# * a fence orders every prior *waited-on, in-scope* operation before
+#   every subsequent operation: loads when the fence waits on loads,
+#   stores when it waits on stores; a ``global`` fence scopes every
+#   operation, a ``set`` fence only set-scope-flagged ones.  This is
+#   the FENCE rule of Figure 5 with [[FSeq]] collapsed to the flagged
+#   set -- a fence may complete only once its scope has drained, and
+#   nothing later dispatches before it completes.
+#
+# The simulator is strictly stronger (it binds load values at dispatch
+# in program order and publishes stores through one shared image), so
+# observed ⊆ allowed must hold for every program; a violation is a
+# fence-semantics bug, not schedule noise.  The enumeration is exact,
+# not sampled: for litmus-sized programs (<= ~4 memory ops per thread)
+# the state space is tiny.
+#
+# Abstract op forms (plain tuples so any front-end can produce them):
+#
+#   ("store", var, value, flagged)
+#   ("load",  var, reg,   flagged)
+#   ("fence", waits, scope)          waits: REF_WAIT_* mask
+#                                    scope: "global" | "set"
+# ---------------------------------------------------------------------------
+
+REF_WAIT_LOADS = 0b01
+REF_WAIT_STORES = 0b10
+REF_WAIT_BOTH = REF_WAIT_LOADS | REF_WAIT_STORES
+
+
+def _thread_orders(ops: list[tuple]) -> list[list[tuple]]:
+    """Every permitted local order of one thread's memory operations."""
+    mems = [op for op in ops if op[0] != "fence"]
+    if not mems:
+        return [[]]
+    # ordering constraints as index pairs over `mems`
+    index_of: dict[int, int] = {}
+    mem_positions = []
+    for pos, op in enumerate(ops):
+        if op[0] != "fence":
+            index_of[pos] = len(mem_positions)
+            mem_positions.append(pos)
+
+    before: set[tuple[int, int]] = set()
+    for a, b in itertools.combinations(range(len(mems)), 2):
+        if mems[a][1] == mems[b][1]:  # same location: keep program order
+            before.add((a, b))
+    for pos, op in enumerate(ops):
+        if op[0] != "fence":
+            continue
+        _, waits, scope = op
+        for ppos in mem_positions:
+            if ppos > pos:
+                continue
+            prior = ops[ppos]
+            kind_bit = REF_WAIT_LOADS if prior[0] == "load" else REF_WAIT_STORES
+            if not waits & kind_bit:
+                continue
+            if scope == "set" and not prior[3]:
+                continue
+            for npos in mem_positions:
+                if npos > pos:
+                    before.add((index_of[ppos], index_of[npos]))
+
+    orders = []
+    for perm in itertools.permutations(range(len(mems))):
+        rank = {idx: r for r, idx in enumerate(perm)}
+        if all(rank[a] < rank[b] for a, b in before):
+            orders.append([mems[i] for i in perm])
+    return orders
+
+
+def _interleavings(sequences: list[list[tuple]]):
+    """Every merge of the given per-thread sequences (order-preserving)."""
+    state = [0] * len(sequences)
+    prefix: list[tuple] = []
+
+    def walk():
+        live = [t for t, i in enumerate(state) if i < len(sequences[t])]
+        if not live:
+            yield list(prefix)
+            return
+        for t in live:
+            op = sequences[t][state[t]]
+            state[t] += 1
+            prefix.append(op)
+            yield from walk()
+            prefix.pop()
+            state[t] -= 1
+
+    yield from walk()
+
+
+def reference_allowed_outcomes(
+    threads: list[list[tuple]],
+    init: dict | None = None,
+) -> set[tuple]:
+    """All register outcomes the reference model allows.
+
+    ``threads`` holds one abstract-op list per thread (see the tuple
+    forms above).  Returns outcomes as tuples of register values in
+    sorted register-name order -- the same shape
+    :func:`repro.litmus.dsl.run_litmus` reports observed outcomes in.
+    """
+    init = init or {}
+    regs = sorted(
+        op[2] for ops in threads for op in ops if op[0] == "load"
+    )
+    outcomes: set[tuple] = set()
+    per_thread = [_thread_orders(ops) for ops in threads]
+    for combo in itertools.product(*per_thread):
+        for sequence in _interleavings(list(combo)):
+            memory = dict(init)
+            values: dict[str, int] = {}
+            for op in sequence:
+                if op[0] == "store":
+                    memory[op[1]] = op[2]
+                else:
+                    values[op[2]] = memory.get(op[1], 0)
+            outcomes.add(tuple(values[r] for r in regs))
+    return outcomes

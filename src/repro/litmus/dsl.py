@@ -177,6 +177,44 @@ def build_program(test: LitmusTest, env: Env, delays: list[int]) -> tuple[Progra
     return Program(fns, name=test.name), registers
 
 
+def abstract_threads(test: LitmusTest) -> list[list[tuple]]:
+    """Translate a parsed test into the reference model's abstract ops.
+
+    The output feeds
+    :func:`repro.core.semantics.reference_allowed_outcomes`:
+    ``("store", var, value, flagged)`` / ``("load", var, reg, flagged)``
+    / ``("fence", waits, scope)``.  ``delay`` statements are timing-only
+    and vanish; a class fence in a litmus program (which has no method
+    scopes) takes the conservative global interpretation, exactly as
+    the FENCE rule does for an empty ``FSeq``.
+    """
+    threads: list[list[tuple]] = []
+    for stmts in test.threads:
+        ops: list[tuple] = []
+        for stmt in stmts:
+            if stmt == "delay":
+                continue
+            m = _STORE_RE.match(stmt)
+            if m:
+                var = m.group(1)
+                ops.append(("store", var, int(m.group(2)), var in test.flagged))
+                continue
+            m = _LOAD_RE.match(stmt)
+            if m:
+                var = m.group(2)
+                ops.append(("load", var, m.group(1), var in test.flagged))
+                continue
+            m = _FENCE_RE.match(stmt)
+            if m:
+                fence = _parse_fence(m.group(1), True)
+                scope = "set" if fence.kind is FenceKind.SET else "global"
+                ops.append(("fence", fence.waits, scope))
+                continue
+            raise LitmusParseError(f"cannot abstract statement {stmt!r}")
+        threads.append(ops)
+    return threads
+
+
 @dataclass
 class LitmusRun:
     """Outcome of exploring one litmus test."""

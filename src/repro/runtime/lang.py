@@ -58,6 +58,22 @@ def cid_of(cls: type) -> int:
     return cid
 
 
+def reset_cids() -> None:
+    """Forget every lazily assigned class id.
+
+    cid *values* never influence simulation behaviour (they are opaque
+    mapping-table keys), but they do appear in monitor event streams and
+    depend on which classes were touched first in a process.  The
+    campaign engine resets them before each job so a job's full event
+    stream -- not just its stats -- is identical no matter which worker
+    ran it or what ran before.  Never call this while scoped structures
+    built earlier are still in use.
+    """
+    global _cid_counter
+    _cid_counter = itertools.count(1)
+    _cid_registry.clear()
+
+
 def scoped_method(fn):
     """Wrap a generator method in ``fs_start``/``fs_end`` delimiters."""
 

@@ -2,9 +2,13 @@
 
 from repro.algorithms.workloads import build_wsq_workload
 from repro.analysis.report import (
+    StreamAggregator,
     ascii_series,
+    failure_counts,
     format_table,
     paper_vs_measured,
+    progress_line,
+    render_failure_counts,
     speedup_row,
     stacked_bar_rows,
 )
@@ -12,6 +16,7 @@ from repro.analysis.speedup import (
     RunPoint,
     measure,
     normalized_series,
+    ratio,
     traditional_vs_scoped,
 )
 from repro.isa.instructions import FenceKind
@@ -82,3 +87,73 @@ def test_ascii_series():
     assert len(lines) == 2
     assert lines[0].count("#") == 2 * lines[1].count("#")
     assert ascii_series([]) == []
+
+
+def test_normalized_series_zero_cycle_baseline():
+    """A degenerate zero-cycle baseline must not divide by zero."""
+    base = RunPoint("T", 0, 0, 0.0)
+    rows = normalized_series([base, RunPoint("S", 800, 80, 0.1)], base)
+    assert all(r["normalized_time"] == 0.0 for r in rows)
+    assert all(r["fence_stalls"] == 0.0 for r in rows)
+
+
+def test_ratio_edge_cases():
+    assert ratio(1500, 1000) == 1.5
+    assert ratio(1500, 0) is None     # zero-cycle baseline
+    assert ratio(None, 1000) is None  # missing cell
+    assert ratio(1500, None) is None
+    assert ratio(0, 1000) == 0.0
+
+
+def test_progress_line_rendering():
+    empty = progress_line(0, 10, width=10)
+    assert empty.startswith("[..........]")
+    full = progress_line(10, 10, ok=8, failed=2, cached=3, width=10)
+    assert full.startswith("[##########]")
+    assert "10/10" in full and "ok=8" in full and "failed=2" in full and "cached=3" in full
+    half = progress_line(5, 10, width=10)
+    assert half.count("#") == 5 and half.count(".") == 5
+    assert "0/0" in progress_line(0, 0)  # no jobs: no crash
+
+
+def test_stream_aggregator_counts_and_summary():
+    agg = StreamAggregator(4)
+    agg.add(True, cached=True)
+    agg.add(True)
+    agg.add(False, label="chaos:wsq/storm#3")
+    assert (agg.done, agg.ok, agg.failed, agg.cached) == (3, 2, 1, 1)
+    assert "3/4" in agg.line()
+    summary = agg.summary()
+    assert "2 ok" in summary and "1 failed" in summary
+    assert "chaos:wsq/storm#3" in summary
+
+
+def test_stream_aggregator_truncates_failure_list():
+    agg = StreamAggregator(30)
+    for i in range(15):
+        agg.add(False, label=f"job{i}")
+    assert "+5 more" in agg.summary()
+
+
+def test_failure_counts_include_clean_groups():
+    """Groups with zero failures still appear -- truncated sweeps must
+    report the scenarios they covered, not just the ones that failed."""
+    counts = failure_counts([
+        ("latency", True), ("latency", True),
+        ("storm", False), ("storm", True), ("storm", False),
+    ])
+    assert counts == {"latency": 0, "storm": 2}
+    rendered = render_failure_counts(counts)
+    assert "latency=0" in rendered and "storm=2" in rendered
+
+
+def test_assemble_figure_handles_missing_cells():
+    """A crashed cell renders as n/a instead of poisoning the table."""
+    from repro.campaign import figure_jobs, assemble_figure
+
+    jobs = figure_jobs("fig14", 0.3)
+    results = [{"cycles": 1000} for _ in jobs]
+    results[1] = None  # one cell lost to a worker crash
+    table = assemble_figure("fig14", jobs, results)
+    assert "n/a" in table
+    assert "1.000" in table  # intact cells still compute their ratio

@@ -1,0 +1,71 @@
+"""Determinism regression for the campaign engine's core contract.
+
+A campaign with the same seeds must produce byte-identical results
+whether it runs in-process, in a single worker subprocess, or on a
+multi-worker pool -- and identical to the pre-existing serial sweep.
+The ``probe`` job kind digests the *entire* per-core monitor event
+stream (every dispatch, drain, fence, scope and squash event, every
+field), so these tests fail on any divergence in simulation behaviour,
+not just on differing headline stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.campaign import chaos_jobs, probe_jobs, run_campaign
+
+PROBE_CASES = [("wsq", "storm", 3), ("lamport", "scope", 4)]
+
+
+def _results(jobs, parallel):
+    campaign = run_campaign(jobs, parallel=parallel)
+    assert campaign.ok, [o.error for o in campaign.failures]
+    return campaign.results()
+
+
+def test_probe_identical_across_execution_modes():
+    jobs = probe_jobs(PROBE_CASES)
+    inline = _results(jobs, parallel=0)
+    single = _results(jobs, parallel=1)
+    pool = _results(jobs, parallel=2)
+    assert inline == single == pool
+    # the probes did real work and the digests cover real streams
+    for r in inline:
+        assert r["status"] == "ok"
+        assert r["events"] > 100
+        assert r["violations"] == 0
+        assert r["stats"]["total_cycles"] > 0
+
+
+def test_probe_event_stream_stable_within_one_process():
+    jobs = probe_jobs([PROBE_CASES[0]])
+    first = _results(jobs, parallel=0)
+    second = _results(jobs, parallel=0)
+    assert first == second
+
+
+def test_probe_seeds_change_the_stream():
+    base, other = probe_jobs([("wsq", "storm", 3), ("wsq", "storm", 5)])
+    r = _results([base, other], parallel=0)
+    assert r[0]["events_sha"] != r[1]["events_sha"]
+
+
+def test_chaos_campaign_matches_serial_sweep():
+    """Pool execution reproduces the serial sweep's reports exactly."""
+    from repro.chaos.runner import sweep
+
+    algos, scenarios, n_seeds = ["wsq", "msn"], ["latency", "scope"], 2
+    serial = [asdict(r) for r in
+              sweep(algos=algos, scenarios=scenarios, n_seeds=n_seeds)]
+    jobs = chaos_jobs(algos=algos, scenarios=scenarios, n_seeds=n_seeds)
+    pooled = _results(jobs, parallel=2)
+    assert pooled == serial
+
+
+def test_outcomes_return_in_submission_order():
+    """Workers finish in any order; the result list must not."""
+    jobs = chaos_jobs(algos=["wsq", "lamport"], scenarios=["latency"], n_seeds=2)
+    campaign = run_campaign(jobs, parallel=2)
+    for job, outcome in zip(jobs, campaign.outcomes):
+        assert outcome.job.params == job.params

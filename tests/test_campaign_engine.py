@@ -1,0 +1,145 @@
+"""Campaign engine plumbing: caching, resume, crash isolation, keys."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Job,
+    ResultCache,
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    chaos_jobs,
+    execute_job,
+    job_key,
+    litmus_jobs,
+    run_campaign,
+)
+
+SMALL = dict(algos=["lamport"], scenarios=["latency"], n_seeds=2)
+
+
+# ------------------------------------------------------------------- caching
+def test_warm_cache_executes_nothing(tmp_path):
+    jobs = chaos_jobs(**SMALL)
+    cold = run_campaign(jobs, parallel=2, cache=ResultCache(tmp_path))
+    assert (cold.executed, cold.cached) == (len(jobs), 0)
+    warm = run_campaign(jobs, parallel=2, cache=ResultCache(tmp_path))
+    assert (warm.executed, warm.cached) == (0, len(jobs))
+    assert warm.results() == cold.results()
+    assert all(o.cached for o in warm.outcomes)
+
+
+def test_interrupted_campaign_resumes_partially(tmp_path):
+    """Only the jobs missing from the cache re-execute."""
+    jobs = chaos_jobs(**SMALL)
+    cache = ResultCache(tmp_path)
+    run_campaign(jobs[:1], parallel=0, cache=cache)
+    resumed = run_campaign(jobs, parallel=0, cache=ResultCache(tmp_path))
+    assert (resumed.executed, resumed.cached) == (len(jobs) - 1, 1)
+
+
+def test_cache_served_inline_and_pooled_identically(tmp_path):
+    jobs = litmus_jobs()[:2]
+    cold = run_campaign(jobs, parallel=0, cache=ResultCache(tmp_path))
+    warm = run_campaign(jobs, parallel=2, cache=ResultCache(tmp_path))
+    assert warm.results() == cold.results()
+
+
+def test_manifest_records_completions(tmp_path):
+    jobs = chaos_jobs(**SMALL)
+    cache = ResultCache(tmp_path)
+    run_campaign(jobs, parallel=0, cache=cache)
+    manifest = cache.manifest()
+    assert len(manifest) == len(jobs)
+    assert all(entry["status"] == "ok" for entry in manifest)
+    assert {entry["key"] for entry in manifest} == {cache.key_for(j) for j in jobs}
+
+
+def test_cache_objects_are_plain_json(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = chaos_jobs(**SMALL)[0]
+    run_campaign([job], parallel=0, cache=cache)
+    path = cache._object_path(cache.key_for(job))
+    obj = json.loads(path.read_text())
+    assert obj["kind"] == "chaos"
+    assert obj["result"]["status"] == "ok"
+
+
+def test_corrupt_cache_object_is_re_executed(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = chaos_jobs(**SMALL)[0]
+    run_campaign([job], parallel=0, cache=cache)
+    cache._object_path(cache.key_for(job)).write_text("{torn write")
+    rerun = run_campaign([job], parallel=0, cache=ResultCache(tmp_path))
+    assert rerun.executed == 1 and rerun.ok
+
+
+# ---------------------------------------------------------------------- keys
+def test_job_key_depends_on_params_and_code():
+    a = job_key("chaos", {"seed": 1}, "fp")
+    assert a == job_key("chaos", {"seed": 1}, "fp")
+    assert a != job_key("chaos", {"seed": 2}, "fp")
+    assert a != job_key("chaos", {"seed": 1}, "fp2")
+    assert a != job_key("probe", {"seed": 1}, "fp")
+
+
+def test_engine_failures_never_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    jobs = [Job("selftest", {"mode": "error"})]
+    run_campaign(jobs, parallel=0, cache=cache)
+    assert len(cache) == 0
+    assert cache.manifest() == []
+
+
+# ------------------------------------------------------------ crash isolation
+def test_worker_failures_are_classified_not_fatal():
+    jobs = [
+        Job("selftest", {"mode": "ok", "echo": 1}),
+        Job("selftest", {"mode": "crash"}),
+        Job("selftest", {"mode": "error"}),
+        Job("selftest", {"mode": "ok", "echo": 2}),
+    ]
+    campaign = run_campaign(jobs, parallel=2)
+    statuses = [o.status for o in campaign.outcomes]
+    assert statuses == [STATUS_OK, STATUS_CRASH, STATUS_ERROR, STATUS_OK]
+    assert campaign.outcomes[0].result["echo"] == 1
+    assert campaign.outcomes[3].result["echo"] == 2
+    assert "exited with code 17" in campaign.outcomes[1].error
+    assert "selftest error job" in campaign.outcomes[2].error
+    assert len(campaign.failures) == 2
+
+
+def test_hung_worker_is_killed_and_classified():
+    jobs = [Job("selftest", {"mode": "hang"}), Job("selftest", {"mode": "ok"})]
+    campaign = run_campaign(jobs, parallel=2, job_timeout=1.0)
+    assert campaign.outcomes[0].status == STATUS_TIMEOUT
+    assert campaign.outcomes[1].status == STATUS_OK
+
+
+def test_inline_error_is_classified():
+    campaign = run_campaign([Job("selftest", {"mode": "error"})], parallel=0)
+    assert campaign.outcomes[0].status == STATUS_ERROR
+    assert "selftest error job" in campaign.outcomes[0].error
+
+
+def test_unknown_job_kind_rejected():
+    with pytest.raises(KeyError):
+        execute_job(Job("nope", {}))
+
+
+def test_unknown_chaos_names_rejected():
+    with pytest.raises(KeyError):
+        chaos_jobs(algos=["nope"])
+    with pytest.raises(KeyError):
+        chaos_jobs(scenarios=["nope"])
+
+
+# ------------------------------------------------------------------ labelling
+def test_job_labels_are_informative():
+    assert "wsq" in chaos_jobs(algos=["wsq"], scenarios=["scope"], n_seeds=1)[0].label()
+    assert litmus_jobs()[0].label().startswith("litmus:")
