@@ -1,0 +1,43 @@
+"""Simulator perf regression: event-driven fast path vs dense loop.
+
+Not a paper figure -- this benchmark guards the simulator itself.  It
+times the :mod:`repro.analysis.simperf` workloads under both execution
+engines, reports wall time / simulated-cycles-per-second / speedup, and
+fails if the fast path regresses below 2x on the high-memory-latency
+workload (where event skipping has the most to win) or if the two
+engines' results ever diverge.
+
+``REPRO_SCALE`` < 1 maps to the harness's smoke sizing, same as the CI
+``perf-smoke`` job (``python -m repro perf --smoke``).
+"""
+
+from conftest import SCALE
+
+from repro.analysis.report import format_table
+from repro.analysis.simperf import GATE_WORKLOAD, run_perf
+
+MIN_GATE_SPEEDUP = 2.0
+
+
+def test_fastpath_perf_regression(benchmark, report):
+    perf = run_perf(smoke=SCALE < 1.0, min_speedup=MIN_GATE_SPEEDUP)
+
+    rows = [
+        (name, w["sim_cycles"], w["dense_wall_s"], w["fast_wall_s"],
+         f"{w['speedup']}x", "yes" if w["identical"] else "DIVERGED")
+        for name, w in perf["workloads"].items()
+    ]
+    report(format_table(
+        ["workload", "sim cycles", "dense s", "fast s", "speedup", "identical"],
+        rows,
+        title="simulator perf -- dense loop vs event-driven fast path",
+    ))
+
+    for name, w in perf["workloads"].items():
+        assert w["identical"], f"{name}: dense and fast-path results diverged"
+    gate = perf["workloads"][GATE_WORKLOAD]
+    assert gate["speedup"] >= MIN_GATE_SPEEDUP, (
+        f"{GATE_WORKLOAD}: fast path only {gate['speedup']}x over dense "
+        f"(required >= {MIN_GATE_SPEEDUP}x)"
+    )
+    assert perf["ok"]

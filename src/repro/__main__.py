@@ -13,6 +13,10 @@ Commands:
 * ``campaign`` — run job sets (chaos × seeds, figure cells, the litmus
   corpus) on the parallel campaign engine with an on-disk result cache
   (see :mod:`repro.campaign`).
+* ``perf`` — time representative workloads under the dense reference
+  loop vs the event-driven fast path and write ``BENCH_simperf.json``
+  (see :mod:`repro.analysis.simperf`); exits non-zero if the fast-path
+  speedup on the high-latency workload falls below ``--min-speedup``.
 
 Every simulation-grid command accepts ``--parallel N`` to fan cells out
 over N crash-isolated worker processes, and ``--cache-dir``/
@@ -20,6 +24,9 @@ over N crash-isolated worker processes, and ``--cache-dir``/
 never change any number in any table — only how fast it appears.  The
 figure commands are thin wrappers over the same cell drivers the
 pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
+``--dense-loop`` runs any command on the per-cycle reference engine
+instead of the event-driven scheduler — an escape hatch that changes
+wall-clock time and nothing else.
 """
 
 from __future__ import annotations
@@ -84,7 +91,7 @@ def _run_jobs(jobs, ns, label: str):
 def cmd_figure(figure: str, ns) -> int:
     from .campaign import assemble_figure, figure_jobs
 
-    jobs = figure_jobs(figure, ns.scale)
+    jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop)
     result = _run_jobs(jobs, ns, figure)
     print(assemble_figure(figure, jobs, result.results()))
     for outcome in result.failures:
@@ -110,7 +117,7 @@ def cmd_hwcost(ns) -> int:
     return 0
 
 
-def cmd_litmus(path: str, model_name: str) -> int:
+def cmd_litmus(path: str, model_name: str, dense_loop: bool = False) -> int:
     from .litmus.dsl import LitmusParseError, parse_litmus, run_litmus
 
     try:
@@ -123,7 +130,7 @@ def cmd_litmus(path: str, model_name: str) -> int:
         # statement parsing is partly lazy (thread bodies are parsed as
         # the guest generators execute), so run under the same guard
         test = parse_litmus(source)
-        run = run_litmus(test, MemoryModel(model_name))
+        run = run_litmus(test, MemoryModel(model_name), dense_loop=dense_loop)
     except LitmusParseError as exc:
         print(f"litmus: {path}: {exc}", file=sys.stderr)
         return 2
@@ -228,6 +235,7 @@ def cmd_chaos(ns) -> int:
             jobs = chaos_jobs(
                 algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                 seed_base=ns.seed_base, base_budget=ns.budget,
+                dense_loop=ns.dense_loop,
             )
             result = _run_jobs(jobs, ns, "chaos")
             reports = _chaos_reports_from_outcomes(result.outcomes)
@@ -235,11 +243,46 @@ def cmd_chaos(ns) -> int:
             reports = sweep(
                 algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                 seed_base=ns.seed_base, base_budget=ns.budget,
+                dense_loop=ns.dense_loop,
             )
     except KeyError as exc:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
         return 2
     return _print_chaos_summary(reports, n_seeds, ns.seed_base, truncated)
+
+
+# ------------------------------------------------------------------------ perf
+def cmd_perf(ns) -> int:
+    from .analysis.simperf import run_perf, write_report
+
+    workloads = ns.workloads.split(",") if ns.workloads else None
+    try:
+        report = run_perf(
+            workloads=workloads, smoke=ns.smoke, min_speedup=ns.min_speedup,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    except KeyError as exc:
+        print(f"perf: {exc.args[0]}", file=sys.stderr)
+        return 2
+    write_report(report, ns.perf_out)
+    rows = [
+        (name, w["sim_cycles"], w["dense_wall_s"], w["fast_wall_s"],
+         f"{w['speedup']}x" if w["speedup"] is not None else "n/a",
+         "yes" if w["identical"] else "DIVERGED")
+        for name, w in report["workloads"].items()
+    ]
+    print(format_table(
+        ["workload", "sim cycles", "dense s", "fast s", "speedup", "identical"],
+        rows, title="simulator perf -- dense loop vs event-driven fast path",
+    ))
+    print(f"report written to {ns.perf_out}", file=sys.stderr)
+    gate = report.get("gate")
+    if gate and not gate.get("passed", True):
+        print(f"perf: FAIL -- {gate['workload']} speedup {gate['speedup']}x "
+              f"< required {gate['min_speedup']}x", file=sys.stderr)
+    if not all(w["identical"] for w in report["workloads"].values()):
+        print("perf: FAIL -- dense and fast-path results diverged", file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 # -------------------------------------------------------------------- campaign
@@ -270,7 +313,8 @@ def cmd_campaign(ns) -> int:
         n_seeds, truncated = _resolve_chaos_seeds(ns)
         try:
             jobs = chaos_jobs(algos=algos, scenarios=scenarios, n_seeds=n_seeds,
-                              seed_base=ns.seed_base, base_budget=ns.budget)
+                              seed_base=ns.seed_base, base_budget=ns.budget,
+                              dense_loop=ns.dense_loop)
         except KeyError as exc:
             print(f"campaign: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -279,14 +323,14 @@ def cmd_campaign(ns) -> int:
         status |= _print_chaos_summary(reports, n_seeds, ns.seed_base, truncated)
 
     for figure in figures:
-        jobs = figure_jobs(figure, ns.scale)
+        jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop)
         result = _run_jobs(jobs, ns, f"campaign/{figure}")
         print(assemble_figure(figure, jobs, result.results()))
         if not result.ok:
             status |= 1
 
     if ns.litmus:
-        jobs = litmus_jobs(model=ns.model)
+        jobs = litmus_jobs(model=ns.model, dense_loop=ns.dense_loop)
         result = _run_jobs(jobs, ns, "campaign/litmus")
         rows = []
         for outcome in result.outcomes:
@@ -314,11 +358,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost",
-                 "litmus", "chaos", "campaign"],
+                 "litmus", "chaos", "campaign", "perf"],
     )
     parser.add_argument("args", nargs="*", help="litmus: <file>")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
     parser.add_argument("--model", default="rmo", help="litmus: memory model (sc/tso/pso/rmo)")
+    parser.add_argument("--dense-loop", action="store_true",
+                        help="run simulations on the per-cycle reference engine "
+                             "instead of the event-driven fast path (identical "
+                             "results, slower)")
 
     engine_group = parser.add_argument_group("campaign engine options")
     engine_group.add_argument("--parallel", type=int, default=0, metavar="N",
@@ -357,16 +405,29 @@ def main(argv: list[str] | None = None) -> int:
                                      "(fig12..fig16) or 'all'")
     campaign_group.add_argument("--litmus", action="store_true",
                                 help="campaign: include the litmus corpus")
+
+    perf_group = parser.add_argument_group("perf options")
+    perf_group.add_argument("--perf-out", "-o", default="BENCH_simperf.json",
+                            metavar="FILE",
+                            help="perf: report path [BENCH_simperf.json]")
+    perf_group.add_argument("--min-speedup", type=float, default=2.0,
+                            help="perf: fail if the fig15-hot fast-path speedup "
+                                 "is below this [2.0]; --smoke uses the same gate")
+    perf_group.add_argument("--workloads", default="",
+                            help="perf: comma-separated workload subset "
+                                 "(litmus,fig15-hot,cilk_fib)")
     ns = parser.parse_args(argv)
 
     if ns.command == "litmus":
         if not ns.args:
             parser.error("litmus requires a file argument")
-        return cmd_litmus(ns.args[0], ns.model)
+        return cmd_litmus(ns.args[0], ns.model, dense_loop=ns.dense_loop)
     if ns.command == "chaos":
         return cmd_chaos(ns)
     if ns.command == "campaign":
         return cmd_campaign(ns)
+    if ns.command == "perf":
+        return cmd_perf(ns)
     if ns.command == "hwcost":
         return cmd_hwcost(ns)
     return cmd_figure(ns.command, ns)

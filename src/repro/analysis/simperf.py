@@ -1,0 +1,204 @@
+"""Perf-regression harness: dense reference loop vs event-driven fast path.
+
+Times representative workloads under both execution engines and reports
+wall time, simulated cycles per second and the fast-path speedup for
+each -- the numbers that guard the event scheduler against performance
+regressions (the equivalence *tests* guard it against correctness
+regressions; this module additionally cross-checks a result fingerprint
+per workload so a perf run that silently diverged is flagged).
+
+Workloads:
+
+* ``litmus``    -- the litmus corpus over a small offset grid: many
+  short runs, scheduler-overhead bound (the fast path's worst case).
+* ``fig15-500`` -- the Figure 15 high-memory-latency cell exactly as
+  the figure runs it (radiosity under a traditional global fence at
+  500-cycle memory).  At 500 cycles much of the latency still overlaps
+  with form-factor compute, so this measures the mixed regime.
+* ``fig15-hot`` -- the same cell with the figure's memory-latency axis
+  pushed to 2000 cycles, deep into the stall-dominated regime Figure
+  15's trend points at: the dense loop's cost grows linearly with the
+  latency while the fast path's stays flat, which is the property the
+  CI gate checks (the headline speedup).  (barnes, the figure's other
+  latency-sensitive app, is busy-polling-bound on this simulator --
+  some core makes progress on most cycles -- so it measures scheduler
+  overhead, not skipping.)
+* ``cilk_fib``  -- fork-join work stealing across 8 cores: mixed
+  compute/steal phases, in between the other two.
+
+``python -m repro perf`` drives this module and writes
+``BENCH_simperf.json``; ``--smoke`` shrinks every workload for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from ..sim.config import SimConfig
+
+#: headline workload the CI perf gate applies its minimum speedup to
+GATE_WORKLOAD = "fig15-hot"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One timed scenario; ``run`` returns (simulated_cycles, fingerprint)."""
+
+    name: str
+    description: str
+
+    def run(self, dense_loop: bool, smoke: bool):  # pragma: no cover - dispatch
+        raise NotImplementedError
+
+
+class _LitmusWorkload(Workload):
+    def run(self, dense_loop: bool, smoke: bool):
+        from ..litmus.corpus import CORPUS
+        from ..litmus.dsl import parse_litmus, run_litmus
+
+        offsets = [0, 3] if smoke else [0, 17, 160]
+        cycles = 0
+        fingerprint = []
+        for entry in CORPUS:
+            test = parse_litmus(entry.source)
+            run = run_litmus(test, offsets=offsets, dense_loop=dense_loop)
+            cycles += run.total_cycles
+            fingerprint.append(
+                (entry.name, sorted(run.outcomes), run.condition_observed)
+            )
+        return cycles, fingerprint
+
+
+@dataclass(frozen=True)
+class _Fig15Workload(Workload):
+    mem_latency: int = 500
+
+    def run(self, dense_loop: bool, smoke: bool):
+        from ..analysis.speedup import measure
+        from ..campaign.figures import _app_builders
+        from ..isa.instructions import FenceKind
+
+        scale = 0.25 if smoke else 1.0
+        builder, _native = _app_builders(scale)["radiosity"]
+        cfg = SimConfig(mem_latency=self.mem_latency, dense_loop=dense_loop)
+        point = measure(
+            lambda env: builder(env, FenceKind.GLOBAL), cfg, label=self.name
+        )
+        return point.cycles, point.stats_summary
+
+
+class _CilkFibWorkload(Workload):
+    def run(self, dense_loop: bool, smoke: bool):
+        from ..analysis.speedup import measure
+        from ..apps.cilk_fib import build_cilk_fib
+
+        n = 8 if smoke else 11
+        cfg = SimConfig(dense_loop=dense_loop)
+        point = measure(
+            lambda env: build_cilk_fib(env, n=n), cfg, label="cilk_fib"
+        )
+        return point.cycles, point.stats_summary
+
+
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in (
+        _LitmusWorkload("litmus", "litmus corpus sweep (many short runs)"),
+        _Fig15Workload(
+            "fig15-500",
+            "radiosity, global fence, 500-cycle memory (the fig15 cell)",
+            mem_latency=500,
+        ),
+        _Fig15Workload(
+            GATE_WORKLOAD,
+            "radiosity, global fence, fig15 latency axis at 2000 cycles",
+            mem_latency=2000,
+        ),
+        _CilkFibWorkload("cilk_fib", "fork-join fib across 8 cores"),
+    )
+}
+
+
+def _timed(workload: Workload, dense_loop: bool, smoke: bool):
+    from ..runtime.lang import reset_cids
+
+    reset_cids()
+    t0 = time.perf_counter()
+    cycles, fingerprint = workload.run(dense_loop=dense_loop, smoke=smoke)
+    wall = time.perf_counter() - t0
+    return wall, cycles, fingerprint
+
+
+def run_perf(
+    workloads: list[str] | None = None,
+    smoke: bool = False,
+    min_speedup: float | None = None,
+    progress=None,
+) -> dict:
+    """Time every requested workload dense vs fast; return the report.
+
+    The report is JSON-ready.  ``ok`` is False if any workload's
+    dense/fast fingerprints diverge (a correctness failure surfacing in
+    the perf harness) or if the :data:`GATE_WORKLOAD` speedup falls
+    below ``min_speedup``.
+    """
+    names = list(WORKLOADS) if workloads is None else list(workloads)
+    for name in names:
+        if name not in WORKLOADS:
+            raise KeyError(f"unknown perf workload {name!r} (have {sorted(WORKLOADS)})")
+    report: dict = {"smoke": smoke, "workloads": {}, "ok": True}
+    for name in names:
+        w = WORKLOADS[name]
+        if progress is not None:
+            progress(f"[perf] {name}: dense loop ...")
+        dense_wall, dense_cycles, dense_fp = _timed(w, True, smoke)
+        if progress is not None:
+            progress(f"[perf] {name}: fast path ...")
+        fast_wall, fast_cycles, fast_fp = _timed(w, False, smoke)
+        identical = dense_fp == fast_fp and dense_cycles == fast_cycles
+        entry = {
+            "description": w.description,
+            "sim_cycles": fast_cycles,
+            "dense_wall_s": round(dense_wall, 4),
+            "fast_wall_s": round(fast_wall, 4),
+            "dense_cycles_per_s": round(dense_cycles / dense_wall) if dense_wall else None,
+            "fast_cycles_per_s": round(fast_cycles / fast_wall) if fast_wall else None,
+            "speedup": round(dense_wall / fast_wall, 2) if fast_wall else None,
+            "identical": identical,
+        }
+        report["workloads"][name] = entry
+        if not identical:
+            report["ok"] = False
+        if progress is not None:
+            progress(
+                f"[perf] {name}: {entry['speedup']}x "
+                f"({entry['dense_wall_s']}s dense -> {entry['fast_wall_s']}s fast, "
+                f"{fast_cycles} cycles)"
+                + ("" if identical else "  ** RESULTS DIVERGED **")
+            )
+    if min_speedup is not None:
+        gate = report["workloads"].get(GATE_WORKLOAD)
+        if gate is None:
+            # gate workload not in the requested subset: record that the
+            # gate did not run rather than failing a partial sweep
+            report["gate"] = {"workload": GATE_WORKLOAD,
+                              "min_speedup": min_speedup, "skipped": True}
+        else:
+            report["gate"] = {
+                "workload": GATE_WORKLOAD,
+                "min_speedup": min_speedup,
+                "speedup": gate["speedup"],
+                "passed": bool(gate["speedup"] is not None
+                               and gate["speedup"] >= min_speedup),
+            }
+            if not report["gate"]["passed"]:
+                report["ok"] = False
+    return report
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -89,35 +89,35 @@ def _fig14_builders(scale: float):
 
 
 # ---------------------------------------------------------------- enumeration
-def figure_jobs(figure: str, scale: float = 1.0) -> list[Job]:
+def figure_jobs(figure: str, scale: float = 1.0, dense_loop: bool = False) -> list[Job]:
     """All cell jobs of one figure, in serial loop order."""
+    common = {"figure": figure, "scale": scale, "dense_loop": dense_loop}
     if figure == "fig12":
         return [
-            Job("figure", {"figure": figure, "bench": bench, "level": level,
-                           "scoped": scoped, "scale": scale})
+            Job("figure", {**common, "bench": bench, "level": level,
+                           "scoped": scoped})
             for bench in _fig12_builders(scale)
             for level in _FIG12_LEVELS
             for scoped in (False, True)
         ]
     if figure == "fig13":
         return [
-            Job("figure", {"figure": figure, "app": app, "label": label,
-                           "scope": scope, "spec": spec, "scale": scale})
+            Job("figure", {**common, "app": app, "label": label,
+                           "scope": scope, "spec": spec})
             for app in _app_builders(scale)
             for label, scope, spec in _FIG13_CONFIGS
         ]
     if figure == "fig14":
         return [
-            Job("figure", {"figure": figure, "bench": bench, "scope": scope.value,
-                           "scale": scale})
+            Job("figure", {**common, "bench": bench, "scope": scope.value})
             for bench in _fig14_builders(scale)
             for scope in (FenceKind.CLASS, FenceKind.SET)
         ]
     if figure in _SWEEPS:
         param, values, _title = _SWEEPS[figure]
         return [
-            Job("figure", {"figure": figure, "app": app, "param": param,
-                           "value": value, "scope": scope, "scale": scale})
+            Job("figure", {**common, "app": app, "param": param,
+                           "value": value, "scope": scope})
             for app in _app_builders(scale)
             for value in values
             for scope in ("global", None)
@@ -134,9 +134,10 @@ def run_figure_cell(params: dict) -> dict:
     """Execute one figure cell; returns the cell's headline numbers."""
     figure = params["figure"]
     scale = params["scale"]
+    dense = params.get("dense_loop", False)
     if figure == "fig12":
         build = _fig12_builders(scale)[params["bench"]]
-        env = Env(SimConfig(scoped_fences=params["scoped"]))
+        env = Env(SimConfig(scoped_fences=params["scoped"], dense_loop=dense))
         handle = build(env, params["level"])
         res = env.run(handle.program)
         handle.check()
@@ -146,7 +147,7 @@ def run_figure_cell(params: dict) -> dict:
         scope = _resolve_scope(params["scope"], native)
         point = measure(
             lambda env: builder(env, scope),
-            SimConfig(in_window_speculation=params["spec"]),
+            SimConfig(in_window_speculation=params["spec"], dense_loop=dense),
             label=params["label"],
         )
         return {"cycles": point.cycles,
@@ -155,12 +156,12 @@ def run_figure_cell(params: dict) -> dict:
     if figure == "fig14":
         build = _fig14_builders(scale)[params["bench"]]
         point = measure(lambda env: build(env, FenceKind(params["scope"])),
-                        SimConfig(), label=params["scope"])
+                        SimConfig(dense_loop=dense), label=params["scope"])
         return {"cycles": point.cycles}
     if figure in _SWEEPS:
         builder, native = _app_builders(scale)[params["app"]]
         scope = _resolve_scope(params["scope"], native)
-        cfg = SimConfig(**{params["param"]: params["value"]})
+        cfg = SimConfig(**{params["param"]: params["value"], "dense_loop": dense})
         point = measure(lambda env: builder(env, scope), cfg,
                         label=params["scope"] or "scoped")
         return {"cycles": point.cycles}
@@ -173,7 +174,8 @@ def _cell_map(jobs: list[Job], results: list[dict | None]) -> dict[tuple, dict |
     out = {}
     for job, result in zip(jobs, results):
         key = tuple(sorted(
-            (k, v) for k, v in job.params.items() if k not in ("figure", "scale")
+            (k, v) for k, v in job.params.items()
+            if k not in ("figure", "scale", "dense_loop")
         ))
         out[key] = result
     return out

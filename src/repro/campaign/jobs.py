@@ -58,6 +58,7 @@ def chaos_jobs(
     seed_base: int = 0,
     base_budget: int = 400_000,
     escalations: int = 3,
+    dense_loop: bool = False,
 ) -> list[Job]:
     """The chaos sweep cross product, in the serial sweep's exact order."""
     from ..chaos.runner import ALGORITHMS, SCENARIOS
@@ -74,6 +75,7 @@ def chaos_jobs(
         Job("chaos", {
             "algo": algo, "scenario": scenario, "seed": seed_base + s,
             "base_budget": base_budget, "escalations": escalations,
+            "dense_loop": dense_loop,
         })
         for scenario in scenarios
         for algo in algos
@@ -81,7 +83,11 @@ def chaos_jobs(
     ]
 
 
-def litmus_jobs(model: str = "rmo", offsets: list[int] | None = None) -> list[Job]:
+def litmus_jobs(
+    model: str = "rmo",
+    offsets: list[int] | None = None,
+    dense_loop: bool = False,
+) -> list[Job]:
     """One job per litmus-corpus entry."""
     from ..litmus.corpus import CORPUS
 
@@ -90,16 +96,21 @@ def litmus_jobs(model: str = "rmo", offsets: list[int] | None = None) -> list[Jo
         Job("litmus", {
             "name": entry.name, "source": entry.source, "model": model,
             "offsets": list(offsets), "expect_observable": entry.observable_rmo,
+            "dense_loop": dense_loop,
         })
         for entry in CORPUS
     ]
 
 
-def probe_jobs(cases: list[tuple[str, str, int]], base_budget: int = 400_000) -> list[Job]:
+def probe_jobs(
+    cases: list[tuple[str, str, int]],
+    base_budget: int = 400_000,
+    dense_loop: bool = False,
+) -> list[Job]:
     """Determinism probes over (algo, scenario, seed) cases."""
     return [
         Job("probe", {"algo": a, "scenario": sc, "seed": s,
-                      "base_budget": base_budget})
+                      "base_budget": base_budget, "dense_loop": dense_loop})
         for a, sc, s in cases
     ]
 
@@ -113,6 +124,7 @@ def _run_chaos_job(params: dict, heartbeat=None) -> dict:
         base_budget=params.get("base_budget", 400_000),
         escalations=params.get("escalations", 3),
         on_attempt=None if heartbeat is None else (lambda _attempt: heartbeat()),
+        dense_loop=params.get("dense_loop", False),
     )
     return asdict(report)
 
@@ -128,7 +140,10 @@ def _run_litmus_job(params: dict, heartbeat=None) -> dict:
     from ..sim.config import MemoryModel
 
     test = parse_litmus(params["source"])
-    run = run_litmus(test, MemoryModel(params["model"]), list(params["offsets"]))
+    run = run_litmus(
+        test, MemoryModel(params["model"]), list(params["offsets"]),
+        dense_loop=params.get("dense_loop", False),
+    )
     expected = params["expect_observable"]
     return {
         "name": test.name,
@@ -164,7 +179,10 @@ def _run_probe_job(params: dict, heartbeat=None) -> dict:
     state: dict = {}
 
     def build():
-        cfg = SimConfig(n_cores=4, retire_log_len=16, **scen.config)
+        cfg = SimConfig(
+            n_cores=4, retire_log_len=16,
+            dense_loop=params.get("dense_loop", False), **scen.config,
+        )
         env = Env(cfg)
         handle = build_algo(env, scope, scen.emit_branches)
         sim = env.simulator(handle.program)

@@ -119,3 +119,39 @@ class ChaosEngine:
 
     def summary(self) -> dict[str, int]:
         return dict(self.counts)
+
+
+class ScriptedFault:
+    """Deterministic memory-latency injector for exact-cycle tests.
+
+    Where :class:`ChaosEngine` draws from seeded RNG streams, this hook
+    adds a fixed ``extra`` latency to the Nth..every access of a given
+    address, recording each perturbed access.  Tests use it to assert
+    that an injected spike is honoured at the *exact* perturbed cycle
+    under both execution engines: the hierarchy folds the spike into
+    the completion cycle it reports, so the event scheduler wakes the
+    core precisely when the slowed access completes -- fault schedules
+    are never stretched or quantised by clock jumps.
+
+    Install with ``sim.hierarchy.fault = scripted.fault`` (the plain
+    hierarchy hook; composable with nothing else by design -- keep test
+    scenarios single-injector).
+    """
+
+    def __init__(self, addr: int, extra: int, from_nth: int = 0) -> None:
+        self.addr = addr
+        self.extra = extra
+        self.from_nth = from_nth
+        self.hits: list[tuple[int, bool, int]] = []  # (core, is_write, latency out)
+        self._seen = 0
+
+    def fault(self, core: int, addr: int, is_write: bool, latency: int) -> int:
+        if addr != self.addr:
+            return latency
+        n = self._seen
+        self._seen += 1
+        if n < self.from_nth:
+            return latency
+        latency += self.extra
+        self.hits.append((core, is_write, latency))
+        return latency

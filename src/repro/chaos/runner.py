@@ -145,6 +145,7 @@ def run_chaos_case(
     base_budget: int = 400_000,
     escalations: int = 3,
     on_attempt=None,
+    dense_loop: bool = False,
 ) -> ChaosReport:
     """Run one (algorithm, scenario, seed) case under supervision.
 
@@ -159,7 +160,9 @@ def run_chaos_case(
     state: dict = {}
 
     def build():
-        cfg = SimConfig(n_cores=4, retire_log_len=16, **scen.config)
+        cfg = SimConfig(
+            n_cores=4, retire_log_len=16, dense_loop=dense_loop, **scen.config
+        )
         env = Env(cfg)
         handle = build_algo(env, scope, scen.emit_branches)
         sim = env.simulator(handle.program)
@@ -212,6 +215,7 @@ def sweep(
     base_budget: int = 400_000,
     escalations: int = 3,
     progress=None,
+    dense_loop: bool = False,
 ) -> list[ChaosReport]:
     """Run the full cross product; returns one report per case."""
     algos = list(ALGORITHMS) if algos is None else list(algos)
@@ -229,6 +233,7 @@ def sweep(
                 rep = run_chaos_case(
                     algo, scenario, seed_base + s,
                     base_budget=base_budget, escalations=escalations,
+                    dense_loop=dense_loop,
                 )
                 reports.append(rep)
                 if progress is not None:

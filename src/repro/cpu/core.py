@@ -92,6 +92,11 @@ class Core:
         self.stats = stats
         self.rob = ReorderBuffer(config.rob_size)
         self.sb = StoreBuffer(config.sb_size, config.memory_model.sb_fifo)
+        # hot-loop aliases: both containers are stable objects, and the
+        # per-tick property/len indirection on them is measurable in the
+        # cycle loop (tick runs hundreds of thousands of times per run)
+        self._rob_q = self.rob._entries
+        self._sb_q = self.sb._entries
         self.tracker = ScopeTracker(config)
         if config.use_branch_predictor:
             from .predictor import TwoBitPredictor
@@ -114,6 +119,10 @@ class Core:
         self._next_fence_id = 0  # ids for speculatively issued fences
         self._outstanding_misses = 0  # loads missing L1, bounded by MSHRs
         self._sb_hold_until = 0  # chaos: store-drain throttle release cycle
+        # stall counters a no-progress tick bumps, as per-cycle deltas;
+        # account_idle replays them for every cycle the event scheduler
+        # skips so fast-path stats stay byte-identical to the dense loop
+        self._idle_deltas = (0, 0, 0, 0)  # fence, rob_full, sb_full, mshr
         self.finished = True
         self.finish_cycle = 0
         self.stall_reason: str | None = None
@@ -141,22 +150,55 @@ class Core:
         heapq.heappush(self._events, (cycle, self._ev_seq, kind, payload))
 
     def next_event_cycle(self, now: int) -> int | None:
-        """Earliest future cycle at which this core's state changes."""
-        candidates = []
+        """Exact earliest future cycle at which this core can change state.
+
+        This is the wake-up contract the event-driven scheduler relies
+        on (architecture §9): after a tick at ``now`` made no progress,
+        ticking this core at any cycle strictly before the returned
+        value makes no progress and mutates no architectural state, so
+        the scheduler may skip straight to it (replaying per-cycle stall
+        accounting via :meth:`account_idle`).  ``None`` means no event
+        will ever wake this core again -- it can only progress via a
+        future event, so a ``None`` from every running core is a proven
+        deadlock.
+
+        Wake-up sources, each reporting an exact cycle:
+
+        * the completion event heap (ROB completions scheduled from the
+          memory hierarchy's :meth:`~repro.mem.hierarchy.MemoryHierarchy.
+          completion_cycle`, branch resolutions, compute latencies, and
+          store-buffer drains),
+        * the store buffer's own earliest in-flight drain
+          (:meth:`~repro.cpu.store_buffer.StoreBuffer.next_completion_cycle`),
+        * the dependent-chain release cycle (``_blocked_until``), and
+        * the chaos write-port throttle release (``_sb_hold_until``).
+        """
+        best = None
         if self._events:
-            candidates.append(self._events[0][0])
-        if self._blocked_until > now:
-            candidates.append(self._blocked_until)
-        if self._sb_hold_until > now and not self.sb.empty:
-            candidates.append(self._sb_hold_until)
-        future = [c for c in candidates if c > now]
-        return min(future) if future else None
+            c = self._events[0][0]
+            if c > now:
+                best = c
+        c = self.sb.next_completion_cycle()
+        if c is not None and c > now and (best is None or c < best):
+            best = c
+        c = self._blocked_until
+        if c > now and (best is None or c < best):
+            best = c
+        c = self._sb_hold_until
+        if c > now and self._sb_q and (best is None or c < best):
+            best = c
+        return best
 
     # ------------------------------------------------------------------- tick
     def tick(self, cycle: int) -> bool:
         """Advance one cycle; returns True if any state changed."""
         if self.finished:
             return False
+        stats = self.stats
+        pre_fence = stats.fence_stall_cycles
+        pre_rob_full = stats.rob_full_stalls
+        pre_sb_full = stats.sb_full_stalls
+        pre_mshr = stats.mshr_stalls
         self.stall_reason = None
         progress = False
 
@@ -164,39 +206,63 @@ class Core:
             progress |= self._apply_completions(cycle)
         if self._spec_fence_groups:
             progress |= self._try_complete_open_fences(cycle)
-        if not self.rob.empty:
+        if self._rob_q:
             progress |= self._retire(cycle)
-        if not self.sb.empty:
+        if self._sb_q:
             progress |= self._issue_store(cycle)
         progress |= self._dispatch(cycle)
 
-        self.stats.rob_occupancy_sum += len(self.rob)
-        self.stats.rob_occupancy_samples += 1
+        stats.rob_occupancy_sum += len(self._rob_q)
+        stats.rob_occupancy_samples += 1
 
-        if self._gen_done and self._pending_op is None and self.rob.empty and self.sb.empty:
+        if self._gen_done and self._pending_op is None and not self._rob_q and not self._sb_q:
             self.finished = True
             self.finish_cycle = cycle
-            self.stats.cycles = cycle
+            stats.cycles = cycle
             return True
+        if not progress:
+            # A no-progress tick is a pure function of (state, cycle),
+            # and state cannot change before the next wake-up event, so
+            # the counters it bumped repeat identically every skipped
+            # cycle; record them for account_idle's exact replay.
+            self._idle_deltas = (
+                stats.fence_stall_cycles - pre_fence,
+                stats.rob_full_stalls - pre_rob_full,
+                stats.sb_full_stalls - pre_sb_full,
+                stats.mshr_stalls - pre_mshr,
+            )
         return progress
 
     def account_idle(self, delta: int) -> None:
-        """Attribute ``delta`` warped (skipped) cycles to this core's stats."""
-        if self.finished:
+        """Attribute ``delta`` skipped cycles to this core's stats.
+
+        Replays, once per skipped cycle, exactly the increments the last
+        no-progress tick made -- ROB-occupancy sampling plus whichever
+        stall counters that tick bumped -- so a warped run's statistics
+        are byte-identical to the dense per-cycle loop's.
+        """
+        if self.finished or delta <= 0:
             return
-        self.stats.rob_occupancy_sum += len(self.rob) * delta
-        self.stats.rob_occupancy_samples += delta
-        if self.stall_reason == "fence":
-            self.stats.fence_stall_cycles += delta
-        elif self.stall_reason == "rob_full":
-            self.stats.rob_full_stalls += delta
+        stats = self.stats
+        stats.rob_occupancy_sum += len(self._rob_q) * delta
+        stats.rob_occupancy_samples += delta
+        d_fence, d_rob_full, d_sb_full, d_mshr = self._idle_deltas
+        if d_fence:
+            stats.fence_stall_cycles += d_fence * delta
+        if d_rob_full:
+            stats.rob_full_stalls += d_rob_full * delta
+        if d_sb_full:
+            stats.sb_full_stalls += d_sb_full * delta
+        if d_mshr:
+            stats.mshr_stalls += d_mshr * delta
 
     # ------------------------------------------------------------- completions
     def _apply_completions(self, cycle: int) -> bool:
         progress = False
         events = self._events
+        heappop = heapq.heappop
         while events and events[0][0] <= cycle:
-            _, _, kind, payload = heapq.heappop(events)
+            _, _, kind, payload = heappop(events)
             progress = True
             if kind == _EV_ROB:
                 entry: RobEntry = payload  # type: ignore[assignment]
@@ -237,15 +303,16 @@ class Core:
     # ------------------------------------------------------------------ retire
     def _retire(self, cycle: int) -> bool:
         progress = False
+        rob_q = self._rob_q
+        retire_log = self.retire_log
         for _ in range(self.config.retire_width):
-            if self.rob.empty:
+            if not rob_q:
                 break
-            head = self.rob.head()
-            if head.kind == K_FENCE and not head.done:
-                # speculatively issued fence still waiting for its
-                # countdown (completed in _try_complete_open_fences)
-                break
+            head = rob_q[0]
             if not head.done:
+                # incomplete load/CAS, or a speculatively issued fence
+                # still waiting for its countdown (completed in
+                # _try_complete_open_fences)
                 break
             if head.kind == K_STORE and not head.in_sb:
                 if self.sb.full:
@@ -254,9 +321,9 @@ class Core:
                 sbe = self.sb.insert(head.addr, head.fsb_mask)
                 sbe.op_seq = head.seq
                 self.tracker.store_retired(head.fsb_mask)
-            self.rob.pop_head()
-            if self.retire_log is not None:
-                self.retire_log.append((cycle, KIND_NAMES[head.kind], head.addr))
+            rob_q.popleft()
+            if retire_log is not None:
+                retire_log.append((cycle, KIND_NAMES[head.kind], head.addr))
             progress = True
         return progress
 
@@ -335,9 +402,11 @@ class Core:
             if hold > 0:
                 self._sb_hold_until = cycle + hold
                 return False
-        latency = self.hierarchy.access(self.core_id, entry.addr, True, self.stats)
-        self.sb.mark_inflight(entry, cycle + latency)
-        self._schedule(cycle + latency, _EV_SB, entry)
+        done = self.hierarchy.completion_cycle(
+            cycle, self.core_id, entry.addr, True, self.stats
+        )
+        self.sb.mark_inflight(entry, done)
+        self._schedule(done, _EV_SB, entry)
         return True
 
     # ---------------------------------------------------------------- dispatch
@@ -360,6 +429,8 @@ class Core:
     def _dispatch(self, cycle: int) -> bool:
         cfg = self.config
         stats = self.stats
+        rob_q = self._rob_q
+        rob_cap = self.rob.capacity
         dispatched = 0
         for _ in range(cfg.dispatch_width):
             if cycle < self._blocked_until:
@@ -372,13 +443,15 @@ class Core:
                         stats.fence_stall_cycles += 1
                         self.stall_reason = "fence"
                     break
-            op = self._next_op()
+            op = self._pending_op
             if op is None:
-                break
-            if self.rob.full:
+                op = self._next_op()
+                if op is None:
+                    break
+            if len(rob_q) >= rob_cap:
                 if dispatched == 0:
                     stats.rob_full_stalls += 1
-                    head = self.rob.head()
+                    head = rob_q[0]
                     if head.kind == K_FENCE and not head.done:
                         # issue is blocked because a waiting fence clogs the ROB
                         stats.fence_stall_cycles += 1
@@ -571,8 +644,10 @@ class Core:
                     entry.fsb_mask, op.flagged,
                 )
             success = self.memory.cas(self.core_id, op.addr, op.expected, op.new)
-            latency = self.hierarchy.access(self.core_id, op.addr, True, stats)
-            self._schedule(cycle + latency, _EV_ROB, entry)
+            done = self.hierarchy.completion_cycle(
+                cycle, self.core_id, op.addr, True, stats
+            )
+            self._schedule(done, _EV_ROB, entry)
             self.rob.push(entry)
             if cfg.cas_fence:
                 self._blocking_entry = entry  # later ops wait for the atomic

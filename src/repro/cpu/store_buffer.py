@@ -97,6 +97,20 @@ class StoreBuffer:
         entry.state = S_INFLIGHT
         entry.done_cycle = done_cycle
 
+    def next_completion_cycle(self) -> int | None:
+        """Earliest drain-completion cycle among in-flight entries.
+
+        Part of the event-scheduler wake-up contract (architecture §9):
+        the store buffer reports the exact cycle its next drain becomes
+        globally visible, so the scheduler never has to poll it.
+        Returns None when nothing is in flight.
+        """
+        best = None
+        for entry in self._entries:
+            if entry.state == S_INFLIGHT and (best is None or entry.done_cycle < best):
+                best = entry.done_cycle
+        return best
+
     def remove(self, entry: SBEntry) -> None:
         self._entries.remove(entry)
 

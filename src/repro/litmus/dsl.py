@@ -222,6 +222,7 @@ class LitmusRun:
     test: LitmusTest
     outcomes: set[tuple]
     condition_observed: bool
+    total_cycles: int = 0  # summed over all explored offset pairs
 
     @property
     def register_names(self) -> list[str]:
@@ -239,18 +240,23 @@ def run_litmus(
     model: MemoryModel = MemoryModel.RMO,
     offsets: list[int] | None = None,
     n_cores: int | None = None,
+    dense_loop: bool = False,
 ) -> LitmusRun:
     """Explore timing offsets; evaluate the ``exists`` condition."""
     offsets = offsets or DEFAULT_OFFSETS
     cores = n_cores or max(2, test.n_threads)
     outcomes: set[tuple] = set()
     observed = False
+    total_cycles = 0
     reg_names: list[str] | None = None
     for d0 in offsets:
         for d1 in offsets:
-            env = Env(SimConfig(n_cores=cores, memory_model=model))
+            env = Env(SimConfig(
+                n_cores=cores, memory_model=model, dense_loop=dense_loop,
+            ))
             program, registers = build_program(test, env, [d0, d1])
-            env.run(program, max_cycles=2_000_000)
+            res = env.run(program, max_cycles=2_000_000)
+            total_cycles += res.cycles
             if reg_names is None:
                 reg_names = sorted(registers)
             outcomes.add(tuple(registers.get(r) for r in reg_names))
@@ -258,4 +264,4 @@ def run_litmus(
                 test.condition, {"__builtins__": {}}, dict(registers)
             ):
                 observed = True
-    return LitmusRun(test, outcomes, observed)
+    return LitmusRun(test, outcomes, observed, total_cycles)

@@ -57,6 +57,19 @@ class MemoryHierarchy:
             latency = max(1, fault(core, addr, is_write, latency))
         return latency
 
+    def completion_cycle(
+        self, now: int, core: int, addr: int, is_write: bool, stats: CoreStats
+    ) -> int:
+        """Perform one timed access; returns the exact completion cycle.
+
+        Part of the event-scheduler wake-up contract (architecture §9):
+        the hierarchy resolves each access to an absolute wake-up cycle
+        (``now`` + architectural latency + any injected fault latency)
+        that the core schedules as a completion event, so memory never
+        needs to be polled for readiness.
+        """
+        return now + self.access(core, addr, is_write, stats)
+
     def _access(self, core: int, addr: int, is_write: bool, stats: CoreStats) -> int:
         cfg = self.config
         line = self.line_of(addr)

@@ -107,6 +107,15 @@ class SimConfig:
     # diagnostics (0 disables; the chaos harness enables it)
     retire_log_len: int = 0
 
+    # --- Execution engine ----------------------------------------------------
+    # Run the reference per-cycle loop that ticks every core on every
+    # cycle instead of the event-driven scheduler.  Both engines produce
+    # byte-identical results (cycles, stats, retire logs, monitor event
+    # streams -- see tests/test_fastpath_equivalence.py); the dense loop
+    # exists as an escape hatch (``--dense-loop`` on every CLI command)
+    # and as the baseline the perf harness times the fast path against.
+    dense_loop: bool = False
+
     # --- Limits ---------------------------------------------------------------
     mem_size_words: int = 1 << 22  # functional memory size (32 MB of words)
     max_cycles: int = 50_000_000

@@ -1,16 +1,43 @@
 """Multicore cycle-level simulation loop.
 
-Cores are stepped round-robin inside a single global cycle loop, which
-makes runs fully deterministic.  When no core makes progress in a cycle
-the simulator *warps* forward to the earliest scheduled event (memory
-completions dominate run time at 300-cycle latencies, so this is the
-main performance lever); warped cycles are attributed to each core's
-stall accounting so fence-stall statistics stay exact.
+Two execution engines produce byte-identical results (final memory,
+stats counters, retire logs, monitor event streams, timelines --
+tests/test_fastpath_equivalence.py is the differential suite):
+
+* **Dense reference loop** (``SimConfig.dense_loop=True``): every core
+  is ticked on every cycle, in core-index order.  Trivially correct and
+  trivially slow at 300-cycle memory latencies; kept as the escape
+  hatch (``--dense-loop`` on every CLI command) and as the baseline the
+  perf harness times the fast path against.
+
+* **Event-driven fast path** (the default): each core sleeps between
+  ticks on which it can make progress.  After a no-progress tick the
+  core reports its exact next wake-up cycle (``Core.next_event_cycle``
+  -- completion events, store-buffer drains, branch redirect and drain
+  holds; see docs/architecture.md §9) and the scheduler jumps it
+  straight there, attributing the skipped span to stall accounting
+  (``Core.account_idle``) and to the timeline as an explicit
+  skipped-span marker.
+
+Equivalence rests on two invariants, both enforced by tests:
+
+1. *Wake-up soundness*: ticking a stalled core strictly before its
+   reported wake-up cycle makes no progress and mutates no observable
+   state (tests/test_fastpath_soundness.py).
+2. *Idle-delta replay*: a no-progress tick's stall-counter increments
+   are a pure function of core state, so replaying the recorded deltas
+   once per skipped cycle reproduces the dense loop's counters exactly.
+
+Because skipped ticks are side-effect free, the interleaving of the
+ticks that *do* run is the same in both engines (core-index order at
+each cycle), which keeps every shared-memory access -- and therefore
+every value read, monitor event and chaos RNG draw -- identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 from ..cpu.core import Core
 from ..isa.program import Program
@@ -19,6 +46,7 @@ from ..mem.memory import SharedMemory
 from .config import SimConfig
 from .diagnostics import SimDiagnostic, capture
 from .stats import CoreStats, SimStats
+from .timeline import core_state
 
 
 class SimulationFailure(RuntimeError):
@@ -103,7 +131,21 @@ class Simulator:
             core.bind(gen)
         for core in self.cores[len(gens):]:
             core.bind(None)
+        bound = len(gens)
 
+        if self.config.dense_loop:
+            self._run_dense(limit)
+        else:
+            self._run_event(limit, bound)
+
+        stats = SimStats(cores=self.core_stats)
+        stats.total_cycles = max((c.finish_cycle for c in self.cores), default=0)
+        # cores that idled from cycle 0 (no thread) report zero cycles
+        return SimResult(stats=stats, memory=self.memory, cycles=stats.total_cycles)
+
+    # ---------------------------------------------------------- dense engine
+    def _run_dense(self, limit: int) -> None:
+        """Reference loop: tick every core on every cycle."""
         cores = self.cores
         timeline = self.timeline
         cycle = 0
@@ -118,37 +160,127 @@ class Simulator:
             if timeline is not None:
                 timeline.sample(cycle, cores)
             if running == 0:
+                return
+            if not progress and not any(
+                core.next_event_cycle(cycle) is not None
+                for core in cores
+                if not core.finished
+            ):
+                self._raise_deadlock(cycle)
+            cycle += 1
+        raise CycleLimitError(
+            f"simulation exceeded {limit} cycles "
+            f"({sum(1 for c in cores if not c.finished)} cores still running)",
+            diagnostic=capture(cores, limit, "cycle-limit"),
+        )
+
+    # ---------------------------------------------------------- event engine
+    def _run_event(self, limit: int, bound: int) -> None:
+        """Event-driven scheduler: sleep each core until its next event.
+
+        A min-heap of ``(wake_cycle, core_index)`` holds every sleeping
+        core; each scheduler round pops the cores due at the earliest
+        pending cycle and ticks only those, so a sleeping core costs
+        nothing per skipped cycle (a linear per-cycle scan would cap the
+        speedup at roughly the core count).  Heap ties pop in core-index
+        order, matching the dense loop's tick order within a cycle.
+
+        ``wake[i]`` mirrors the heap; ``INF`` marks a stuck core (no
+        future event -- it can never progress again, by the wake-up
+        soundness contract), which leaves the heap entirely.  Stall
+        accounting and timeline skip markers for a sleeping span are
+        applied eagerly when the core goes to sleep; stuck cores are
+        accounted lazily at deadlock/cycle-limit time, since only then
+        is the span known.
+        """
+        cores = self.cores
+        timeline = self.timeline
+        n = len(cores)
+        INF = limit + 1
+        wake = [0] * n
+        last_tick = [0] * n
+        ticks = [c.tick for c in cores]  # pre-bound: shaves a lookup per tick
+        heap = [(0, i) for i in range(n) if not cores[i].finished]
+        unfinished = len(heap)
+        while heap and unfinished:
+            cycle = heap[0][0]
+            if cycle >= limit:
                 break
-            if not progress:
-                nxt = None
-                for core in cores:
-                    if core.finished:
-                        continue
-                    ev = core.next_event_cycle(cycle)
-                    if ev is not None and (nxt is None or ev < nxt):
-                        nxt = ev
-                if nxt is None or nxt <= cycle:
-                    self._raise_deadlock(cycle)
-                delta = nxt - cycle - 1  # cycles skipped before re-ticking at nxt
-                if delta > 0:
-                    for core in cores:
-                        core.account_idle(delta)
+            progress = False
+            while heap and heap[0][0] == cycle:
+                i = heappop(heap)[1]
+                core = cores[i]
+                if ticks[i](cycle):
+                    progress = True
                     if timeline is not None:
-                        timeline.idle(cycle, delta, cores)
-                cycle = nxt
-            else:
-                cycle += 1
-        else:
+                        timeline.sample_core(cycle, core)
+                    if core.finished:
+                        unfinished -= 1
+                    else:
+                        wake[i] = cycle + 1
+                        heappush(heap, (cycle + 1, i))
+                else:
+                    if timeline is not None:
+                        timeline.sample_core(cycle, core)
+                    last_tick[i] = cycle
+                    ev = core.next_event_cycle(cycle)
+                    if ev is None:
+                        wake[i] = INF  # stuck: no event can ever wake it
+                    else:
+                        # clamp to the limit so INF stays reserved for
+                        # stuck cores; a wake at `limit` simply drives
+                        # the loop to its cycle-limit exit
+                        ev = min(ev, limit)
+                        span_end = ev - 1
+                        if span_end > cycle:
+                            core.account_idle(span_end - cycle)
+                            if timeline is not None:
+                                timeline.skip(
+                                    core.core_id, cycle + 1, span_end,
+                                    core_state(core),
+                                )
+                        wake[i] = ev
+                        heappush(heap, (ev, i))
+            if unfinished and not heap:
+                # Every unfinished core is stuck.  The dense loop would
+                # detect this at its first all-no-progress cycle: this
+                # one if nothing progressed, otherwise the next (after
+                # one more round of no-progress ticks, which the settle
+                # below replays).  Charge stuck cores the cycles dense
+                # would have ticked them since they stalled.
+                deadlock_at = cycle if not progress else cycle + 1
+                if deadlock_at < limit:
+                    self._settle_stuck(deadlock_at, wake, last_tick, INF)
+                    self._raise_deadlock(deadlock_at)
+                break  # proven stuck at the limit boundary: cycle-limit
+        if unfinished:
+            self._settle_stuck(limit - 1, wake, last_tick, INF)
             raise CycleLimitError(
                 f"simulation exceeded {limit} cycles "
-                f"({sum(1 for c in cores if not c.finished)} cores still running)",
+                f"({unfinished} cores still running)",
                 diagnostic=capture(cores, limit, "cycle-limit"),
             )
+        # Close the timeline: the dense loop samples every core as
+        # "done" through the cycle the last core finishes.
+        if timeline is not None:
+            end = max((c.finish_cycle for c in cores), default=0)
+            for i, core in enumerate(cores):
+                start = core.finish_cycle + 1 if i < bound else 0
+                timeline.skip(core.core_id, start, end, "done")
 
-        stats = SimStats(cores=self.core_stats)
-        stats.total_cycles = max((c.finish_cycle for c in cores), default=0)
-        # cores that idled from cycle 0 (no thread) report zero cycles
-        return SimResult(stats=stats, memory=self.memory, cycles=stats.total_cycles)
+    def _settle_stuck(self, upto: int, wake, last_tick, INF: int) -> None:
+        """Account idle cycles for stuck cores through cycle ``upto``."""
+        timeline = self.timeline
+        for i, core in enumerate(self.cores):
+            if core.finished or wake[i] < INF:
+                continue
+            span = upto - last_tick[i]
+            if span > 0:
+                core.account_idle(span)
+                if timeline is not None:
+                    timeline.skip(
+                        core.core_id, last_tick[i] + 1, upto, core_state(core)
+                    )
 
     def _raise_deadlock(self, cycle: int) -> None:
         raise DeadlockError(

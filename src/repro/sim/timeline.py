@@ -8,13 +8,36 @@ pipeline viewer that makes fence stalls visible at a glance:
 
     core 0 | 0-11 run | 12-310 fence | 311-320 run | ...
 
-The recorder costs a callback per simulated cycle; use it on small
+Under the dense reference loop the simulator samples every core on
+every cycle (:meth:`sample`).  Under the event-driven fast path a core
+is only ticked at cycles where it can make progress; the scheduler then
+records one sample per tick (:meth:`sample_core`) and an explicit
+**skipped-span marker** (:meth:`skip`) for every run of cycles it
+warped the core over, so no cycle of the timeline is silently lost and
+``segments``/``state_cycles`` are identical across execution modes
+(tests/test_timeline.py has the cross-mode regression).
+
+The recorder costs a callback per simulated tick; use it on small
 programs only (the benchmarks never enable it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+
+def core_state(core) -> str:
+    """The timeline state label for a core after a tick.
+
+    The same mapping is used for per-cycle samples and skipped-span
+    markers, which is what keeps dense and fast-path timelines
+    byte-identical: a skipped core's state cannot change while it
+    sleeps, so the label from its last no-progress tick holds for the
+    whole span.
+    """
+    if core.finished and not core.stall_reason:
+        return "done"
+    return core.stall_reason or "run"
 
 
 @dataclass(frozen=True)
@@ -29,35 +52,77 @@ class Segment:
         return self.end - self.start + 1
 
 
+@dataclass(frozen=True)
+class SkippedSpan:
+    """A run of cycles the event scheduler warped a core over."""
+
+    core: int
+    start: int
+    end: int      # inclusive
+    state: str
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start + 1
+
+
 class TimelineRecorder:
-    """Collects one state sample per (cycle, core)."""
+    """Collects one state sample per (cycle, core), plus skip markers."""
 
     def __init__(self) -> None:
         self._samples: dict[int, list[tuple[int, str]]] = {}
+        self._skips: dict[int, list[SkippedSpan]] = {}
 
     # -- Simulator hooks ---------------------------------------------------------
     def sample(self, cycle: int, cores) -> None:
+        """Dense loop: one sample for every core this cycle."""
         for core in cores:
-            if core.finished and not core.stall_reason:
-                state = "done"
-            elif core.stall_reason:
-                state = core.stall_reason
-            else:
-                state = "run"
-            self._samples.setdefault(core.core_id, []).append((cycle, state))
+            self._samples.setdefault(core.core_id, []).append(
+                (cycle, core_state(core))
+            )
+
+    def sample_core(self, cycle: int, core) -> None:
+        """Fast path: one sample for a core the scheduler just ticked."""
+        self._samples.setdefault(core.core_id, []).append(
+            (cycle, core_state(core))
+        )
+
+    def skip(self, core_id: int, start: int, end: int, state: str) -> None:
+        """Fast path: the scheduler skipped ``[start, end]`` for one core.
+
+        Recorded as an explicit span marker rather than dropped, so the
+        reconstructed segments cover every cycle the dense loop would
+        have sampled.
+        """
+        if end < start:
+            return
+        self._skips.setdefault(core_id, []).append(
+            SkippedSpan(core_id, start, end, state)
+        )
 
     def idle(self, cycle: int, delta: int, cores) -> None:
-        """The simulator warped over ``delta`` quiet cycles."""
+        """Legacy global-warp hook: all cores skipped ``delta`` cycles."""
         for core in cores:
-            state = "done" if core.finished else (core.stall_reason or "wait")
-            samples = self._samples.setdefault(core.core_id, [])
-            samples.append((cycle + 1, state))
-            samples.append((cycle + delta, state))
+            self.skip(core.core_id, cycle + 1, cycle + delta, core_state(core))
 
     # -- analysis ------------------------------------------------------------------
+    def skipped_spans(self, core: int) -> list[SkippedSpan]:
+        """The skip markers recorded for one core, in insertion order."""
+        return list(self._skips.get(core, ()))
+
+    def _points(self, core: int) -> list[tuple[int, str]]:
+        """Samples plus skip-span endpoints, as one sorted point list."""
+        points = list(self._samples.get(core, ()))
+        for span in self._skips.get(core, ()):
+            points.append((span.start, span.state))
+            if span.end != span.start:
+                points.append((span.end, span.state))
+        points.sort()
+        return points
+
     def segments(self, core: int) -> list[Segment]:
         """Compressed, gap-free state segments for one core."""
-        samples = sorted(self._samples.get(core, ()))
+        samples = self._points(core)
         if not samples:
             return []
         out: list[Segment] = []
@@ -79,7 +144,7 @@ class TimelineRecorder:
         return totals
 
     def cores(self) -> list[int]:
-        return sorted(self._samples)
+        return sorted(set(self._samples) | set(self._skips))
 
     def render(self, max_segments: int = 12) -> str:
         """Human-readable per-core timeline."""

@@ -98,3 +98,49 @@ def test_hierarchy_fault_hook_changes_timing():
         return sim.run(max_cycles=1_000_000).cycles
 
     assert run_once(spike=True) > run_once(spike=False)
+
+
+# -------------------------------------------------- exact-cycle fault schedules
+def test_scripted_spike_honoured_at_exact_cycle_under_fast_path():
+    """A latency spike lands at precisely dispatch + base + extra.
+
+    The event scheduler folds injected latency into the completion
+    cycle it sleeps toward, so fault schedules are never stretched or
+    quantised by clock jumps: the perturbed load completes at the same
+    exact cycle the dense loop observes.
+    """
+    from repro.chaos.faults import ScriptedFault
+    from repro.sim.trace import OrderEventLog
+
+    target = 8192  # cold address -> deterministic L2-miss base latency
+    extra = 123
+
+    def run_once(dense):
+        prog = ops_program([[Store(64, 1), Load(target), Compute(5)]])
+        cfg = SimConfig(n_cores=1, dense_loop=dense)
+        sim = Simulator(cfg, prog)
+        scripted = ScriptedFault(target, extra)
+        sim.hierarchy.fault = scripted.fault
+        log = OrderEventLog()
+        sim.cores[0].monitor = log
+        sim.run(max_cycles=1_000_000)
+        assert scripted.hits == [(0, False, cfg.mem_latency + extra)]
+        dispatch = next(e for e in log.events
+                        if e.kind == "mem_dispatch" and e.addr == target)
+        complete = next(e for e in log.events
+                        if e.kind == "mem_complete" and e.seq == dispatch.seq)
+        assert complete.cycle == dispatch.cycle + cfg.mem_latency + extra
+        return log.events
+
+    assert run_once(dense=False) == run_once(dense=True)
+
+
+def test_scripted_fault_from_nth_skips_early_accesses():
+    from repro.chaos.faults import ScriptedFault
+
+    scripted = ScriptedFault(64, 50, from_nth=2)
+    assert scripted.fault(0, 64, False, 300) == 300
+    assert scripted.fault(0, 128, False, 300) == 300  # other addr: not counted
+    assert scripted.fault(0, 64, True, 300) == 300
+    assert scripted.fault(0, 64, False, 300) == 350
+    assert scripted.hits == [(0, False, 350)]

@@ -89,3 +89,21 @@ def test_fig14_command_small(capsys):
     assert "class vs set" in out
     for name in ("msn", "harris", "pst", "ptc"):
         assert name in out
+
+
+def test_dense_loop_escape_hatch_changes_nothing(tmp_path, capsys):
+    """--dense-loop runs the reference engine with identical output."""
+    f = tmp_path / "sb.litmus"
+    f.write_text(
+        """
+        name SBdemo
+        x = 1  | y = 1
+        r0 = y | r1 = x
+        exists r0 == 0 and r1 == 0
+        """
+    )
+    assert main(["litmus", str(f)]) == 0
+    fast_out = capsys.readouterr().out
+    assert main(["litmus", str(f), "--dense-loop"]) == 0
+    dense_out = capsys.readouterr().out
+    assert dense_out == fast_out

@@ -71,3 +71,48 @@ def test_empty_recorder():
     assert tl.segments(0) == []
     assert tl.cores() == []
     assert tl.render() == ""
+
+
+# ------------------------------------------------- fast-path skip-span markers
+_JUMPY_OPS = [
+    Store(4096, 1), Fence(FenceKind.GLOBAL), Load(64), Compute(30),
+    Store(8192, 2), Fence(FenceKind.GLOBAL), Load(128),
+]
+
+
+def test_fastpath_records_skipped_spans():
+    """Clock jumps leave explicit markers, not holes."""
+    _, tl = run_with_timeline(list(_JUMPY_OPS))
+    spans = tl.skipped_spans(0)
+    assert spans, "event scheduler produced no skip markers"
+    assert all(s.end >= s.start for s in spans)
+    assert any(s.state == "fence" and s.length >= 200 for s in spans)
+    # markers integrate seamlessly: segments still tile the run
+    segs = tl.segments(0)
+    for a, b in zip(segs, segs[1:]):
+        assert b.start == a.end + 1
+
+
+def test_timeline_identical_across_modes():
+    """Dense and fast-path timelines summarise to the same thing."""
+
+    def run(dense):
+        tl = TimelineRecorder()
+        prog = ops_program([list(_JUMPY_OPS), [Compute(80), Store(64, 5)]])
+        sim = Simulator(
+            SimConfig(n_cores=2, dense_loop=dense), prog, timeline=tl
+        )
+        res = sim.run()
+        return res, tl
+
+    res_d, tl_d = run(True)
+    res_f, tl_f = run(False)
+    assert res_d.cycles == res_f.cycles
+    assert tl_d.cores() == tl_f.cores()
+    for core in tl_d.cores():
+        assert tl_d.segments(core) == tl_f.segments(core)
+        assert tl_d.state_cycles(core) == tl_f.state_cycles(core)
+    assert tl_d.render() == tl_f.render()
+    # the fast path got there by skipping, the dense loop by sampling
+    assert any(tl_f.skipped_spans(c) for c in tl_f.cores())
+    assert not any(tl_d.skipped_spans(c) for c in tl_d.cores())
