@@ -17,6 +17,12 @@ Commands:
   loop vs the event-driven fast path and write ``BENCH_simperf.json``
   (see :mod:`repro.analysis.simperf`); exits non-zero if the fast-path
   speedup on the high-latency workload falls below ``--min-speedup``.
+* ``verify`` — exhaustively model-check the litmus corpus across fence
+  modes with the DPOR explorer, cross-check the reference model, and
+  differentially verify both simulator engines for soundness and
+  outcome coverage (see :mod:`repro.verify`); writes
+  ``verify-report.json`` and exits non-zero on any soundness violation
+  or explorer/reference disagreement.
 
 Every simulation-grid command accepts ``--parallel N`` to fan cells out
 over N crash-isolated worker processes, and ``--cache-dir``/
@@ -141,6 +147,8 @@ def cmd_litmus(path: str, model_name: str, dense_loop: bool = False) -> int:
     if test.condition:
         verdict = "OBSERVED" if run.condition_observed else "never observed"
         print(f"  exists {test.condition}: {verdict}")
+        for outcome in run.matching_outcomes():
+            print(f"    matching outcome: {outcome}")
     return 0
 
 
@@ -251,6 +259,44 @@ def cmd_chaos(ns) -> int:
     return _print_chaos_summary(reports, n_seeds, ns.seed_base, truncated)
 
 
+# ---------------------------------------------------------------------- verify
+def cmd_verify(ns) -> int:
+    """Exhaustive model check + simulator soundness/coverage verification."""
+    from .campaign import verify_jobs
+    from .verify.runner import (
+        assemble_verify_report,
+        format_verify_failures,
+        format_verify_report,
+        write_verify_report,
+    )
+
+    modes = ns.verify_modes.split(",") if ns.verify_modes else None
+    engines = ns.engines.split(",") if ns.engines else None
+    try:
+        jobs = verify_jobs(modes=modes, engines=engines,
+                           seeds=ns.verify_seeds, smoke=ns.smoke)
+    except KeyError as exc:
+        print(f"verify: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = _run_jobs(jobs, ns, "verify")
+    report = assemble_verify_report(
+        result.outcomes, seeds=jobs[0].params["seeds"], smoke=ns.smoke,
+    )
+    print(format_verify_report(report))
+    for line in format_verify_failures(report):
+        print(line, file=sys.stderr)
+    write_verify_report(report, ns.verify_out)
+    print(f"report written to {ns.verify_out}", file=sys.stderr)
+    if report["ok"]:
+        n_cases = sum(len(t["modes"]) for t in report["tests"].values())
+        print(f"verify: {n_cases} (test, mode) cases sound on "
+              f"{len(report['engines'])} engine(s); zero soundness violations",
+              file=sys.stderr)
+        return 0
+    print("verify: FAIL -- see report for details", file=sys.stderr)
+    return 1
+
+
 # ------------------------------------------------------------------------ perf
 def cmd_perf(ns) -> int:
     from .analysis.simperf import run_perf, write_report
@@ -283,6 +329,24 @@ def cmd_perf(ns) -> int:
     if not all(w["identical"] for w in report["workloads"].values()):
         print("perf: FAIL -- dense and fast-path results diverged", file=sys.stderr)
     return 0 if report["ok"] else 1
+
+
+def _litmus_mismatch_detail(r: dict) -> str:
+    """One mismatch line naming the offending outcome tuples.
+
+    A bare "MISMATCH <name>" is undebuggable; the message carries the
+    register order and either the forbidden tuples that were observed
+    or the full observed set when an expected outcome never appeared.
+    """
+    regs = tuple(r["registers"])
+    if r["condition_observed"]:
+        offending = ", ".join(str(tuple(o)) for o in r["condition_outcomes"])
+        return (f"campaign/litmus: {r['name']}: forbidden outcome observed -- "
+                f"exists {r['condition']} matched by registers {regs} = {offending}")
+    observed = ", ".join(str(tuple(o)) for o in r["outcomes"])
+    return (f"campaign/litmus: {r['name']}: expected-observable outcome never "
+            f"seen -- exists {r['condition']}; registers {regs} observed only "
+            f"{observed}")
 
 
 # -------------------------------------------------------------------- campaign
@@ -333,6 +397,7 @@ def cmd_campaign(ns) -> int:
         jobs = litmus_jobs(model=ns.model, dense_loop=ns.dense_loop)
         result = _run_jobs(jobs, ns, "campaign/litmus")
         rows = []
+        mismatches = []
         for outcome in result.outcomes:
             if outcome.ok:
                 r = outcome.result
@@ -341,12 +406,15 @@ def cmd_campaign(ns) -> int:
                              "observed" if r["condition_observed"] else "not observed",
                              "ok" if r["ok"] else "MISMATCH"))
                 if not r["ok"]:
+                    mismatches.append(r)
                     status |= 1
             else:
                 rows.append((outcome.job.params["name"], "?", outcome.status, "FAIL"))
                 status |= 1
         print(format_table(["test", "expected (rmo)", "simulator", "verdict"],
                            rows, title="litmus corpus"))
+        for r in mismatches:
+            print(_litmus_mismatch_detail(r), file=sys.stderr)
     return status
 
 
@@ -358,7 +426,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost",
-                 "litmus", "chaos", "campaign", "perf"],
+                 "litmus", "chaos", "campaign", "perf", "verify"],
     )
     parser.add_argument("args", nargs="*", help="litmus: <file>")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
@@ -406,6 +474,20 @@ def main(argv: list[str] | None = None) -> int:
     campaign_group.add_argument("--litmus", action="store_true",
                                 help="campaign: include the litmus corpus")
 
+    verify_group = parser.add_argument_group("verify options")
+    verify_group.add_argument("--verify-out", default="verify-report.json",
+                              metavar="FILE",
+                              help="verify: report path [verify-report.json]")
+    verify_group.add_argument("--verify-seeds", type=int, default=None,
+                              help="verify: offset-grid seeds per case "
+                                   "[2; --smoke: 1]")
+    verify_group.add_argument("--verify-modes", default="",
+                              help="verify: comma-separated fence-mode subset "
+                                   "(orig,none,full,sfence-class,sfence-set)")
+    verify_group.add_argument("--engines", default="",
+                              help="verify: comma-separated engine subset "
+                                   "(event,dense) [both]")
+
     perf_group = parser.add_argument_group("perf options")
     perf_group.add_argument("--perf-out", "-o", default="BENCH_simperf.json",
                             metavar="FILE",
@@ -428,6 +510,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_campaign(ns)
     if ns.command == "perf":
         return cmd_perf(ns)
+    if ns.command == "verify":
+        return cmd_verify(ns)
     if ns.command == "hwcost":
         return cmd_hwcost(ns)
     return cmd_figure(ns.command, ns)

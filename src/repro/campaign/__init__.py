@@ -25,7 +25,7 @@ from .engine import (
     run_campaign,
 )
 from .figures import FIGURES, assemble_figure, figure_jobs, run_figure_cell
-from .jobs import Job, chaos_jobs, execute_job, litmus_jobs, probe_jobs
+from .jobs import Job, chaos_jobs, execute_job, litmus_jobs, probe_jobs, verify_jobs
 
 __all__ = [
     "CampaignResult",
@@ -48,4 +48,5 @@ __all__ = [
     "probe_jobs",
     "run_campaign",
     "run_figure_cell",
+    "verify_jobs",
 ]

@@ -21,6 +21,9 @@ Job kinds:
 * ``probe``  -- a chaos case that additionally records the full
   monitor event stream; used by the determinism regression tests to
   prove in-process, subprocess and pool execution are byte-identical.
+* ``verify`` -- one (litmus test, fence mode, engine) cell of the
+  exhaustive model-checking matrix (:mod:`repro.verify`): DPOR allowed
+  set, reference cross-check, simulator soundness and coverage.
 * ``selftest`` -- engine plumbing checks (crash/hang/error on demand).
 """
 
@@ -47,6 +50,8 @@ class Job:
             return f"{p['figure']}:{p.get('bench') or p.get('app')}"
         if self.kind == "litmus":
             return f"litmus:{p['name']}"
+        if self.kind == "verify":
+            return f"verify:{p['name']}[{p['mode']}]@{p['engine']}"
         return self.kind
 
 
@@ -102,6 +107,38 @@ def litmus_jobs(
     ]
 
 
+def verify_jobs(
+    modes: list[str] | None = None,
+    engines: list[str] | None = None,
+    seeds: int | None = None,
+    smoke: bool = False,
+) -> list[Job]:
+    """The verification matrix: corpus x fence mode x engine."""
+    from ..litmus.corpus import CORPUS
+    from ..verify.modes import FENCE_MODES
+    from ..verify.runner import DEFAULT_SEEDS, ENGINES
+
+    modes = list(FENCE_MODES) if modes is None else list(modes)
+    engines = list(ENGINES) if engines is None else list(engines)
+    for mode in modes:
+        if mode not in FENCE_MODES:
+            raise KeyError(f"unknown fence mode {mode!r} (have {list(FENCE_MODES)})")
+    for engine in engines:
+        if engine not in ENGINES:
+            raise KeyError(f"unknown engine {engine!r} (have {list(ENGINES)})")
+    if seeds is None:
+        seeds = 1 if smoke else DEFAULT_SEEDS
+    return [
+        Job("verify", {
+            "name": entry.name, "source": entry.source, "mode": mode,
+            "engine": engine, "seeds": seeds, "smoke": smoke,
+        })
+        for entry in CORPUS
+        for mode in modes
+        for engine in engines
+    ]
+
+
 def probe_jobs(
     cases: list[tuple[str, str, int]],
     base_budget: int = 400_000,
@@ -149,10 +186,21 @@ def _run_litmus_job(params: dict, heartbeat=None) -> dict:
         "name": test.name,
         "registers": run.register_names,
         "outcomes": sorted(list(o) for o in run.outcomes),
+        "condition": test.condition,
         "condition_observed": run.condition_observed,
+        # the outcome tuples satisfying the exists clause: on a
+        # forbidden-but-observed mismatch these are the offending
+        # tuples the error message must name
+        "condition_outcomes": sorted(list(o) for o in run.matching_outcomes()),
         "expect_observable": expected,
         "ok": run.condition_observed == expected,
     }
+
+
+def _run_verify_job(params: dict, heartbeat=None) -> dict:
+    from ..verify.runner import verify_case
+
+    return verify_case(params)
 
 
 def _run_probe_job(params: dict, heartbeat=None) -> dict:
@@ -229,6 +277,7 @@ _RUNNERS = {
     "figure": _run_figure_job,
     "litmus": _run_litmus_job,
     "probe": _run_probe_job,
+    "verify": _run_verify_job,
     "selftest": _run_selftest_job,
 }
 

@@ -143,12 +143,21 @@ REF_WAIT_STORES = 0b10
 REF_WAIT_BOTH = REF_WAIT_LOADS | REF_WAIT_STORES
 
 
-def _thread_orders(ops: list[tuple]) -> list[list[tuple]]:
-    """Every permitted local order of one thread's memory operations."""
+def thread_order_constraints(ops: list[tuple]) -> tuple[list[tuple], set[tuple[int, int]]]:
+    """One thread's memory ops and the pairs that must stay ordered.
+
+    Returns ``(mems, before)`` where ``mems`` is the thread's memory
+    operations in program order (fences removed) and ``before`` holds
+    index pairs ``(a, b)`` over ``mems`` meaning ``mems[a]`` must
+    execute before ``mems[b]``: same-location program order plus every
+    fence-induced edge (waited-on, in-scope priors before all
+    subsequents).  This is the single definition of the per-thread
+    ordering axioms; both the permutation enumerator below and the
+    DPOR explorer in :mod:`repro.verify.explorer` consume it, so the
+    two allowed-outcome implementations can only diverge in the
+    *search*, never in the model.
+    """
     mems = [op for op in ops if op[0] != "fence"]
-    if not mems:
-        return [[]]
-    # ordering constraints as index pairs over `mems`
     index_of: dict[int, int] = {}
     mem_positions = []
     for pos, op in enumerate(ops):
@@ -176,7 +185,14 @@ def _thread_orders(ops: list[tuple]) -> list[list[tuple]]:
             for npos in mem_positions:
                 if npos > pos:
                     before.add((index_of[ppos], index_of[npos]))
+    return mems, before
 
+
+def _thread_orders(ops: list[tuple]) -> list[list[tuple]]:
+    """Every permitted local order of one thread's memory operations."""
+    mems, before = thread_order_constraints(ops)
+    if not mems:
+        return [[]]
     orders = []
     for perm in itertools.permutations(range(len(mems))):
         rank = {idx: r for r, idx in enumerate(perm)}

@@ -105,6 +105,39 @@ def parse_litmus(text: str) -> LitmusTest:
     return LitmusTest(name, threads, init, flagged, condition)
 
 
+def stmt_kind(stmt: str) -> str:
+    """Classify one DSL statement: ``store``/``load``/``fence``/``delay``.
+
+    Raises :class:`LitmusParseError` on anything unrecognised, so the
+    fence-mode rewriter in :mod:`repro.verify.modes` fails loudly
+    instead of silently dropping a malformed statement.
+    """
+    if stmt == "delay":
+        return "delay"
+    if _STORE_RE.match(stmt):
+        return "store"
+    if _LOAD_RE.match(stmt):
+        return "load"
+    if _FENCE_RE.match(stmt):
+        return "fence"
+    raise LitmusParseError(f"cannot classify statement {stmt!r}")
+
+
+def litmus_variables(test: LitmusTest) -> set[str]:
+    """Every shared variable the test stores to or loads from."""
+    out: set[str] = set()
+    for stmts in test.threads:
+        for stmt in stmts:
+            m = _STORE_RE.match(stmt)
+            if m:
+                out.add(m.group(1))
+                continue
+            m = _LOAD_RE.match(stmt)
+            if m:
+                out.add(m.group(2))
+    return out
+
+
 def _parse_fence(suffixes: str, flagged: bool) -> Fence:
     kind = FenceKind.GLOBAL
     waits = WAIT_BOTH
@@ -226,13 +259,39 @@ class LitmusRun:
 
     @property
     def register_names(self) -> list[str]:
-        names = []
+        """Register names in the order outcome tuples are reported.
+
+        Sorted, matching both :func:`run_litmus` (which records
+        ``tuple(registers[r] for r in sorted(registers))``) and the
+        reference/explorer allowed sets -- it used to return program
+        order, which mislabelled the columns of any test whose loads
+        are not already alphabetical (MP's ``rw`` poll, for one).
+        """
+        names: set[str] = set()
         for stmts in self.test.threads:
             for stmt in stmts:
                 m = _LOAD_RE.match(stmt)
-                if m and m.group(1) not in names:
-                    names.append(m.group(1))
-        return names
+                if m:
+                    names.add(m.group(1))
+        return sorted(names)
+
+    def matching_outcomes(self) -> list[tuple]:
+        """The observed outcomes satisfying the ``exists`` condition.
+
+        These are the offending tuples when a forbidden condition was
+        observed -- error reporting names them instead of just the test.
+        """
+        if not self.test.condition:
+            return []
+        names = self.register_names
+        matched = []
+        for outcome in sorted(self.outcomes, key=str):
+            env = dict(zip(names, outcome))
+            if eval(  # noqa: S307 - test-author expression
+                self.test.condition, {"__builtins__": {}}, env
+            ):
+                matched.append(outcome)
+        return matched
 
 
 def run_litmus(

@@ -1,8 +1,12 @@
 """Tests for the ``python -m repro`` command-line driver."""
 
+import json
+
 import pytest
 
+import repro.litmus.corpus as corpus_mod
 from repro.__main__ import main
+from repro.litmus.corpus import CorpusEntry
 
 
 def test_hwcost_command(capsys):
@@ -62,6 +66,96 @@ def test_litmus_unparseable_file_clean_error(tmp_path, capsys):
     err = capsys.readouterr().err
     assert "garbage" in err
     assert "Traceback" not in err
+
+
+def test_litmus_observed_condition_names_matching_outcome(tmp_path, capsys):
+    """An observed exists clause lists the exact matching tuples."""
+    f = tmp_path / "sb_nofence.litmus"
+    f.write_text(
+        """
+        x = 1  | y = 1
+        r0 = y | r1 = x
+        exists r0 == 0 and r1 == 0
+        """
+    )
+    assert main(["litmus", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "matching outcome: (0, 0)" in out
+
+
+def _rigged_corpus(expect_observable: bool):
+    """A one-entry corpus whose expectation can be forced wrong."""
+    return [CorpusEntry(
+        "SB-rigged",
+        """
+        name SB-rigged
+        x = 1  | y = 1
+        r0 = y | r1 = x
+        exists r0 == 0 and r1 == 0
+        """,
+        observable_rmo=expect_observable,
+    )]
+
+
+def test_campaign_litmus_mismatch_names_offending_outcome(monkeypatch, capsys):
+    """A forbidden-but-observed litmus failure exits non-zero and names
+    the offending outcome tuple, not just the test."""
+    monkeypatch.setattr(corpus_mod, "CORPUS", _rigged_corpus(False))
+    assert main(["campaign", "--litmus", "--no-cache"]) == 1
+    captured = capsys.readouterr()
+    assert "MISMATCH" in captured.out
+    assert "forbidden outcome observed" in captured.err
+    assert "('r0', 'r1') = (0, 0)" in captured.err
+
+
+def test_campaign_litmus_vacuous_expectation_reports_observed_set(
+        monkeypatch, capsys):
+    """The inverse mismatch (expected outcome never seen) lists what
+    *was* observed so the vacuity is debuggable."""
+    monkeypatch.setattr(corpus_mod, "CORPUS", [CorpusEntry(
+        "CoWR-rigged",
+        """
+        name CoWR-rigged
+        x = 1  | r0 = x
+        x = 2  | r1 = x
+        exists r0 == 2 and r1 == 1
+        """,
+        observable_rmo=True,  # coherence forbids it: expectation is wrong
+    )])
+    assert main(["campaign", "--litmus", "--no-cache"]) == 1
+    err = capsys.readouterr().err
+    assert "expected-observable outcome never seen" in err
+    assert "observed only" in err
+
+
+def test_campaign_litmus_happy_path_exits_zero(monkeypatch, capsys):
+    monkeypatch.setattr(corpus_mod, "CORPUS", _rigged_corpus(True))
+    assert main(["campaign", "--litmus", "--no-cache"]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_verify_command_smoke(tmp_path, capsys):
+    out_path = tmp_path / "verify-report.json"
+    assert main(["verify", "--smoke", "--no-cache",
+                 "--engines", "event",
+                 "--verify-modes", "none,sfence-set",
+                 "--verify-out", str(out_path)]) == 0
+    captured = capsys.readouterr()
+    assert "exhaustive allowed sets vs simulator coverage" in captured.out
+    assert "zero soundness violations" in captured.err
+    report = json.loads(out_path.read_text())
+    assert report["ok"] is True
+    assert report["soundness_violations"] == []
+    sb = report["tests"]["SB"]["modes"]
+    assert [0, 0] in sb["none"]["allowed"]
+    assert [0, 0] not in sb["sfence-set"]["allowed"]
+    covered, total = sb["none"]["engines"]["event"]["coverage"]
+    assert 0 < covered <= total
+
+
+def test_verify_rejects_unknown_mode(capsys):
+    assert main(["verify", "--verify-modes", "nope", "--no-cache"]) == 2
+    assert "unknown fence mode" in capsys.readouterr().err
 
 
 def test_chaos_command_smoke(capsys):

@@ -3,12 +3,18 @@
 Seeded random small programs are generated in the textual litmus DSL,
 explored on the simulator across timing offsets, and every observed
 register outcome is checked against the allowed set of the reference
-model in :mod:`repro.core.semantics` -- for traditional fences
-(``fence`` / ``fence.ss`` / ``fence.ll``) and scoped set fences
-(``fence.set`` variants over ``flag``-ged variables) alike.  The
-reference is deliberately weaker than the simulator, so
-``observed ⊆ allowed`` must hold for *every* program; any excess
-outcome is a fence-semantics bug.
+model in :mod:`repro.core.semantics`.  The reference is deliberately
+weaker than the simulator, so ``observed ⊆ allowed`` must hold for
+*every* program; any excess outcome is a fence-semantics bug.
+
+The sweep is a deterministic pytest matrix over **fence modes x
+seeds**, so a failure names its exact cell (e.g.
+``test_simulator_outcomes_within_reference[scoped-3]``) and that one
+cell reruns in isolation:
+
+* ``plain``  -- traditional fences only (``fence``/``.ss``/``.ll``);
+* ``scoped`` -- S-Fence set fences only, over ``flag``-ged variables;
+* ``mixed``  -- both families interleaved in one program.
 
 Generation constraints keep the reference sound and the enumeration
 exact:
@@ -35,7 +41,7 @@ from repro.litmus.dsl import abstract_threads, parse_litmus, run_litmus
 from repro.sim.config import MemoryModel
 
 SEED_BASE = int(os.environ.get("LITMUS_FUZZ_SEED", "0"))
-N_PROGRAMS = 12
+N_PROGRAMS_PER_MODE = 6
 
 #: delay offsets explored per program: enough spread to move stores
 #: across drain boundaries without exploding runtime
@@ -46,13 +52,20 @@ _PLAIN_FENCES = ("fence", "fence.ss", "fence.ll")
 _SET_FENCES = ("fence.set", "fence.set.ss", "fence.set.ll")
 _MAX_MEM_OPS = 4
 
+#: fence-mode axis of the fuzz matrix: which fence family a program draws
+FUZZ_MODES = {
+    "plain": _PLAIN_FENCES,
+    "scoped": _SET_FENCES,
+    "mixed": _PLAIN_FENCES + _SET_FENCES,
+}
 
-def generate_program(seed: int) -> str:
+
+def generate_program(seed: int, mode: str = "mixed") -> str:
     """One random two-thread litmus program in the textual DSL."""
-    rng = random.Random(f"litmus-fuzz:{seed}")
-    use_set = seed % 2 == 1  # alternate traditional-only and scoped programs
+    fences = FUZZ_MODES[mode]
+    rng = random.Random(f"litmus-fuzz:{mode}:{seed}")
+    use_set = mode != "plain"  # scoped/mixed programs flag variables
     flagged = sorted(rng.sample(_VARS, rng.randint(1, 2))) if use_set else []
-    fences = _PLAIN_FENCES + (_SET_FENCES if use_set else ())
 
     next_value = 1
     next_reg = 0
@@ -100,26 +113,30 @@ def _has_work(source: str) -> bool:
             and any(op[0] == "store" for op in ops))
 
 
-def _fuzz_seeds() -> list[int]:
-    """N seeds, skipping generations with no loads or no stores."""
+def _fuzz_seeds(mode: str) -> list[int]:
+    """N seeds for one mode, skipping workless generations."""
     seeds, candidate = [], SEED_BASE
-    while len(seeds) < N_PROGRAMS:
-        if _has_work(generate_program(candidate)):
+    while len(seeds) < N_PROGRAMS_PER_MODE:
+        if _has_work(generate_program(candidate, mode)):
             seeds.append(candidate)
         candidate += 1
     return seeds
 
 
-@pytest.mark.parametrize("seed", _fuzz_seeds())
-def test_simulator_outcomes_within_reference(seed):
-    source = generate_program(seed)
+_MATRIX = [(mode, seed) for mode in FUZZ_MODES for seed in _fuzz_seeds(mode)]
+
+
+@pytest.mark.parametrize("mode,seed", _MATRIX,
+                         ids=[f"{m}-{s}" for m, s in _MATRIX])
+def test_simulator_outcomes_within_reference(mode, seed):
+    source = generate_program(seed, mode)
     test = parse_litmus(source)
     allowed = reference_allowed_outcomes(abstract_threads(test), dict(test.init))
     run = run_litmus(test, MemoryModel.RMO, OFFSETS)
     extra = run.outcomes - allowed
     assert not extra, (
         f"simulator observed outcomes outside the reference allowed set\n"
-        f"program:\n{source}\n"
+        f"fence mode {mode}, seed {seed}; program:\n{source}\n"
         f"registers: {run.register_names}\n"
         f"extra outcomes: {sorted(extra)}\n"
         f"allowed: {sorted(allowed)}"
@@ -127,17 +144,22 @@ def test_simulator_outcomes_within_reference(seed):
 
 
 def test_generation_is_deterministic():
-    assert generate_program(5) == generate_program(5)
-    assert generate_program(5) != generate_program(6)
+    assert generate_program(5, "mixed") == generate_program(5, "mixed")
+    assert generate_program(5, "mixed") != generate_program(6, "mixed")
+    assert generate_program(5, "plain") != generate_program(5, "scoped")
 
 
-def test_both_fence_flavours_generated():
-    """The pinned seed range must exercise scoped and traditional fences."""
-    sources = [generate_program(s) for s in _fuzz_seeds()]
-    assert any("fence.set" in s for s in sources)
-    assert any("flag " in s for s in sources)
-    plain = [s for s in sources if "flag " not in s]
-    assert any("fence" in s for s in plain)
+def test_modes_generate_their_fence_families():
+    """Each matrix row exercises the fence family it names."""
+    plain = [generate_program(s, "plain") for s in _fuzz_seeds("plain")]
+    scoped = [generate_program(s, "scoped") for s in _fuzz_seeds("scoped")]
+    mixed = [generate_program(s, "mixed") for s in _fuzz_seeds("mixed")]
+    assert not any("fence.set" in s or "flag " in s for s in plain)
+    assert any("fence\n" in s or "fence " in s or "fence.ss" in s
+               or "fence.ll" in s for s in plain)
+    assert all("flag " in s for s in scoped)
+    assert any("fence.set" in s for s in scoped)
+    assert any("fence.set" in s for s in mixed)
 
 
 # ---------------------------------------------------------- reference pinning
