@@ -1,0 +1,52 @@
+"""Campaign throughput regression: persistent pool vs fork-per-job.
+
+Not a paper figure -- this benchmark guards the campaign *engine*.  It
+races the persistent chunk-pulling worker pool against the legacy
+one-process-per-job pool over the combined litmus + verify sweep and a
+truncated chaos sweep (:mod:`repro.analysis.campthru`), asserts the two
+pools produce byte-identical outcomes, that warm cache re-runs execute
+zero jobs, and that the persistent pool's cold-sweep speedup stays
+above the gate.
+
+The gate is deliberately the 1-CPU floor: on a single-core runner only
+per-process overhead (fork, copy-on-write GC traffic, module warm-up)
+is recoverable, so the required ratio is far below the multi-core
+headline.  ``REPRO_SCALE`` < 1 maps to the harness's smoke sizing, same
+as the CI ``campaign-throughput-smoke`` job
+(``python -m repro perf --campaign --smoke``).
+"""
+
+from conftest import SCALE
+
+from repro.analysis.campthru import DEFAULT_MIN_RATIO, GATE_SWEEP, run_campaign_perf
+from repro.analysis.report import format_table
+
+
+def test_campaign_throughput_regression(benchmark, report):
+    perf = run_campaign_perf(smoke=SCALE < 1.0, min_ratio=DEFAULT_MIN_RATIO)
+
+    rows = [
+        (name, s["jobs"], s["legacy"]["cold_s"], s["persistent"]["cold_s"],
+         s["persistent"]["warm_s"], f"{s['ratio']}x",
+         "yes" if s["identical"] else "DIVERGED")
+        for name, s in perf["sweeps"].items()
+    ]
+    report(format_table(
+        ["sweep", "jobs", "fork-per-job s", "persistent s", "warm s",
+         "speedup", "identical"],
+        rows,
+        title=f"campaign throughput -- persistent pool vs fork-per-job "
+              f"({perf['parallel']} workers, {perf['cpus']} cpu(s))",
+    ))
+
+    for name, s in perf["sweeps"].items():
+        assert s["identical"], f"{name}: pool outcomes diverged"
+        assert s["legacy"]["warm_executed"] == 0, f"{name}: legacy warm ran jobs"
+        assert s["persistent"]["warm_executed"] == 0, (
+            f"{name}: persistent warm ran jobs")
+    gate = perf["sweeps"][GATE_SWEEP]
+    assert gate["ratio"] >= DEFAULT_MIN_RATIO, (
+        f"{GATE_SWEEP}: persistent pool only {gate['ratio']}x over "
+        f"fork-per-job (required >= {DEFAULT_MIN_RATIO}x)"
+    )
+    assert perf["ok"]

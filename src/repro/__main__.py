@@ -17,6 +17,11 @@ Commands:
   loop vs the event-driven fast path and write ``BENCH_simperf.json``
   (see :mod:`repro.analysis.simperf`); exits non-zero if the fast-path
   speedup on the high-latency workload falls below ``--min-speedup``.
+  With ``--campaign``, instead race the persistent worker pool against
+  the legacy ``--fork-per-job`` pool over whole sweeps and write
+  ``BENCH_campaign.json`` (see :mod:`repro.analysis.campthru`); exits
+  non-zero if the cold-sweep speedup falls below ``--min-jobs-ratio``
+  or the pools' outcomes diverge.
 * ``verify`` — exhaustively model-check the litmus corpus across fence
   modes with the DPOR explorer, cross-check the reference model, and
   differentially verify both simulator engines for soundness and
@@ -25,9 +30,11 @@ Commands:
   or explorer/reference disagreement.
 
 Every simulation-grid command accepts ``--parallel N`` to fan cells out
-over N crash-isolated worker processes, and ``--cache-dir``/
-``--no-cache`` to control result memoisation.  Parallelism and caching
-never change any number in any table — only how fast it appears.  The
+over N crash-isolated worker processes (default ``auto``: one per CPU,
+capped), ``--fork-per-job`` to fall back to the legacy
+one-process-per-job pool, and ``--cache-dir``/``--no-cache`` to control
+result memoisation.  Parallelism and caching never change any number in
+any table — only how fast it appears.  The
 figure commands are thin wrappers over the same cell drivers the
 pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
 ``--dense-loop`` runs any command on the per-cycle reference engine
@@ -58,6 +65,28 @@ CHAOS_SMOKE_SEEDS = 2
 
 
 # --------------------------------------------------------------- campaign glue
+def _parallel_arg(value: str):
+    """``--parallel`` accepts a worker count or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
+def _resolve_parallel(ns) -> None:
+    """Turn the raw ``--parallel`` value into a worker count.
+
+    ``ns.parallel_explicit`` records whether the user picked one: the
+    implicit ``auto`` default must never change *what* runs, only how
+    fast, so side effects keyed on parallelism -- the shared default
+    cache directory, specifically -- stay opt-in.
+    """
+    from .campaign import auto_parallel
+
+    ns.parallel_explicit = ns.parallel is not None
+    if ns.parallel is None or ns.parallel == "auto":
+        ns.parallel = auto_parallel()
+
+
 def _make_cache(ns):
     """The ResultCache this invocation should use (or None)."""
     from .campaign import ResultCache
@@ -66,8 +95,10 @@ def _make_cache(ns):
         return None
     if ns.cache_dir:
         return ResultCache(ns.cache_dir)
-    # parallel runs default to the shared cache so re-invocations resume
-    if ns.parallel > 0:
+    # explicitly parallel runs default to the shared cache so
+    # re-invocations resume; the implicit auto default does not write
+    # into the working directory unasked
+    if ns.parallel > 0 and ns.parallel_explicit:
         return ResultCache(DEFAULT_CACHE_DIR)
     return None
 
@@ -85,7 +116,8 @@ def _run_jobs(jobs, ns, label: str):
             print(f"\r{label}: {agg.line()}", end="", file=sys.stderr)
 
     result = run_campaign(jobs, parallel=ns.parallel, cache=_make_cache(ns),
-                          progress=progress, job_timeout=ns.job_timeout)
+                          progress=progress, job_timeout=ns.job_timeout,
+                          fork_per_job=ns.fork_per_job)
     if live:
         print(file=sys.stderr)
     print(f"{label}: {agg.summary()} "
@@ -298,8 +330,57 @@ def cmd_verify(ns) -> int:
 
 
 # ------------------------------------------------------------------------ perf
+def cmd_perf_campaign(ns) -> int:
+    """Race the persistent pool against fork-per-job; gate the ratio."""
+    from .analysis.campthru import (
+        DEFAULT_MIN_RATIO,
+        run_campaign_perf,
+        write_report,
+    )
+
+    report = run_campaign_perf(
+        parallel=ns.parallel if ns.parallel_explicit else None,
+        smoke=ns.smoke,
+        min_ratio=(DEFAULT_MIN_RATIO if ns.min_jobs_ratio is None
+                   else ns.min_jobs_ratio),
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    write_report(report, ns.campaign_out)
+    rows = []
+    for name, sweep in report["sweeps"].items():
+        rows.append((
+            name, sweep["jobs"],
+            sweep["legacy"]["cold_s"], sweep["persistent"]["cold_s"],
+            sweep["persistent"]["warm_s"],
+            f"{sweep['persistent']['cold_jobs_per_s']}/s",
+            f"{sweep['ratio']}x" if sweep["ratio"] is not None else "n/a",
+            "yes" if sweep["identical"] else "DIVERGED",
+        ))
+    print(format_table(
+        ["sweep", "jobs", "fork-per-job s", "persistent s", "warm s",
+         "throughput", "speedup", "identical"],
+        rows,
+        title=f"campaign throughput -- persistent pool vs --fork-per-job "
+              f"({report['parallel']} workers, {report['cpus']} cpu(s))",
+    ))
+    print(f"report written to {ns.campaign_out}", file=sys.stderr)
+    gate = report.get("gate")
+    if gate and not gate["passed"]:
+        print(f"perf: FAIL -- {gate['sweep']} cold speedup {gate['ratio']}x "
+              f"< required {gate['min_ratio']}x", file=sys.stderr)
+    if not all(s["identical"] for s in report["sweeps"].values()):
+        print("perf: FAIL -- pool outcomes diverged", file=sys.stderr)
+    if any(s["persistent"]["warm_executed"] or s["legacy"]["warm_executed"]
+           for s in report["sweeps"].values()):
+        print("perf: FAIL -- a warm re-run executed jobs", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
 def cmd_perf(ns) -> int:
     from .analysis.simperf import run_perf, write_report
+
+    if ns.campaign:
+        return cmd_perf_campaign(ns)
 
     workloads = ns.workloads.split(",") if ns.workloads else None
     try:
@@ -437,9 +518,15 @@ def main(argv: list[str] | None = None) -> int:
                              "results, slower)")
 
     engine_group = parser.add_argument_group("campaign engine options")
-    engine_group.add_argument("--parallel", type=int, default=0, metavar="N",
+    engine_group.add_argument("--parallel", type=_parallel_arg, default=None,
+                              metavar="N|auto",
                               help="fan cells out over N worker processes "
-                                   "(0: run in-process)")
+                                   "(0: run in-process; auto: one per CPU, "
+                                   "capped) [auto]")
+    engine_group.add_argument("--fork-per-job", action="store_true",
+                              help="use the legacy one-process-per-job pool "
+                                   "instead of persistent chunk-pulling "
+                                   "workers (slower; maximal isolation)")
     engine_group.add_argument("--cache-dir", default="",
                               help=f"result cache directory [{DEFAULT_CACHE_DIR} "
                                    f"when parallel]")
@@ -498,7 +585,21 @@ def main(argv: list[str] | None = None) -> int:
     perf_group.add_argument("--workloads", default="",
                             help="perf: comma-separated workload subset "
                                  "(litmus,fig15-hot,cilk_fib)")
+    perf_group.add_argument("--campaign", action="store_true",
+                            help="perf: benchmark campaign throughput "
+                                 "(persistent pool vs --fork-per-job) instead "
+                                 "of simulator engines")
+    perf_group.add_argument("--campaign-out", default="BENCH_campaign.json",
+                            metavar="FILE",
+                            help="perf --campaign: report path "
+                                 "[BENCH_campaign.json]")
+    perf_group.add_argument("--min-jobs-ratio", type=float, default=None,
+                            metavar="R",
+                            help="perf --campaign: fail if the persistent "
+                                 "pool's cold-sweep speedup over fork-per-job "
+                                 "is below R [1.1]")
     ns = parser.parse_args(argv)
+    _resolve_parallel(ns)
 
     if ns.command == "litmus":
         if not ns.args:

@@ -7,6 +7,7 @@ output read the same way.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 
 
@@ -87,16 +88,23 @@ class StreamAggregator:
     The campaign engine completes jobs out of submission order (cache
     hits first, then whichever worker finishes); this accumulator keeps
     the running counts a progress display needs without waiting for the
-    full result list.
+    full result list.  It also tracks live throughput: ``jobs_per_s()``
+    is the rate since construction, ``eta_s()`` extrapolates it over
+    the jobs still pending, and ``line()`` appends both to the progress
+    bar once at least one job has landed.  ``clock`` is injectable
+    (defaults to :func:`time.monotonic`) so the arithmetic is testable
+    without sleeping.
     """
 
-    def __init__(self, total: int) -> None:
+    def __init__(self, total: int, clock=None) -> None:
         self.total = total
         self.done = 0
         self.ok = 0
         self.failed = 0
         self.cached = 0
         self.failures: list[str] = []
+        self._clock = time.monotonic if clock is None else clock
+        self._start = self._clock()
 
     def add(self, ok: bool, cached: bool = False, label: str = "") -> None:
         self.done += 1
@@ -109,9 +117,28 @@ class StreamAggregator:
         if cached:
             self.cached += 1
 
+    def jobs_per_s(self) -> float | None:
+        """Completed jobs per wall-clock second, or None before any."""
+        elapsed = self._clock() - self._start
+        if self.done == 0 or elapsed <= 0:
+            return None
+        return self.done / elapsed
+
+    def eta_s(self) -> float | None:
+        """Projected seconds until the last job lands, or None."""
+        rate = self.jobs_per_s()
+        if rate is None:
+            return None
+        return max(0, self.total - self.done) / rate
+
     def line(self, width: int = 24) -> str:
-        return progress_line(self.done, self.total, self.ok, self.failed,
-                             self.cached, width=width)
+        out = progress_line(self.done, self.total, self.ok, self.failed,
+                            self.cached, width=width)
+        rate = self.jobs_per_s()
+        if rate is not None:
+            eta = int(round(self.eta_s()))
+            out += f" {rate:.1f} job/s eta {eta // 60}:{eta % 60:02d}"
+        return out
 
     def summary(self) -> str:
         out = (f"{self.done}/{self.total} job(s): {self.ok} ok, "

@@ -13,7 +13,7 @@ with the same seeds produces byte-identical results inline, on one
 worker, or on many.
 """
 
-from .cache import ResultCache, code_fingerprint, job_key
+from .cache import ResultCache, code_fingerprint, job_key, set_process_fingerprint
 from .engine import (
     CampaignResult,
     DEFAULT_JOB_TIMEOUT,
@@ -22,10 +22,20 @@ from .engine import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TIMEOUT,
+    auto_parallel,
+    plan_chunks,
     run_campaign,
 )
 from .figures import FIGURES, assemble_figure, figure_jobs, run_figure_cell
-from .jobs import Job, chaos_jobs, execute_job, litmus_jobs, probe_jobs, verify_jobs
+from .jobs import (
+    Job,
+    chaos_jobs,
+    execute_job,
+    job_cost,
+    litmus_jobs,
+    probe_jobs,
+    verify_jobs,
+)
 
 __all__ = [
     "CampaignResult",
@@ -39,14 +49,18 @@ __all__ = [
     "STATUS_OK",
     "STATUS_TIMEOUT",
     "assemble_figure",
+    "auto_parallel",
     "chaos_jobs",
     "code_fingerprint",
     "execute_job",
     "figure_jobs",
+    "job_cost",
     "job_key",
     "litmus_jobs",
+    "plan_chunks",
     "probe_jobs",
     "run_campaign",
     "run_figure_cell",
+    "set_process_fingerprint",
     "verify_jobs",
 ]

@@ -33,18 +33,35 @@ from pathlib import Path
 #: never resumed from cache.
 CACHEABLE_STATUSES = ("ok",)
 
-_fingerprint_cache: str | None = None
+#: a fingerprint handed down by the parent process (campaign workers
+#: never hash the tree themselves; the parent installs its value here)
+_process_fingerprint: str | None = None
+
+
+def set_process_fingerprint(fingerprint: str | None) -> None:
+    """Install a parent-computed fingerprint for this whole process.
+
+    The campaign engine calls this inside every persistent worker with
+    the value the parent computed once, so forked children never pay
+    the full-tree SHA-256 walk -- and never disagree with the parent
+    about what code version they are running (a worker that outlived a
+    source edit keeps the fingerprint of the code it actually loaded).
+    """
+    global _process_fingerprint
+    _process_fingerprint = fingerprint
 
 
 def code_fingerprint() -> str:
     """SHA-256 over every ``repro`` source file (path + content).
 
-    Computed once per process; any change to the package -- scenario
-    presets, simulator timing, workload builders -- yields a new
-    fingerprint and therefore a cold cache.
+    Any change to the package -- scenario presets, simulator timing,
+    workload builders -- yields a new fingerprint and therefore a cold
+    cache.  The walk runs at most once per process: the parent computes
+    it (once, when it builds its first :class:`ResultCache`) and hands
+    the value to workers via :func:`set_process_fingerprint`.
     """
-    global _fingerprint_cache
-    if _fingerprint_cache is None:
+    global _process_fingerprint
+    if _process_fingerprint is None:
         root = Path(__file__).resolve().parents[1]
         h = hashlib.sha256()
         for path in sorted(root.rglob("*.py")):
@@ -52,8 +69,8 @@ def code_fingerprint() -> str:
             h.update(b"\0")
             h.update(path.read_bytes())
             h.update(b"\0")
-        _fingerprint_cache = h.hexdigest()
-    return _fingerprint_cache
+        _process_fingerprint = h.hexdigest()
+    return _process_fingerprint
 
 
 def job_key(kind: str, params: dict, fingerprint: str) -> str:
@@ -96,9 +113,8 @@ class ResultCache:
         return obj["result"]
 
     # ----------------------------------------------------------------- store
-    def put(self, job, status: str, result: dict) -> None:
-        if status not in CACHEABLE_STATUSES:
-            return
+    def _write_object(self, job, status: str, result: dict) -> str:
+        """Atomically write one result object; returns its key."""
         key = self.key_for(job)
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -108,10 +124,41 @@ class ResultCache:
         with open(tmp, "w") as fh:
             json.dump(obj, fh, sort_keys=True)
         os.replace(tmp, path)
+        return key
+
+    def put(self, job, status: str, result: dict) -> None:
+        if status not in CACHEABLE_STATUSES:
+            return
+        key = self._write_object(job, status, result)
         with open(self.root / "manifest.jsonl", "a") as fh:
             fh.write(json.dumps(
                 {"key": key, "kind": job.kind, "status": status},
                 sort_keys=True) + "\n")
+
+    def put_many(self, entries) -> None:
+        """Store a batch of ``(job, status, result)`` completions.
+
+        The persistent pool flushes one batch per worker *chunk*:
+        object files are written individually (still atomic), but the
+        manifest gets a single append -- followed by one ``fsync``, so
+        a chunk that was acknowledged to the campaign driver survives a
+        host crash.  Per-job ``put`` skips the fsync; batching is what
+        makes durability affordable.
+        """
+        lines = []
+        for job, status, result in entries:
+            if status not in CACHEABLE_STATUSES:
+                continue
+            key = self._write_object(job, status, result)
+            lines.append(json.dumps(
+                {"key": key, "kind": job.kind, "status": status},
+                sort_keys=True) + "\n")
+        if not lines:
+            return
+        with open(self.root / "manifest.jsonl", "a") as fh:
+            fh.write("".join(lines))
+            fh.flush()
+            os.fsync(fh.fileno())
 
     # ------------------------------------------------------------- inventory
     def manifest(self) -> list[dict]:

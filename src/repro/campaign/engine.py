@@ -9,16 +9,40 @@ inline (``parallel=0``) or on a pool of worker *processes*
   :func:`repro.campaign.jobs.execute_job`), so a campaign produces the
   identical outcome list whether it ran inline, on one worker, or on
   sixteen.  Nothing host- or wall-clock-dependent enters a payload.
-* **Crash isolation** -- every job runs in its own worker process (one
-  process per job, at most ``parallel`` alive at once).  A worker that
-  dies is classified ``worker-crash``; one that stops heartbeating past
-  the job timeout is killed and classified ``worker-timeout``; an
-  exception inside the job is ``error`` with the traceback.  None of
-  them abort the campaign.
+* **Crash isolation** -- a worker that dies is respawned and only the
+  job it was executing is classified ``worker-crash``; one that stops
+  heartbeating past the job timeout is killed and its job classified
+  ``worker-timeout``; an exception inside a job is ``error`` with the
+  traceback.  None of them abort the campaign or poison other jobs.
 * **Resumability** -- with a :class:`~repro.campaign.cache.ResultCache`
   attached, completed jobs are served from disk and *zero* simulations
   re-execute; an interrupted campaign continues from wherever its
   manifest left off.
+
+Two pool implementations share that contract:
+
+* The default **persistent pool** forks each of the ``parallel``
+  workers once per campaign.  Workers pull *chunks* of jobs (size-aware
+  chunking via :func:`repro.campaign.jobs.job_cost`: many tiny
+  litmus/verify cells batch together, long chaos rungs stay solo),
+  stream per-job results and heartbeats back over their pipe, and keep
+  warm state between jobs -- the source-tree fingerprint computed once
+  in the parent and installed into each worker
+  (:func:`repro.campaign.cache.set_process_fingerprint`), memoised
+  parse/exploration products keyed by job parameters, and a quiesced
+  garbage collector (the inherited module heap is frozen out of
+  collection traversal, which also keeps forked pages copy-on-write
+  clean).  Completed results are flushed to the cache one manifest
+  append + fsync per *chunk* instead of per job.  A worker that dies
+  mid-chunk is respawned; only its in-flight job is classified
+  ``worker-crash`` and the unstarted remainder of the chunk is
+  re-queued at the front of the queue.
+* The legacy **fork-per-job pool** (``fork_per_job=True``, CLI
+  ``--fork-per-job``) spawns one process per job, at most ``parallel``
+  alive at once.  It is kept as the throughput-regression baseline --
+  ``python -m repro perf --campaign`` races the two pools and fails if
+  the persistent pool stops beating it -- and as a maximally isolated
+  escape hatch.
 
 Workers are forked (POSIX) so they inherit the loaded simulator modules
 instead of re-importing them; the spawn fallback keeps the engine
@@ -26,19 +50,24 @@ functional on platforms without ``fork``.  The chaos supervisor's
 escalation ladder runs entirely inside the worker -- each budget rung
 sends a heartbeat over the result pipe, which resets the parent's
 deadline so a legitimately escalating case is never confused with a
-hung one.
+hung one.  Timeouts are therefore *per job* even when jobs travel in
+chunks: any message from a worker (job start, heartbeat, result)
+resets its deadline.
 """
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
+import os
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
 
-from .cache import ResultCache
-from .jobs import Job, execute_job
+from .cache import ResultCache, set_process_fingerprint
+from .jobs import Job, execute_job, job_cost
 
 #: outcome statuses (job-level; a chaos job whose *case* deadlocked is
 #: still status "ok" here -- the classification is in its payload)
@@ -53,6 +82,26 @@ FAILURE_STATUSES = (STATUS_ERROR, STATUS_CRASH, STATUS_TIMEOUT)
 #: Generous: a single escalation rung of a storm case is well under a
 #: minute; only a genuinely wedged worker trips this.
 DEFAULT_JOB_TIMEOUT = 600.0
+
+#: ``--parallel auto`` resolves to the host's CPU count, capped here --
+#: beyond this the grids in this repo are IPC-bound, not compute-bound
+AUTO_PARALLEL_CAP = 8
+
+#: chunking targets: aim for this many chunks per worker so stragglers
+#: rebalance, and never put more than this many jobs in one chunk (the
+#: re-queue blast radius when a worker dies mid-chunk)
+CHUNKS_PER_WORKER = 4
+MAX_CHUNK_JOBS = 16
+
+#: a chunk re-queued this many times without any job *starting* is
+#: declared poisoned and its jobs classified worker-crash -- the
+#: backstop that keeps a worker crashing on chunk receipt from looping
+MAX_CHUNK_REQUEUES = 3
+
+
+def auto_parallel() -> int:
+    """The worker count ``--parallel auto`` resolves to."""
+    return max(1, min(os.cpu_count() or 1, AUTO_PARALLEL_CAP))
 
 
 @dataclass
@@ -90,13 +139,108 @@ class CampaignResult:
         return [o.result for o in self.outcomes]
 
 
+# ------------------------------------------------------------------- chunking
+def plan_chunks(
+    jobs: list[Job],
+    pending: list[int],
+    parallel: int,
+    target_cost: float | None = None,
+) -> list[list[int]]:
+    """Contiguous, size-aware chunks of the pending job indices.
+
+    Submission order is preserved inside and across chunks (adjacent
+    verify cells of the same test share a worker's warm parse), the
+    per-chunk cost aims at ``total / (parallel * CHUNKS_PER_WORKER)``
+    so many tiny jobs batch together while a single expensive job --
+    one chaos storm rung costs an order of magnitude more than a litmus
+    cell -- fills a chunk by itself, and no chunk exceeds
+    :data:`MAX_CHUNK_JOBS` jobs (the re-queue blast radius).
+    """
+    if not pending:
+        return []
+    costs = [job_cost(jobs[i]) for i in pending]
+    if target_cost is None:
+        target_cost = sum(costs) / max(1, parallel * CHUNKS_PER_WORKER)
+    target_cost = max(target_cost, 1e-9)
+    chunks: list[list[int]] = []
+    cur: list[int] = []
+    acc = 0.0
+    for index, cost in zip(pending, costs):
+        if cur and acc + cost > target_cost:
+            chunks.append(cur)
+            cur, acc = [], 0.0
+        cur.append(index)
+        acc += cost
+        if acc >= target_cost or len(cur) >= MAX_CHUNK_JOBS:
+            chunks.append(cur)
+            cur, acc = [], 0.0
+    if cur:
+        chunks.append(cur)
+    return chunks
+
+
+# ------------------------------------------------------------- worker bodies
 def _worker_entry(conn, job: Job) -> None:
-    """Worker-process body: run one job, ship the payload back."""
+    """Fork-per-job worker body: run one job, ship the payload back."""
     try:
         result = execute_job(job, heartbeat=lambda: conn.send(("heartbeat",)))
         conn.send(("done", STATUS_OK, result))
     except Exception:
         conn.send(("done", STATUS_ERROR, traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _quiesce_worker_gc() -> None:
+    """Freeze the inherited heap in a freshly forked persistent worker.
+
+    The parent's module graph is immortal for the worker's lifetime;
+    freezing it moves it out of cyclic-GC traversal, so the frequent
+    young-generation collections a simulation triggers stop touching
+    (and copy-on-write duplicating) the shared pages.  The raised
+    generation-0 threshold trades a little peak memory for not running
+    the collector thousands of times per job; per-job state is torn
+    down by refcounting regardless, so results are unaffected.
+    """
+    gc.freeze()
+    gc.set_threshold(100_000, 50, 50)
+
+
+def _pool_worker_entry(conn, fingerprint: str) -> None:
+    """Persistent-worker body: drain job chunks until told to exit.
+
+    Protocol (all over one duplex pipe):
+
+    * parent -> worker: ``("chunk", [(index, job), ...])`` or
+      ``("exit",)``
+    * worker -> parent: ``("start", index)`` before each job,
+      ``("heartbeat",)`` while one runs, ``("done", index, status,
+      payload)`` after it, ``("chunk-done",)`` after the chunk.
+
+    The parent's source-tree fingerprint is installed so nothing in
+    this process ever re-hashes the tree (see
+    :func:`repro.campaign.cache.set_process_fingerprint`).
+    """
+    if fingerprint:
+        set_process_fingerprint(fingerprint)
+    _quiesce_worker_gc()
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] != "chunk":
+                break
+            for index, job in message[1]:
+                conn.send(("start", index))
+                try:
+                    result = execute_job(
+                        job, heartbeat=lambda: conn.send(("heartbeat",)))
+                    conn.send(("done", index, STATUS_OK, result))
+                except Exception:
+                    conn.send(("done", index, STATUS_ERROR,
+                               traceback.format_exc()))
+            conn.send(("chunk-done",))
+    except (EOFError, OSError):  # pragma: no cover - parent went away
+        pass
     finally:
         conn.close()
 
@@ -108,35 +252,27 @@ def _mp_context():
         return multiprocessing.get_context("spawn")
 
 
-class _ActiveWorker:
-    __slots__ = ("index", "process", "conn", "deadline", "timeout")
-
-    def __init__(self, index, process, conn, timeout):
-        self.index = index
-        self.process = process
-        self.conn = conn
-        self.timeout = timeout
-        self.deadline = time.monotonic() + timeout
-
-    def beat(self) -> None:
-        self.deadline = time.monotonic() + self.timeout
-
-
+# --------------------------------------------------------------- entry point
 def run_campaign(
     jobs: list[Job],
     parallel: int = 0,
     cache: ResultCache | None = None,
     progress=None,
     job_timeout: float = DEFAULT_JOB_TIMEOUT,
+    fork_per_job: bool = False,
+    chunk_cost: float | None = None,
 ) -> CampaignResult:
     """Execute ``jobs``; see the module docstring for the contract.
 
     ``parallel=0`` runs inline in this process (still cache-aware and
     still per-job isolated from lazy global state); ``parallel>=1``
-    uses that many worker processes.  ``progress(outcome, done, total)``
-    is invoked once per job as it completes (cache hits first, then
-    executions in *completion* order -- the returned list is always in
-    submission order regardless).
+    uses that many worker processes -- persistent chunk-pulling workers
+    by default, one process per job with ``fork_per_job=True``.
+    ``progress(outcome, done, total)`` is invoked once per job as it
+    completes (cache hits first, then executions in *completion* order
+    -- the returned list is always in submission order regardless).
+    ``chunk_cost`` overrides the persistent pool's per-chunk cost
+    target (tests use it to force exact chunk shapes).
     """
     campaign = CampaignResult(outcomes=[None] * len(jobs))  # type: ignore[list-item]
     done = 0
@@ -176,7 +312,188 @@ def run_campaign(
             finish(i, outcome)
         return campaign
 
-    # ------------------------------------------------------------ pool mode
+    if fork_per_job:
+        _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout)
+    else:
+        _run_persistent_pool(jobs, pending, parallel, cache, finish,
+                             job_timeout, chunk_cost)
+    return campaign
+
+
+# ------------------------------------------------------------ persistent pool
+class _PoolWorker:
+    """Parent-side state of one persistent worker."""
+
+    __slots__ = ("process", "conn", "deadline", "timeout",
+                 "remaining", "in_flight", "batch", "requeues")
+
+    def __init__(self, process, conn, timeout):
+        self.process = process
+        self.conn = conn
+        self.timeout = timeout
+        self.remaining: list[int] = []   # chunk jobs not yet started
+        self.in_flight: int | None = None  # started, no result yet
+        self.batch: list[tuple[Job, str, dict]] = []  # ok results to flush
+        self.requeues = 0                # the current chunk's requeue count
+        self.beat()
+
+    def beat(self) -> None:
+        self.deadline = time.monotonic() + self.timeout
+
+
+def _run_persistent_pool(
+    jobs, pending, parallel, cache, finish, job_timeout, chunk_cost,
+) -> None:
+    ctx = _mp_context()
+    fingerprint = cache.fingerprint if cache is not None else ""
+    # chunks carry their requeue count so a chunk that repeatedly kills
+    # its worker before starting any job cannot re-queue forever
+    chunks: deque[tuple[list[int], int]] = deque(
+        (chunk, 0) for chunk in plan_chunks(jobs, pending, parallel, chunk_cost)
+    )
+    active: dict[object, _PoolWorker] = {}
+    # drop garbage now so every fork starts from a clean heap and the
+    # workers' gc.freeze() pins live objects only
+    gc.collect()
+
+    def flush(worker: _PoolWorker) -> None:
+        if cache is not None and worker.batch:
+            cache.put_many(worker.batch)
+        worker.batch.clear()
+
+    def assign(worker: _PoolWorker) -> bool:
+        """Send the next chunk to ``worker``; False when none are left."""
+        if not chunks:
+            return False
+        chunk, requeues = chunks.popleft()
+        worker.remaining = list(chunk)
+        worker.in_flight = None
+        worker.requeues = requeues
+        worker.beat()
+        worker.conn.send(("chunk", [(i, jobs[i]) for i in chunk]))
+        return True
+
+    def spawn() -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_pool_worker_entry,
+                           args=(child_conn, fingerprint), daemon=True)
+        proc.start()
+        child_conn.close()
+        worker = _PoolWorker(proc, parent_conn, job_timeout)
+        active[parent_conn] = worker
+        assign(worker)
+
+    def retire(worker: _PoolWorker) -> None:
+        """Clean shutdown of an idle worker (no chunks left)."""
+        flush(worker)
+        try:
+            worker.conn.send(("exit",))
+        except (BrokenPipeError, OSError):  # pragma: no cover - racing death
+            pass
+        worker.conn.close()
+        del active[worker.conn]
+        worker.process.join()
+
+    def reap(worker: _PoolWorker, status: str, error: str, kill: bool) -> None:
+        """A worker died or was killed: classify, re-queue, replace.
+
+        Only the in-flight job gets ``status``; chunk jobs that never
+        started are pushed back to the *front* of the queue so overall
+        ordering stays as close to submission order as a crash allows.
+        """
+        if kill:
+            worker.process.terminate()
+        worker.process.join()
+        worker.conn.close()
+        del active[worker.conn]
+        flush(worker)
+        if worker.in_flight is not None:
+            finish(worker.in_flight,
+                   JobOutcome(jobs[worker.in_flight], status, None, error=error))
+            worker.requeues = 0  # progress was made; reset the backstop
+        if worker.remaining:
+            if worker.requeues + 1 > MAX_CHUNK_REQUEUES:
+                for i in worker.remaining:
+                    finish(i, JobOutcome(
+                        jobs[i], STATUS_CRASH, None,
+                        error=f"chunk re-queued {worker.requeues} times "
+                              f"without progress; giving up ({error})"))
+            else:
+                chunks.appendleft((list(worker.remaining), worker.requeues + 1))
+        if chunks:
+            spawn()
+
+    for _ in range(min(parallel, len(chunks))):
+        spawn()
+
+    while active:
+        now = time.monotonic()
+        wait_for = max(0.01, min(w.deadline for w in active.values()) - now)
+        ready = _conn_wait(list(active), timeout=wait_for)
+
+        for conn in ready:
+            worker = active.get(conn)
+            if worker is None:  # reaped earlier in this same batch
+                continue
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                worker.process.join()  # reap first so exitcode is real
+                code = worker.process.exitcode
+                reap(worker, STATUS_CRASH,
+                     f"worker exited with code {code} before reporting",
+                     kill=False)
+                continue
+            worker.beat()
+            tag = message[0]
+            if tag == "heartbeat":
+                continue
+            if tag == "start":
+                index = message[1]
+                worker.in_flight = index
+                if index in worker.remaining:
+                    worker.remaining.remove(index)
+                continue
+            if tag == "done":
+                _tag, index, status, payload = message
+                worker.in_flight = None
+                worker.requeues = 0
+                if status == STATUS_OK:
+                    worker.batch.append((jobs[index], status, payload))
+                    finish(index, JobOutcome(jobs[index], STATUS_OK, payload))
+                else:
+                    finish(index, JobOutcome(jobs[index], status, None,
+                                             error=str(payload)))
+                continue
+            if tag == "chunk-done":
+                flush(worker)
+                if not assign(worker):
+                    retire(worker)
+                continue
+
+        now = time.monotonic()
+        for worker in [w for w in active.values() if w.deadline <= now]:
+            reap(worker, STATUS_TIMEOUT,
+                 f"no progress for {worker.timeout:.0f}s; worker killed",
+                 kill=True)
+
+
+# ---------------------------------------------------- legacy fork-per-job pool
+class _ActiveWorker:
+    __slots__ = ("index", "process", "conn", "deadline", "timeout")
+
+    def __init__(self, index, process, conn, timeout):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.timeout = timeout
+        self.deadline = time.monotonic() + timeout
+
+    def beat(self) -> None:
+        self.deadline = time.monotonic() + self.timeout
+
+
+def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout) -> None:
     ctx = _mp_context()
     queue = list(pending)
     active: dict[object, _ActiveWorker] = {}
@@ -239,5 +556,3 @@ def run_campaign(
         for worker in [w for w in active.values() if w.deadline <= now]:
             reap(worker, kill=True, status=STATUS_TIMEOUT,
                  error=f"no progress for {worker.timeout:.0f}s; worker killed")
-
-    return campaign

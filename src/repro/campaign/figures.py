@@ -125,6 +125,18 @@ def figure_jobs(figure: str, scale: float = 1.0, dense_loop: bool = False) -> li
     raise KeyError(f"unknown figure {figure!r} (have {FIGURES})")
 
 
+#: relative chunk-cost base per figure kind (fig13 apps run 4 configs of
+#: full applications; fig12 workload cells are small algorithm loops)
+_FIGURE_COST = {"fig12": 3.0, "fig13": 14.0, "fig14": 8.0,
+                "fig15": 10.0, "fig16": 10.0}
+
+
+def cell_cost(params: dict) -> float:
+    """Chunk-shaping weight of one figure cell (see campaign.jobs.job_cost)."""
+    cost = _FIGURE_COST.get(params.get("figure", ""), 8.0)
+    return cost * max(float(params.get("scale", 1.0)), 0.1)
+
+
 # ------------------------------------------------------------------ execution
 def _resolve_scope(spec: str | None, native: FenceKind) -> FenceKind:
     return FenceKind(spec) if spec is not None else native

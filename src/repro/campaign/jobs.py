@@ -55,6 +55,67 @@ class Job:
         return self.kind
 
 
+#: relative cost units per kind, roughly "one litmus corpus job = 1".
+#: Chunking hints only -- they shape how many jobs share a worker
+#: chunk, never what a job computes.
+_KIND_COST = {
+    "chaos": 12.0,
+    "probe": 12.0,
+    "figure": 8.0,
+    "verify": 1.0,
+    "litmus": 1.0,
+    "selftest": 0.1,
+}
+
+
+def job_cost(job: Job) -> float:
+    """Estimated relative wall-clock weight of one job.
+
+    The persistent pool batches jobs until a chunk reaches its cost
+    target, so tiny litmus/verify cells travel together while one
+    chaos storm rung -- an order of magnitude heavier -- fills a chunk
+    alone.  Estimates only feed chunk shaping; a wrong estimate costs
+    balance, never correctness.
+    """
+    cost = _KIND_COST.get(job.kind, 1.0)
+    if job.kind in ("chaos", "probe"):
+        from ..chaos.runner import SCENARIOS
+
+        scenario = SCENARIOS.get(job.params.get("scenario", ""))
+        if scenario is not None:
+            cost *= scenario.cost
+        cost *= max(job.params.get("base_budget", 400_000) / 400_000, 0.1)
+    elif job.kind == "figure":
+        from .figures import cell_cost
+
+        cost = cell_cost(job.params)
+    elif job.kind == "verify" and job.params.get("engine") == "dense":
+        cost *= 3.0  # the dense reference loop pays per-cycle ticks
+    if job.params.get("dense_loop"):
+        cost *= 3.0
+    return cost
+
+
+# ------------------------------------------------------------- warm worker state
+#: per-process memo for pure, param-keyed intermediate products (parsed
+#: litmus tests, DPOR explorations).  Persistent pool workers keep this
+#: warm across the jobs of a campaign; entries are keyed by the full
+#: defining content, so within one process a hit can never be stale --
+#: the campaign's code cannot change under a running worker, and a new
+#: campaign (new fingerprint) starts new workers.
+_WARM: dict[str, dict] = {}
+
+
+def warm_slot(name: str) -> dict:
+    """The named per-process warm-cache dict (created on first use)."""
+    return _WARM.setdefault(name, {})
+
+
+def clear_warm_state() -> None:
+    """Drop every warm memo (tests use this to measure cold paths)."""
+    _WARM.clear()
+
+
 # --------------------------------------------------------------------- builders
 def chaos_jobs(
     algos=None,
@@ -176,7 +237,12 @@ def _run_litmus_job(params: dict, heartbeat=None) -> dict:
     from ..litmus.dsl import parse_litmus, run_litmus
     from ..sim.config import MemoryModel
 
-    test = parse_litmus(params["source"])
+    # parse products are pure functions of the source text; persistent
+    # pool workers running many offsets/modes of the same test parse once
+    memo = warm_slot("litmus-parse")
+    test = memo.get(params["source"])
+    if test is None:
+        test = memo[params["source"]] = parse_litmus(params["source"])
     run = run_litmus(
         test, MemoryModel(params["model"]), list(params["offsets"]),
         dense_loop=params.get("dense_loop", False),

@@ -48,6 +48,10 @@ class Scenario:
     plan: FaultPlan                      # template; seed filled per case
     config: dict = field(default_factory=dict)   # SimConfig overrides
     emit_branches: bool = False
+    #: relative wall-clock weight vs the latency baseline; a campaign
+    #: chunk-shaping hint only (repro.campaign.jobs.job_cost), never
+    #: part of what the scenario simulates
+    cost: float = 1.0
 
 
 SCENARIOS: dict[str, Scenario] = {
@@ -57,6 +61,7 @@ SCENARIOS: dict[str, Scenario] = {
             "latency",
             "memory-latency spikes and jitter",
             FaultPlan(mem_spike_prob=0.05, mem_spike_cycles=700, mem_jitter=7),
+            cost=1.4,
         ),
         Scenario(
             "branch",
@@ -64,6 +69,7 @@ SCENARIOS: dict[str, Scenario] = {
             FaultPlan(branch_flip_prob=0.3),
             config={"use_branch_predictor": True},
             emit_branches=True,
+            cost=0.9,
         ),
         Scenario(
             "drain",
@@ -91,6 +97,7 @@ SCENARIOS: dict[str, Scenario] = {
                 "fsb_entries": 3, "fss_entries": 3, "mapping_entries": 3,
             },
             emit_branches=True,
+            cost=1.8,
         ),
     )
 }

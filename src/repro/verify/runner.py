@@ -68,16 +68,36 @@ def seed_offsets(name: str, mode: str, seed: int, smoke: bool = False) -> list[i
     return sorted({rng.randint(0, 400) for _ in range(len(base))})
 
 
+def _case_products(source: str, mode: str):
+    """Parse/rewrite/explore products for one (test source, fence mode).
+
+    Everything here is a pure function of the two key components and
+    independent of engine, seeds and smoke, so the engine axis of the
+    verify matrix -- and every sweep seed -- shares one DPOR exploration
+    per (test, mode).  Memoised per process via the campaign warm slot:
+    persistent pool workers walking the matrix pay the exploration once,
+    while one-shot processes behave exactly as before.
+    """
+    from ..campaign.jobs import warm_slot
+
+    memo = warm_slot("verify-products")
+    entry = memo.get((source, mode))
+    if entry is None:
+        test = parse_litmus(source)
+        variant = apply_fence_mode(test, mode)
+        threads = abstract_threads(variant)
+        init = dict(variant.init)
+        exploration = explore_allowed_outcomes(threads, init)
+        reference = reference_allowed_outcomes(threads, init)
+        entry = memo[(source, mode)] = (test, variant, exploration, reference)
+    return entry
+
+
 def verify_case(params: dict) -> dict:
     """Run one (test, mode, engine) case; returns the JSON-safe payload."""
-    test = parse_litmus(params["source"])
-    variant = apply_fence_mode(test, params["mode"])
-    threads = abstract_threads(variant)
-    init = dict(variant.init)
-
-    exploration = explore_allowed_outcomes(threads, init)
+    test, variant, exploration, reference = _case_products(
+        params["source"], params["mode"])
     allowed = exploration.outcomes
-    reference = reference_allowed_outcomes(threads, init)
 
     dense = params["engine"] == "dense"
     smoke = bool(params.get("smoke", False))

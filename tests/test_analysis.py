@@ -1,5 +1,7 @@
 """Tests for the analysis drivers and report formatting."""
 
+import pytest
+
 from repro.algorithms.workloads import build_wsq_workload
 from repro.analysis.report import (
     StreamAggregator,
@@ -133,6 +135,34 @@ def test_stream_aggregator_truncates_failure_list():
     for i in range(15):
         agg.add(False, label=f"job{i}")
     assert "+5 more" in agg.summary()
+
+
+def test_stream_aggregator_throughput_and_eta():
+    """jobs/sec and ETA come from the injectable clock, not sleeping."""
+    now = [100.0]
+    agg = StreamAggregator(10, clock=lambda: now[0])
+    assert agg.jobs_per_s() is None and agg.eta_s() is None
+    assert "job/s" not in agg.line()  # no rate before the first job
+    now[0] = 102.0
+    for _ in range(4):
+        agg.add(True)
+    assert agg.jobs_per_s() == pytest.approx(2.0)  # 4 jobs in 2 s
+    assert agg.eta_s() == pytest.approx(3.0)       # 6 left at 2/s
+    line = agg.line()
+    assert "4/10" in line
+    assert "2.0 job/s" in line and "eta 0:03" in line
+
+
+def test_stream_aggregator_eta_reaches_zero():
+    now = [0.0]
+    agg = StreamAggregator(2, clock=lambda: now[0])
+    now[0] = 90.0
+    agg.add(True)
+    agg.add(True)
+    assert agg.eta_s() == 0
+    assert "eta 0:00" in agg.line()
+    # sub-second completions still report a finite, positive rate
+    assert agg.jobs_per_s() > 0
 
 
 def test_failure_counts_include_clean_groups():

@@ -13,12 +13,18 @@ from repro.campaign import (
     STATUS_ERROR,
     STATUS_OK,
     STATUS_TIMEOUT,
+    auto_parallel,
     chaos_jobs,
+    code_fingerprint,
     execute_job,
+    job_cost,
     job_key,
     litmus_jobs,
+    plan_chunks,
     run_campaign,
+    set_process_fingerprint,
 )
+from repro.campaign.engine import MAX_CHUNK_JOBS
 
 SMALL = dict(algos=["lamport"], scenarios=["latency"], n_seeds=2)
 
@@ -143,3 +149,109 @@ def test_unknown_chaos_names_rejected():
 def test_job_labels_are_informative():
     assert "wsq" in chaos_jobs(algos=["wsq"], scenarios=["scope"], n_seeds=1)[0].label()
     assert litmus_jobs()[0].label().startswith("litmus:")
+
+
+# ------------------------------------------------------------- chunk planning
+def test_plan_chunks_preserves_order_and_covers_everything():
+    jobs = [Job("selftest", {"mode": "ok", "echo": i}) for i in range(50)]
+    pending = list(range(50))
+    chunks = plan_chunks(jobs, pending, parallel=3)
+    assert [i for chunk in chunks for i in chunk] == pending
+    assert all(len(chunk) <= MAX_CHUNK_JOBS for chunk in chunks)
+    assert plan_chunks(jobs, [], parallel=3) == []
+
+
+def test_plan_chunks_batches_small_and_isolates_heavy():
+    light = litmus_jobs()[0]
+    heavy = chaos_jobs(algos=["wsq"], scenarios=["storm"], n_seeds=1)[0]
+    assert job_cost(heavy) > 4 * job_cost(light)
+    jobs = [light] * 6 + [heavy] + [light] * 6
+    chunks = plan_chunks(jobs, list(range(len(jobs))), parallel=1,
+                         target_cost=4 * job_cost(light))
+    assert [6] in chunks  # the heavy job travels alone
+    assert all(len(chunk) > 1 for chunk in chunks if 6 not in chunk)
+
+
+def test_auto_parallel_is_sane():
+    n = auto_parallel()
+    assert 1 <= n <= 8
+
+
+# --------------------------------------------------------------- pool lifecycle
+def test_worker_death_mid_chunk_requeues_remaining_jobs():
+    """Only the in-flight job is lost; the rest of its chunk completes."""
+    jobs = [
+        Job("selftest", {"mode": "ok", "echo": 0}),
+        Job("selftest", {"mode": "crash"}),
+        Job("selftest", {"mode": "ok", "echo": 2}),
+        Job("selftest", {"mode": "ok", "echo": 3}),
+        Job("selftest", {"mode": "ok", "echo": 4}),
+    ]
+    # a huge cost target forces every job into one chunk on one worker
+    campaign = run_campaign(jobs, parallel=1, chunk_cost=1e9)
+    statuses = [o.status for o in campaign.outcomes]
+    assert statuses == [STATUS_OK, STATUS_CRASH, STATUS_OK, STATUS_OK, STATUS_OK]
+    assert [o.result["echo"] for o in campaign.outcomes if o.ok] == [0, 2, 3, 4]
+
+
+def test_timeout_mid_chunk_kills_only_the_wedged_job():
+    jobs = [
+        Job("selftest", {"mode": "ok", "echo": 0}),
+        Job("selftest", {"mode": "hang"}),
+        Job("selftest", {"mode": "ok", "echo": 2}),
+    ]
+    campaign = run_campaign(jobs, parallel=1, job_timeout=1.0, chunk_cost=1e9)
+    statuses = [o.status for o in campaign.outcomes]
+    assert statuses == [STATUS_OK, STATUS_TIMEOUT, STATUS_OK]
+    assert "no progress" in campaign.outcomes[1].error
+
+
+def test_submission_order_determinism_across_worker_counts():
+    jobs = litmus_jobs() + [
+        Job("selftest", {"mode": "ok", "echo": i}) for i in range(5)
+    ]
+    baseline = run_campaign(jobs, parallel=0)
+    for parallel in (1, 2, 8):
+        pooled = run_campaign(jobs, parallel=parallel)
+        assert pooled.results() == baseline.results(), f"parallel={parallel}"
+    # forcing a degenerate chunk shape must not change anything either
+    for chunk_cost in (1e-9, 1e9):
+        chunked = run_campaign(jobs, parallel=2, chunk_cost=chunk_cost)
+        assert chunked.results() == baseline.results()
+
+
+def test_persistent_and_fork_per_job_pools_agree(tmp_path):
+    jobs = chaos_jobs(**SMALL)
+    persistent = run_campaign(jobs, parallel=2,
+                              cache=ResultCache(tmp_path / "a"))
+    legacy = run_campaign(jobs, parallel=2, fork_per_job=True,
+                          cache=ResultCache(tmp_path / "b"))
+    assert persistent.results() == legacy.results()
+    assert persistent.ok and legacy.ok
+
+
+# ------------------------------------------------- fingerprints + batched cache
+def test_process_fingerprint_is_installable():
+    import repro.campaign.cache as cache_mod
+
+    saved = cache_mod._process_fingerprint
+    try:
+        set_process_fingerprint("deadbeef")
+        assert code_fingerprint() == "deadbeef"
+    finally:
+        cache_mod._process_fingerprint = saved
+
+
+def test_put_many_batches_one_manifest_append(tmp_path):
+    cache = ResultCache(tmp_path, fingerprint="fp")
+    jobs = [Job("selftest", {"mode": "ok", "echo": i}) for i in range(3)]
+    cache.put_many([
+        (jobs[0], STATUS_OK, {"echo": 0}),
+        (jobs[1], STATUS_ERROR, "boom"),     # never persisted
+        (jobs[2], STATUS_OK, {"echo": 2}),
+    ])
+    assert len(cache) == 2
+    assert [e["status"] for e in cache.manifest()] == ["ok", "ok"]
+    assert cache.get(jobs[0]) == {"echo": 0}
+    assert cache.get(jobs[1]) is None
+    assert cache.get(jobs[2]) == {"echo": 2}

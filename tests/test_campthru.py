@@ -1,0 +1,64 @@
+"""Campaign-throughput harness: report shape, gating, fingerprinting."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import campthru
+from repro.campaign import Job, run_campaign
+
+
+def _tiny_sweeps(smoke: bool) -> dict:
+    return {
+        campthru.GATE_SWEEP: [
+            Job("selftest", {"mode": "ok", "echo": i}) for i in range(4)
+        ],
+        "chaos-smoke": [Job("selftest", {"mode": "ok", "echo": 99})],
+    }
+
+
+def test_report_shape_and_warm_contract(monkeypatch, tmp_path):
+    monkeypatch.setattr(campthru, "_sweep_jobs", _tiny_sweeps)
+    report = campthru.run_campaign_perf(parallel=2, smoke=True, min_ratio=None)
+    assert report["ok"]
+    assert report["parallel"] == 2
+    assert isinstance(report["cpus"], int)
+    assert "gate" not in report  # min_ratio=None disables the gate
+    for sweep in report["sweeps"].values():
+        assert sweep["identical"]
+        for flavour in ("legacy", "persistent"):
+            assert sweep[flavour]["warm_executed"] == 0
+            assert sweep[flavour]["failures"] == 0
+            assert sweep[flavour]["cold_s"] >= 0
+    path = tmp_path / "BENCH_campaign.json"
+    campthru.write_report(report, path)
+    assert json.loads(path.read_text())["sweeps"].keys() == report["sweeps"].keys()
+
+
+def test_unreachable_gate_fails_the_report(monkeypatch):
+    monkeypatch.setattr(campthru, "_sweep_jobs", _tiny_sweeps)
+    report = campthru.run_campaign_perf(parallel=1, smoke=True, min_ratio=1e9)
+    assert not report["ok"]
+    gate = report["gate"]
+    assert gate["sweep"] == campthru.GATE_SWEEP
+    assert not gate["passed"]
+    assert gate["ratio"] is not None
+
+
+def test_outcome_fingerprint_tracks_payloads_not_cache_flags():
+    jobs = [Job("selftest", {"mode": "ok", "echo": i}) for i in range(3)]
+    a = campthru.outcome_fingerprint(run_campaign(jobs, parallel=0))
+    b = campthru.outcome_fingerprint(run_campaign(jobs, parallel=2))
+    assert a == b
+    other = campthru.outcome_fingerprint(
+        run_campaign(jobs[:2] + [Job("selftest", {"mode": "error"})],
+                     parallel=0))
+    assert other != a
+
+
+def test_default_parallel_resolves_to_auto(monkeypatch):
+    monkeypatch.setattr(campthru, "_sweep_jobs", _tiny_sweeps)
+    from repro.campaign import auto_parallel
+
+    report = campthru.run_campaign_perf(smoke=True, min_ratio=None)
+    assert report["parallel"] == auto_parallel()
