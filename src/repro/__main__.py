@@ -12,7 +12,14 @@ Commands:
   non-zero if any case fails.
 * ``campaign`` — run job sets (chaos × seeds, figure cells, the litmus
   corpus) on the parallel campaign engine with an on-disk result cache
-  (see :mod:`repro.campaign`).
+  (see :mod:`repro.campaign`).  Transient worker failures retry with
+  backoff (``--retries``); whatever still ends ``worker-crash`` /
+  ``worker-timeout`` / ``error`` is summarised per classification and
+  the command exits non-zero.  ``--chaos-infra <seed>`` instead runs
+  the resilience differential: a scripted infrastructure fault
+  campaign (worker kills, stalls, cache corruption, a torn manifest)
+  that must converge to the byte-identical outcome fingerprint of a
+  fault-free sweep (see :mod:`repro.campaign.resilience`).
 * ``perf`` — time representative workloads under the dense reference
   loop vs the event-driven fast path and write ``BENCH_simperf.json``
   (see :mod:`repro.analysis.simperf`); exits non-zero if the fast-path
@@ -105,7 +112,7 @@ def _make_cache(ns):
 
 def _run_jobs(jobs, ns, label: str):
     """Execute a job list under this invocation's engine settings."""
-    from .campaign import run_campaign
+    from .campaign import RetryPolicy, run_campaign
 
     agg = StreamAggregator(len(jobs))
     live = sys.stderr.isatty()
@@ -115,14 +122,34 @@ def _run_jobs(jobs, ns, label: str):
         if live:
             print(f"\r{label}: {agg.line()}", end="", file=sys.stderr)
 
+    def on_event(kind, message):
+        # retries, pool downgrades, serial fallback: visible as they
+        # happen and retained for the end-of-run summary
+        agg.note(f"{kind}: {message}")
+        print(("\n" if live else "") + f"{label}: {message}", file=sys.stderr)
+
+    retry = RetryPolicy(retries=max(0, ns.retries),
+                        backoff_base=ns.retry_backoff)
     result = run_campaign(jobs, parallel=ns.parallel, cache=_make_cache(ns),
                           progress=progress, job_timeout=ns.job_timeout,
-                          fork_per_job=ns.fork_per_job)
+                          fork_per_job=ns.fork_per_job, retry=retry,
+                          on_event=on_event)
     if live:
         print(file=sys.stderr)
+    extra = ""
+    if result.retried:
+        extra = (f", {result.retried} retried, "
+                 f"{len(result.recovered)} recovered")
     print(f"{label}: {agg.summary()} "
-          f"({result.executed} executed, {result.cached} from cache)",
+          f"({result.executed} executed, {result.cached} from cache{extra})",
           file=sys.stderr)
+    if result.failures:
+        counts: dict[str, int] = {}
+        for outcome in result.failures:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        tally = " ".join(f"{s}={n}" for s, n in sorted(counts.items()))
+        print(f"{label}: unrecovered failures after retries: {tally}",
+              file=sys.stderr)
     return result
 
 
@@ -431,6 +458,41 @@ def _litmus_mismatch_detail(r: dict) -> str:
 
 
 # -------------------------------------------------------------------- campaign
+def cmd_campaign_resilience(ns) -> int:
+    """``campaign --chaos-infra``: the scripted-fault differential proof."""
+    from .campaign import run_resilience_differential
+
+    report = run_resilience_differential(
+        ns.chaos_infra, parallel=ns.parallel, smoke=ns.smoke,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    rows = [
+        (name, e["executed"], e["cached"], e["retried"], e["recovered"],
+         len(e["downgrades"]), e["quarantined"], e["fingerprint"][:12])
+        for name, e in report["phases"].items()
+    ]
+    print(format_table(
+        ["phase", "executed", "cached", "retried", "recovered",
+         "downgrades", "quarantined", "fingerprint"],
+        rows,
+        title=f"campaign resilience differential -- seed {report['seed']}, "
+              f"{report['jobs']} jobs, {report['parallel']} workers",
+    ))
+    repair = report["phases"]["recovery"]["manifest_repair"]
+    if repair:
+        print(f"manifest repair: {repair['dropped_lines']} torn line(s) "
+              f"dropped, {repair['recovered_blobs']} blob(s) re-indexed",
+              file=sys.stderr)
+    if report["ok"]:
+        print("chaos-infra: fault-free, faulted and recovery sweeps converged "
+              "to one byte-identical outcome fingerprint")
+        return 0
+    reason = ("outcome fingerprints diverged" if not report["identical"]
+              else "recovery incomplete, or the scripted faults never fired")
+    print(f"chaos-infra: FAIL -- {reason}", file=sys.stderr)
+    return 1
+
+
 def cmd_campaign(ns) -> int:
     """Run the selected job sets on the engine, cached and resumable."""
     from .campaign import (
@@ -535,6 +597,21 @@ def main(argv: list[str] | None = None) -> int:
     engine_group.add_argument("--job-timeout", type=float, default=600.0,
                               help="kill a worker with no progress for this "
                                    "many seconds [600]")
+    engine_group.add_argument("--retries", type=int, default=2,
+                              help="re-run a job this many times after "
+                                   "transient worker-crash/worker-timeout "
+                                   "failures (0: fail fast) [2]")
+    engine_group.add_argument("--retry-backoff", type=float, default=0.05,
+                              metavar="S",
+                              help="base retry backoff in seconds (doubles "
+                                   "per attempt, jittered) [0.05]")
+    engine_group.add_argument("--chaos-infra", type=int, default=None,
+                              metavar="SEED",
+                              help="campaign: run the infrastructure "
+                                   "fault-injection differential (worker "
+                                   "kills, stalls, cache corruption) and "
+                                   "require byte-identical convergence with "
+                                   "the fault-free sweep")
 
     chaos_group = parser.add_argument_group("chaos/campaign sweep options")
     chaos_group.add_argument("--seeds", type=int, default=None,
@@ -608,6 +685,8 @@ def main(argv: list[str] | None = None) -> int:
     if ns.command == "chaos":
         return cmd_chaos(ns)
     if ns.command == "campaign":
+        if ns.chaos_infra is not None:
+            return cmd_campaign_resilience(ns)
         return cmd_campaign(ns)
     if ns.command == "perf":
         return cmd_perf(ns)

@@ -7,6 +7,7 @@ output read the same way.
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Iterable, Sequence
 
@@ -94,6 +95,14 @@ class StreamAggregator:
     bar once at least one job has landed.  ``clock`` is injectable
     (defaults to :func:`time.monotonic`) so the arithmetic is testable
     without sleeping.
+
+    Degenerate sweeps are first-class: before any job lands, or on a
+    clock that has not advanced (an all-cached sweep can finish inside
+    one timer tick), the rate and ETA are ``None`` and :meth:`line`
+    simply omits them -- never a division by zero, never a nonsensical
+    ``inf job/s``.  Out-of-band events (retries, pool downgrades) are
+    collected via :meth:`note` and appended to :meth:`summary`, so
+    degraded execution is visible in the one line operators read.
     """
 
     def __init__(self, total: int, clock=None) -> None:
@@ -103,6 +112,7 @@ class StreamAggregator:
         self.failed = 0
         self.cached = 0
         self.failures: list[str] = []
+        self.notes: list[str] = []
         self._clock = time.monotonic if clock is None else clock
         self._start = self._clock()
 
@@ -117,26 +127,43 @@ class StreamAggregator:
         if cached:
             self.cached += 1
 
+    def note(self, message: str) -> None:
+        """Record an out-of-band event (retry, downgrade, fallback)."""
+        self.notes.append(message)
+
     def jobs_per_s(self) -> float | None:
-        """Completed jobs per wall-clock second, or None before any."""
+        """Completed jobs per wall-clock second, or None when undefined.
+
+        Undefined before the first job lands, while the clock has not
+        advanced, or if the rate is non-finite -- callers get ``None``
+        rather than ``ZeroDivisionError`` or ``inf``.
+        """
         elapsed = self._clock() - self._start
-        if self.done == 0 or elapsed <= 0:
+        if self.done <= 0 or elapsed <= 0:
             return None
-        return self.done / elapsed
+        rate = self.done / elapsed
+        return rate if math.isfinite(rate) and rate > 0 else None
 
     def eta_s(self) -> float | None:
-        """Projected seconds until the last job lands, or None."""
+        """Projected seconds until the last job lands, or None.
+
+        Exactly 0.0 once everything is done (an all-cached sweep never
+        reports a phantom wait), and never negative.
+        """
+        if self.done >= self.total:
+            return 0.0
         rate = self.jobs_per_s()
         if rate is None:
             return None
-        return max(0, self.total - self.done) / rate
+        return max(0.0, self.total - self.done) / rate
 
     def line(self, width: int = 24) -> str:
         out = progress_line(self.done, self.total, self.ok, self.failed,
                             self.cached, width=width)
         rate = self.jobs_per_s()
-        if rate is not None:
-            eta = int(round(self.eta_s()))
+        eta_s = self.eta_s()
+        if rate is not None and eta_s is not None:
+            eta = int(round(eta_s))
             out += f" {rate:.1f} job/s eta {eta // 60}:{eta % 60:02d}"
         return out
 
@@ -147,6 +174,10 @@ class StreamAggregator:
             out += " -- failed: " + ", ".join(self.failures[:10])
             if len(self.failures) > 10:
                 out += f" (+{len(self.failures) - 10} more)"
+        if self.notes:
+            out += f" -- {len(self.notes)} event(s): " + "; ".join(self.notes[:5])
+            if len(self.notes) > 5:
+                out += f" (+{len(self.notes) - 5} more)"
         return out
 
 

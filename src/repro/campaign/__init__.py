@@ -11,12 +11,29 @@ re-runs and interrupted campaigns resume without re-simulating
 anything.  Determinism is the contract throughout: the same job list
 with the same seeds produces byte-identical results inline, on one
 worker, or on many.
+
+A resilience layer (:mod:`~repro.campaign.resilience`,
+:mod:`~repro.campaign.chaosinfra`) extends that contract to a hostile
+substrate: transient worker failures retry with backoff, respawn
+storms degrade the pool gracefully down to serial execution, cached
+results are checksum-verified (corrupt entries quarantined and
+recomputed), and a scripted infrastructure fault injector plus a
+differential harness prove a faulted sweep converges to the
+byte-identical outcome fingerprint of a fault-free one.
 """
 
-from .cache import ResultCache, code_fingerprint, job_key, set_process_fingerprint
+from .cache import (
+    ResultCache,
+    code_fingerprint,
+    job_key,
+    result_checksum,
+    set_process_fingerprint,
+)
+from .chaosinfra import InfraFaultPlan, sabotage_cache, scripted_plan
 from .engine import (
     CampaignResult,
     DEFAULT_JOB_TIMEOUT,
+    FAILURE_STATUSES,
     JobOutcome,
     STATUS_CRASH,
     STATUS_ERROR,
@@ -25,6 +42,13 @@ from .engine import (
     auto_parallel,
     plan_chunks,
     run_campaign,
+)
+from .resilience import (
+    DegradationLadder,
+    NO_RETRY,
+    RetryPolicy,
+    TRANSIENT_STATUSES,
+    run_resilience_differential,
 )
 from .figures import FIGURES, assemble_figure, figure_jobs, run_figure_cell
 from .jobs import (
@@ -40,14 +64,20 @@ from .jobs import (
 __all__ = [
     "CampaignResult",
     "DEFAULT_JOB_TIMEOUT",
+    "DegradationLadder",
+    "FAILURE_STATUSES",
     "FIGURES",
+    "InfraFaultPlan",
     "Job",
     "JobOutcome",
+    "NO_RETRY",
     "ResultCache",
+    "RetryPolicy",
     "STATUS_CRASH",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "TRANSIENT_STATUSES",
     "assemble_figure",
     "auto_parallel",
     "chaos_jobs",
@@ -59,8 +89,12 @@ __all__ = [
     "litmus_jobs",
     "plan_chunks",
     "probe_jobs",
+    "result_checksum",
     "run_campaign",
     "run_figure_cell",
+    "run_resilience_differential",
+    "sabotage_cache",
+    "scripted_plan",
     "set_process_fingerprint",
     "verify_jobs",
 ]

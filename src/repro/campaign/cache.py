@@ -19,14 +19,27 @@ byte-identical to the run that populated it -- the campaign engine's
 determinism contract extends to the cache.  Writes go through a
 temp-file + ``os.replace`` so a killed campaign never leaves a torn
 object behind (a partial temp file is simply ignored and overwritten).
+
+Integrity: every object embeds a SHA-256 over its canonical result
+JSON (:func:`result_checksum`), verified on every read.  An object
+that fails to parse, fails the checksum, or predates checksums is
+*quarantined* -- moved to ``corrupt/`` for post-mortem -- and reported
+as a miss, so a corrupted result is recomputed, never served.  The
+manifest is self-healing: a torn trailing line (a crash mid-append,
+even mid-fsync) is dropped with one warning at load, and construction
+runs a repair pass that rewrites a damaged manifest from its surviving
+lines plus a re-index of any intact blobs the torn tail lost.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
+
+log = logging.getLogger("repro.campaign.cache")
 
 #: result statuses worth persisting.  Worker crashes and timeouts are
 #: environment-dependent (host load, wall clocks) and must be retried,
@@ -82,6 +95,18 @@ def job_key(kind: str, params: dict, fingerprint: str) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def result_checksum(result) -> str:
+    """SHA-256 over the canonical JSON of one result payload.
+
+    Stored inside every object file and re-verified on read: bit rot,
+    a torn write that still parses, or any out-of-band edit of the
+    blob changes the digest and the entry is quarantined instead of
+    served.
+    """
+    payload = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 class ResultCache:
     """Directory-backed store of completed job results."""
 
@@ -91,6 +116,10 @@ class ResultCache:
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
+        #: repair-pass summary dict, or None when the manifest was clean
+        self.repaired: dict | None = None
+        self._repair_manifest()
 
     # ------------------------------------------------------------------ keys
     def key_for(self, job) -> str:
@@ -101,16 +130,39 @@ class ResultCache:
 
     # ---------------------------------------------------------------- lookup
     def get(self, job) -> dict | None:
-        """The cached result payload for ``job``, or None."""
+        """The checksum-verified result payload for ``job``, or None.
+
+        Any unreadable, unparsable, checksum-less or checksum-failing
+        object is quarantined to ``corrupt/`` and reported as a miss,
+        so the campaign recomputes it transparently.
+        """
         path = self._object_path(self.key_for(job))
         try:
             with open(path) as fh:
                 obj = json.load(fh)
-        except (OSError, ValueError):
+            if obj["sha256"] != result_checksum(obj["result"]):
+                raise ValueError("checksum mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         self.hits += 1
         return obj["result"]
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a corrupt object out of ``objects/`` for post-mortem."""
+        corrupt = self.root / "corrupt"
+        corrupt.mkdir(exist_ok=True)
+        try:
+            os.replace(path, corrupt / path.name)
+        except OSError:  # pragma: no cover - racing deletion
+            pass
+        self.quarantined += 1
+        log.warning("cache: quarantined corrupt object %s (%s); "
+                    "the job will be recomputed", path.name, reason)
 
     # ----------------------------------------------------------------- store
     def _write_object(self, job, status: str, result: dict) -> str:
@@ -119,7 +171,8 @@ class ResultCache:
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         obj = {"key": key, "kind": job.kind, "params": job.params,
-               "status": status, "result": result}
+               "status": status, "result": result,
+               "sha256": result_checksum(result)}
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w") as fh:
             json.dump(obj, fh, sort_keys=True)
@@ -161,18 +214,79 @@ class ResultCache:
             os.fsync(fh.fileno())
 
     # ------------------------------------------------------------- inventory
+    @staticmethod
+    def _parse_manifest_line(line: str) -> dict | None:
+        """One manifest record, or None for a torn/garbage line."""
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            return None
+        return obj if isinstance(obj, dict) and "key" in obj else None
+
     def manifest(self) -> list[dict]:
-        """Every completed-job record, in completion order."""
+        """Every completed-job record, in completion order.
+
+        Tolerant of a truncated or garbage trailing line (a torn
+        fsync): bad lines are skipped with one warning, never raised --
+        a half-written append must not brick a warm cache.
+        """
         path = self.root / "manifest.jsonl"
         if not path.exists():
             return []
-        out = []
+        out, dropped = [], 0
         with open(path) as fh:
             for line in fh:
                 line = line.strip()
-                if line:
-                    out.append(json.loads(line))
+                if not line:
+                    continue
+                entry = self._parse_manifest_line(line)
+                if entry is None:
+                    dropped += 1
+                else:
+                    out.append(entry)
+        if dropped:
+            log.warning("cache: skipped %d torn manifest line(s) in %s",
+                        dropped, path)
         return out
+
+    def _repair_manifest(self) -> None:
+        """Startup repair: drop torn lines, re-index surviving blobs.
+
+        Runs once at construction.  A clean manifest is left untouched
+        (and unread blobs unscanned); a damaged one is atomically
+        rewritten from its parseable lines plus entries rebuilt from
+        any intact object blobs the torn tail lost track of.
+        """
+        path = self.root / "manifest.jsonl"
+        if not path.exists():
+            return
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        entries = [self._parse_manifest_line(l) for l in lines]
+        dropped = sum(1 for e in entries if e is None)
+        if not dropped:
+            return
+        survivors = [e for e in entries if e is not None]
+        known = {e["key"] for e in survivors}
+        recovered = 0
+        for obj_path in sorted((self.root / "objects").rglob("*.json")):
+            if obj_path.stem in known:
+                continue
+            try:
+                obj = json.loads(obj_path.read_text())
+                entry = {"key": obj["key"], "kind": obj["kind"],
+                         "status": obj["status"]}
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # corrupt blob: get() will quarantine it
+            survivors.append(entry)
+            recovered += 1
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text("".join(json.dumps(e, sort_keys=True) + "\n"
+                               for e in survivors))
+        os.replace(tmp, path)
+        self.repaired = {"dropped_lines": dropped,
+                         "recovered_blobs": recovered}
+        log.warning("cache: repaired manifest %s (%d torn line(s) dropped, "
+                    "%d blob(s) re-indexed)", path, dropped, recovered)
 
     def __len__(self) -> int:
         return sum(1 for _ in (self.root / "objects").rglob("*.json"))

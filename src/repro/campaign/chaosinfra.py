@@ -1,0 +1,183 @@
+"""Deterministic *infrastructure* fault injection for the campaign engine.
+
+PR 1's chaos harness perturbs the simulated hardware; this module aims
+the same discipline at the execution infrastructure itself -- the
+worker pool and the result cache that every reported number flows
+through.  An :class:`InfraFaultPlan` is a seeded, scripted set of
+faults in two categories:
+
+* **live pool faults**, keyed by ``(job index, attempt)`` so they are
+  deterministic regardless of which worker happens to pull which chunk:
+  a SIGKILL-style exit mid-job (after the ``start`` message -- the
+  parent classifies exactly that job ``worker-crash``), a pre-start
+  exit (the parent cannot attribute the death, so the whole remaining
+  chunk re-queues -- the poisoned-chunk path), a heartbeat stall long
+  enough to trip the job timeout, and seeded slow-worker jitter
+  (timing-only; must change nothing).
+* **at-rest cache faults**, applied between campaigns by
+  :func:`sabotage_cache`: result blobs overwritten with garbage or
+  truncated mid-JSON, and a torn (fsync-interrupted) trailing line
+  appended to ``manifest.jsonl``.
+
+Keying live faults by *attempt* is what makes fault scripts terminate:
+a job killed at attempt 0 runs clean at attempt 1, so any plan whose
+per-job fault count stays within the retry budget is recoverable by
+construction.  Hooks are installed only in persistent pool workers --
+the serial fallback path deliberately runs fault-free, it is the
+recovery of last resort.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+
+#: exit code of an injected worker kill -- distinctive in error strings
+INFRA_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class InfraFaultPlan:
+    """A scripted, seeded set of infrastructure faults."""
+
+    seed: int = 0
+    #: (job index, attempt) pairs killed after the job's ``start``
+    #: message -- classified ``worker-crash`` for exactly that job
+    kills: tuple = ()
+    #: (job index, attempt) pairs killed on chunk receipt, *before*
+    #: ``start`` -- the parent re-queues the whole remaining chunk
+    #: (and the poisoned-chunk backstop caps the loop)
+    receive_kills: tuple = ()
+    #: (job index, attempt) pairs that sleep ``stall_seconds`` without
+    #: heartbeating -- tripping the per-job timeout, classified
+    #: ``worker-timeout``.  Plans must keep ``stall_seconds`` above the
+    #: engine's ``job_timeout`` or the stall degrades to mere jitter.
+    stalls: tuple = ()
+    stall_seconds: float = 6.0
+    #: seeded per-(index, attempt) chance of a short pre-job sleep --
+    #: the timing-only fault that must change no outcome at all
+    jitter_prob: float = 0.0
+    jitter_max_s: float = 0.0
+    #: at-rest sabotage counts for :func:`sabotage_cache`
+    corrupt_blobs: int = 0
+    truncate_blobs: int = 0
+    tear_manifest: bool = False
+
+    @property
+    def live(self) -> bool:
+        """Whether any in-worker fault is scripted."""
+        return bool(self.kills or self.receive_kills or self.stalls
+                    or self.jitter_prob)
+
+    def describe(self) -> dict:
+        """Compact JSON-ready summary for reports."""
+        return {
+            "seed": self.seed,
+            "kills": sorted(self.kills),
+            "receive_kills": sorted(self.receive_kills),
+            "stalls": sorted(self.stalls),
+            "stall_seconds": self.stall_seconds,
+            "jitter_prob": self.jitter_prob,
+            "corrupt_blobs": self.corrupt_blobs,
+            "truncate_blobs": self.truncate_blobs,
+            "tear_manifest": self.tear_manifest,
+        }
+
+
+# ------------------------------------------------------------- worker-side hooks
+def fault_on_receive(plan: InfraFaultPlan, index: int, attempt: int) -> None:
+    """Worker hook before the ``start`` message for job ``index``."""
+    if (index, attempt) in plan.receive_kills:
+        os._exit(INFRA_EXIT_CODE)
+
+
+def fault_pre_job(plan: InfraFaultPlan, index: int, attempt: int) -> None:
+    """Worker hook after ``start``, before the job executes."""
+    if (index, attempt) in plan.kills:
+        os._exit(INFRA_EXIT_CODE)
+    if (index, attempt) in plan.stalls:
+        # no heartbeat during the sleep: the parent's deadline lapses
+        # and the worker is killed mid-stall
+        time.sleep(plan.stall_seconds)
+    if plan.jitter_prob:
+        rng = Random(f"{plan.seed}:jitter:{index}:{attempt}")
+        if rng.random() < plan.jitter_prob:
+            time.sleep(rng.uniform(0.0, plan.jitter_max_s))
+
+
+# --------------------------------------------------------------- scripted plans
+def scripted_plan(
+    seed: int,
+    n_jobs: int,
+    retries: int = 2,
+    stall_seconds: float = 6.0,
+) -> InfraFaultPlan:
+    """A recoverable fault script over ``n_jobs`` jobs, from one seed.
+
+    Four distinct target jobs are drawn: one killed mid-job at attempt
+    0, one killed at attempts 0 *and* 1 when the retry budget allows
+    (exercising repeated backoff), one killed pre-start (the chunk
+    re-queue path), and one stalled past the timeout.  Per-job fault
+    counts stay within ``retries``, so a policy with that budget heals
+    every fault.  Cache sabotage (one corrupted blob, one truncated
+    blob, a torn manifest tail) rides along for
+    :func:`sabotage_cache`.
+    """
+    if n_jobs < 4:
+        raise ValueError(f"need >= 4 jobs to script distinct faults, "
+                         f"have {n_jobs}")
+    rng = Random(f"infra:{seed}")
+    kill_a, kill_b, poison, stall = rng.sample(range(n_jobs), 4)
+    kills = [(kill_a, 0), (kill_b, 0)]
+    if retries >= 2:
+        kills.append((kill_b, 1))
+    return InfraFaultPlan(
+        seed=seed,
+        kills=tuple(sorted(kills)),
+        receive_kills=((poison, 0),),
+        stalls=((stall, 0),),
+        stall_seconds=stall_seconds,
+        jitter_prob=0.3,
+        jitter_max_s=0.02,
+        corrupt_blobs=1,
+        truncate_blobs=1,
+        tear_manifest=True,
+    )
+
+
+# --------------------------------------------------------------- cache sabotage
+def sabotage_cache(cache_root: str | os.PathLike,
+                   plan: InfraFaultPlan) -> dict:
+    """Apply the plan's at-rest faults to a populated cache directory.
+
+    Deterministic given the plan seed and the cache contents: victim
+    blobs are drawn from the sorted object list.  Returns a record of
+    exactly what was damaged so the differential report can show the
+    recovery path account for every injected fault.
+    """
+    root = Path(cache_root)
+    objects = sorted((root / "objects").rglob("*.json"))
+    rng = Random(f"sabotage:{plan.seed}")
+    wanted = plan.corrupt_blobs + plan.truncate_blobs
+    victims = rng.sample(objects, min(wanted, len(objects)))
+    report: dict = {"corrupted": [], "truncated": [], "manifest_torn": False}
+    for path in victims[:plan.corrupt_blobs]:
+        # valid-JSON-but-wrong bytes: only the checksum can catch this
+        obj = json.loads(path.read_text())
+        obj["result"] = {"tampered": True}
+        path.write_text(json.dumps(obj, sort_keys=True))
+        report["corrupted"].append(path.name)
+    for path in victims[plan.corrupt_blobs:]:
+        data = path.read_bytes()
+        path.write_bytes(data[:max(1, len(data) // 2)])
+        report["truncated"].append(path.name)
+    if plan.tear_manifest:
+        manifest = root / "manifest.jsonl"
+        with open(manifest, "a") as fh:
+            fh.write('{"key": "deadbeef", "kin')  # no newline: torn fsync
+        report["manifest_torn"] = True
+    return report

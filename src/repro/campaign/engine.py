@@ -2,7 +2,7 @@
 
 ``run_campaign`` takes a declarative job list and executes it either
 inline (``parallel=0``) or on a pool of worker *processes*
-(``parallel>=1``).  Three properties are the contract:
+(``parallel>=1``).  Four properties are the contract:
 
 * **Determinism** -- results are returned in job-submission order and
   each job's payload is a pure function of its parameters (see
@@ -14,10 +14,20 @@ inline (``parallel=0``) or on a pool of worker *processes*
   heartbeating past the job timeout is killed and its job classified
   ``worker-timeout``; an exception inside a job is ``error`` with the
   traceback.  None of them abort the campaign or poison other jobs.
+* **Resilience** -- transient failures (``worker-crash``,
+  ``worker-timeout``) are re-run under a
+  :class:`~repro.campaign.resilience.RetryPolicy` with exponential
+  backoff and deterministic jitter; a deterministic job ``error`` is
+  never retried.  Final outcomes record their attempt history.  Under
+  a respawn storm the :class:`~repro.campaign.resilience.DegradationLadder`
+  shrinks the pool (8 -> 4 -> 2) and ultimately abandons it for serial
+  fallback execution, completing the sweep rather than failing it --
+  every downgrade is reported through ``on_event``.
 * **Resumability** -- with a :class:`~repro.campaign.cache.ResultCache`
-  attached, completed jobs are served from disk and *zero* simulations
-  re-execute; an interrupted campaign continues from wherever its
-  manifest left off.
+  attached, completed jobs are served from disk (checksum-verified;
+  corrupt entries are quarantined and recomputed) and *zero*
+  simulations re-execute; an interrupted campaign continues from
+  wherever its manifest left off.
 
 Two pool implementations share that contract:
 
@@ -42,7 +52,8 @@ Two pool implementations share that contract:
   alive at once.  It is kept as the throughput-regression baseline --
   ``python -m repro perf --campaign`` races the two pools and fails if
   the persistent pool stops beating it -- and as a maximally isolated
-  escape hatch.
+  escape hatch.  It shares the retry policy, but not the degradation
+  ladder (its blast radius is already one job per process).
 
 Workers are forked (POSIX) so they inherit the loaded simulator modules
 instead of re-importing them; the spawn fallback keeps the engine
@@ -53,6 +64,11 @@ deadline so a legitimately escalating case is never confused with a
 hung one.  Timeouts are therefore *per job* even when jobs travel in
 chunks: any message from a worker (job start, heartbeat, result)
 resets its deadline.
+
+For fault-injection testing, an
+:class:`~repro.campaign.chaosinfra.InfraFaultPlan` (``infra=``) arms
+scripted worker kills, stalls and jitter inside persistent pool
+workers; the serial fallback path deliberately runs fault-free.
 """
 
 from __future__ import annotations
@@ -64,10 +80,13 @@ import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from multiprocessing.connection import wait as _conn_wait
 
 from .cache import ResultCache, set_process_fingerprint
+from .chaosinfra import InfraFaultPlan, fault_on_receive, fault_pre_job
 from .jobs import Job, execute_job, job_cost
+from .resilience import DegradationLadder, RetryPolicy, TRANSIENT_STATUSES
 
 #: outcome statuses (job-level; a chaos job whose *case* deadlocked is
 #: still status "ok" here -- the classification is in its payload)
@@ -77,6 +96,8 @@ STATUS_CRASH = "worker-crash"
 STATUS_TIMEOUT = "worker-timeout"
 
 FAILURE_STATUSES = (STATUS_ERROR, STATUS_CRASH, STATUS_TIMEOUT)
+
+assert set(TRANSIENT_STATUSES) == {STATUS_CRASH, STATUS_TIMEOUT}
 
 #: default per-job wall-clock budget between heartbeats (seconds).
 #: Generous: a single escalation rung of a storm case is well under a
@@ -98,6 +119,9 @@ MAX_CHUNK_JOBS = 16
 #: backstop that keeps a worker crashing on chunk receipt from looping
 MAX_CHUNK_REQUEUES = 3
 
+#: the retry policy ``run_campaign`` uses when none is passed
+DEFAULT_RETRY = RetryPolicy()
+
 
 def auto_parallel() -> int:
     """The worker count ``--parallel auto`` resolves to."""
@@ -106,17 +130,30 @@ def auto_parallel() -> int:
 
 @dataclass
 class JobOutcome:
-    """One job's terminal state."""
+    """One job's terminal state.
+
+    ``attempts`` is the status of every *failed attempt that was
+    retried*, oldest first; the final attempt's status is ``status``
+    itself, so a job that crashed twice and then succeeded has
+    ``status == "ok"`` and ``attempts == ("worker-crash",
+    "worker-crash")``.
+    """
 
     job: Job
     status: str
     result: dict | None = None
     cached: bool = False
     error: str = ""
+    attempts: tuple = ()
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def attempt_count(self) -> int:
+        """Total executions of this job (retries included)."""
+        return len(self.attempts) + 1
 
 
 @dataclass
@@ -126,6 +163,7 @@ class CampaignResult:
     outcomes: list[JobOutcome] = field(default_factory=list)
     executed: int = 0     # jobs that actually ran (not cache hits)
     cached: int = 0       # jobs served from the result cache
+    downgrades: list[dict] = field(default_factory=list)
 
     @property
     def failures(self) -> list[JobOutcome]:
@@ -134,6 +172,16 @@ class CampaignResult:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def retried(self) -> int:
+        """Total re-executions across the campaign."""
+        return sum(len(o.attempts) for o in self.outcomes)
+
+    @property
+    def recovered(self) -> list[JobOutcome]:
+        """Jobs that failed transiently but ended ``ok`` after retries."""
+        return [o for o in self.outcomes if o.ok and o.attempts]
 
     def results(self) -> list[dict | None]:
         return [o.result for o in self.outcomes]
@@ -206,16 +254,23 @@ def _quiesce_worker_gc() -> None:
     gc.set_threshold(100_000, 50, 50)
 
 
-def _pool_worker_entry(conn, fingerprint: str) -> None:
+def _pool_worker_entry(conn, fingerprint: str,
+                       infra: InfraFaultPlan | None = None) -> None:
     """Persistent-worker body: drain job chunks until told to exit.
 
     Protocol (all over one duplex pipe):
 
-    * parent -> worker: ``("chunk", [(index, job), ...])`` or
+    * parent -> worker: ``("chunk", [(index, job, attempt), ...])`` or
       ``("exit",)``
     * worker -> parent: ``("start", index)`` before each job,
       ``("heartbeat",)`` while one runs, ``("done", index, status,
       payload)`` after it, ``("chunk-done",)`` after the chunk.
+
+    ``attempt`` is the number of prior failed attempts of that job --
+    it never influences the payload (results are pure functions of the
+    job parameters), only the scripted infrastructure fault hooks,
+    which key on ``(index, attempt)`` so an injected fault fires on a
+    specific attempt and the retry runs clean.
 
     The parent's source-tree fingerprint is installed so nothing in
     this process ever re-hashes the tree (see
@@ -229,8 +284,12 @@ def _pool_worker_entry(conn, fingerprint: str) -> None:
             message = conn.recv()
             if message[0] != "chunk":
                 break
-            for index, job in message[1]:
+            for index, job, attempt in message[1]:
+                if infra is not None:
+                    fault_on_receive(infra, index, attempt)
                 conn.send(("start", index))
+                if infra is not None:
+                    fault_pre_job(infra, index, attempt)
                 try:
                     result = execute_job(
                         job, heartbeat=lambda: conn.send(("heartbeat",)))
@@ -261,6 +320,10 @@ def run_campaign(
     job_timeout: float = DEFAULT_JOB_TIMEOUT,
     fork_per_job: bool = False,
     chunk_cost: float | None = None,
+    retry: RetryPolicy | None = None,
+    infra: InfraFaultPlan | None = None,
+    ladder: DegradationLadder | None = None,
+    on_event=None,
 ) -> CampaignResult:
     """Execute ``jobs``; see the module docstring for the contract.
 
@@ -273,7 +336,15 @@ def run_campaign(
     -- the returned list is always in submission order regardless).
     ``chunk_cost`` overrides the persistent pool's per-chunk cost
     target (tests use it to force exact chunk shapes).
+
+    ``retry`` defaults to :data:`DEFAULT_RETRY` (pass
+    :data:`~repro.campaign.resilience.NO_RETRY` to disable); ``ladder``
+    defaults to a fresh degradation ladder sized to ``parallel``;
+    ``infra`` arms scripted infrastructure faults in pool workers;
+    ``on_event(kind, message)`` receives ``"retry"``, ``"downgrade"``
+    and ``"serial-fallback"`` notifications as they happen.
     """
+    retry = DEFAULT_RETRY if retry is None else retry
     campaign = CampaignResult(outcomes=[None] * len(jobs))  # type: ignore[list-item]
     done = 0
 
@@ -313,10 +384,23 @@ def run_campaign(
         return campaign
 
     if fork_per_job:
-        _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout)
-    else:
-        _run_persistent_pool(jobs, pending, parallel, cache, finish,
-                             job_timeout, chunk_cost)
+        _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout,
+                          retry, on_event)
+        return campaign
+
+    if ladder is None:
+        ladder = DegradationLadder(target=parallel)
+    leftover, attempts = _run_persistent_pool(
+        jobs, pending, parallel, cache, finish, job_timeout, chunk_cost,
+        retry, infra, ladder, on_event)
+    campaign.downgrades = list(ladder.events)
+    if leftover:
+        if on_event is not None:
+            on_event("serial-fallback",
+                     f"pool abandoned; running {len(leftover)} remaining "
+                     f"job(s) serially")
+        _run_serial_fallback(jobs, sorted(set(leftover)), cache, finish,
+                             attempts, job_timeout)
     return campaign
 
 
@@ -325,7 +409,7 @@ class _PoolWorker:
     """Parent-side state of one persistent worker."""
 
     __slots__ = ("process", "conn", "deadline", "timeout",
-                 "remaining", "in_flight", "batch", "requeues")
+                 "remaining", "in_flight", "batch", "requeues", "idle")
 
     def __init__(self, process, conn, timeout):
         self.process = process
@@ -335,6 +419,7 @@ class _PoolWorker:
         self.in_flight: int | None = None  # started, no result yet
         self.batch: list[tuple[Job, str, dict]] = []  # ok results to flush
         self.requeues = 0                # the current chunk's requeue count
+        self.idle = True                 # alive but holding no chunk
         self.beat()
 
     def beat(self) -> None:
@@ -343,7 +428,13 @@ class _PoolWorker:
 
 def _run_persistent_pool(
     jobs, pending, parallel, cache, finish, job_timeout, chunk_cost,
-) -> None:
+    retry, infra, ladder, on_event,
+) -> tuple[list[int], dict[int, list[str]]]:
+    """The chunk-pulling pool; returns (unstarted leftovers, attempts).
+
+    Leftovers are non-empty only when the degradation ladder abandoned
+    the pool (serial fallback) -- the caller finishes them in-process.
+    """
     ctx = _mp_context()
     fingerprint = cache.fingerprint if cache is not None else ""
     # chunks carry their requeue count so a chunk that repeatedly kills
@@ -352,9 +443,45 @@ def _run_persistent_pool(
         (chunk, 0) for chunk in plan_chunks(jobs, pending, parallel, chunk_cost)
     )
     active: dict[object, _PoolWorker] = {}
+    attempts: dict[int, list[str]] = {}   # retried-failure statuses per job
+    retry_at: list[tuple[float, int]] = []  # heap of (ready time, index)
+    serial_pending: list[int] = []
+    completed = 0
     # drop garbage now so every fork starts from a clean heap and the
     # workers' gc.freeze() pins live objects only
     gc.collect()
+
+    def emit(kind: str, message: str) -> None:
+        if on_event is not None:
+            on_event(kind, message)
+
+    def settle_ok(index: int, payload) -> None:
+        nonlocal completed
+        completed += 1
+        finish(index, JobOutcome(jobs[index], STATUS_OK, payload,
+                                 attempts=tuple(attempts.get(index, ()))))
+
+    def settle_failure(index: int, status: str, error: str) -> None:
+        """Retry a transient failure with backoff, or finish the job."""
+        nonlocal completed
+        history = attempts.setdefault(index, [])
+        if len(history) < retry.retries_for(status):
+            history.append(status)
+            if ladder.serial:
+                serial_pending.append(index)
+                emit("retry", f"{jobs[index].label()}: {status}; retry "
+                              f"{len(history)}/{retry.retries} via serial "
+                              f"fallback")
+            else:
+                delay = retry.delay(index, len(history) - 1)
+                heappush(retry_at, (time.monotonic() + delay, index))
+                emit("retry", f"{jobs[index].label()}: {status}; retry "
+                              f"{len(history)}/{retry.retries} "
+                              f"in {delay:.2f}s")
+            return
+        completed += 1
+        finish(index, JobOutcome(jobs[index], status, None, error=error,
+                                 attempts=tuple(history)))
 
     def flush(worker: _PoolWorker) -> None:
         if cache is not None and worker.batch:
@@ -362,21 +489,26 @@ def _run_persistent_pool(
         worker.batch.clear()
 
     def assign(worker: _PoolWorker) -> bool:
-        """Send the next chunk to ``worker``; False when none are left."""
-        if not chunks:
+        """Hand ``worker`` the next chunk or ready retry; False if none."""
+        if chunks:
+            chunk, requeues = chunks.popleft()
+        elif retry_at and retry_at[0][0] <= time.monotonic():
+            chunk, requeues = [heappop(retry_at)[1]], 0
+        else:
             return False
-        chunk, requeues = chunks.popleft()
         worker.remaining = list(chunk)
         worker.in_flight = None
         worker.requeues = requeues
+        worker.idle = False
         worker.beat()
-        worker.conn.send(("chunk", [(i, jobs[i]) for i in chunk]))
+        worker.conn.send(("chunk", [
+            (i, jobs[i], len(attempts.get(i, ()))) for i in chunk]))
         return True
 
     def spawn() -> None:
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(target=_pool_worker_entry,
-                           args=(child_conn, fingerprint), daemon=True)
+                           args=(child_conn, fingerprint, infra), daemon=True)
         proc.start()
         child_conn.close()
         worker = _PoolWorker(proc, parent_conn, job_timeout)
@@ -384,7 +516,7 @@ def _run_persistent_pool(
         assign(worker)
 
     def retire(worker: _PoolWorker) -> None:
-        """Clean shutdown of an idle worker (no chunks left)."""
+        """Clean shutdown of an idle worker (no work for it)."""
         flush(worker)
         try:
             worker.conn.send(("exit",))
@@ -394,12 +526,23 @@ def _run_persistent_pool(
         del active[worker.conn]
         worker.process.join()
 
+    def go_serial() -> None:
+        """Abandon the pool: queue everything for in-process execution."""
+        while chunks:
+            chunk, _ = chunks.popleft()
+            serial_pending.extend(chunk)
+        while retry_at:
+            serial_pending.append(heappop(retry_at)[1])
+        for worker in [w for w in active.values() if w.idle]:
+            retire(worker)
+
     def reap(worker: _PoolWorker, status: str, error: str, kill: bool) -> None:
         """A worker died or was killed: classify, re-queue, replace.
 
         Only the in-flight job gets ``status``; chunk jobs that never
         started are pushed back to the *front* of the queue so overall
         ordering stays as close to submission order as a crash allows.
+        Every death feeds the degradation ladder.
         """
         if kill:
             worker.process.terminate()
@@ -408,19 +551,30 @@ def _run_persistent_pool(
         del active[worker.conn]
         flush(worker)
         if worker.in_flight is not None:
-            finish(worker.in_flight,
-                   JobOutcome(jobs[worker.in_flight], status, None, error=error))
+            settle_failure(worker.in_flight, status, error)
             worker.requeues = 0  # progress was made; reset the backstop
         if worker.remaining:
             if worker.requeues + 1 > MAX_CHUNK_REQUEUES:
                 for i in worker.remaining:
-                    finish(i, JobOutcome(
-                        jobs[i], STATUS_CRASH, None,
-                        error=f"chunk re-queued {worker.requeues} times "
-                              f"without progress; giving up ({error})"))
+                    settle_failure(i, STATUS_CRASH,
+                                   f"chunk re-queued {worker.requeues} times "
+                                   f"without progress; giving up ({error})")
             else:
                 chunks.appendleft((list(worker.remaining), worker.requeues + 1))
-        if chunks:
+        event = ladder.record_death(completed)
+        if event is not None:
+            if ladder.serial:
+                emit("downgrade",
+                     f"respawn storm ({event['deaths']} worker deaths): "
+                     f"abandoning the pool for serial execution")
+                go_serial()
+            else:
+                emit("downgrade",
+                     f"respawn storm ({event['deaths']} worker deaths): "
+                     f"shrinking pool {event['from']} -> {event['to']} "
+                     f"worker(s)")
+        if (not ladder.serial and (chunks or retry_at)
+                and len(active) < ladder.target):
             spawn()
 
     for _ in range(min(parallel, len(chunks))):
@@ -428,7 +582,10 @@ def _run_persistent_pool(
 
     while active:
         now = time.monotonic()
-        wait_for = max(0.01, min(w.deadline for w in active.values()) - now)
+        waits = [w.deadline - now for w in active.values() if not w.idle]
+        if retry_at:
+            waits.append(retry_at[0][0] - now)
+        wait_for = max(0.01, min(waits)) if waits else 0.05
         ready = _conn_wait(list(active), timeout=wait_for)
 
         for conn in ready:
@@ -460,22 +617,112 @@ def _run_persistent_pool(
                 worker.requeues = 0
                 if status == STATUS_OK:
                     worker.batch.append((jobs[index], status, payload))
-                    finish(index, JobOutcome(jobs[index], STATUS_OK, payload))
+                    settle_ok(index, payload)
                 else:
-                    finish(index, JobOutcome(jobs[index], status, None,
-                                             error=str(payload)))
+                    settle_failure(index, status, str(payload))
                 continue
             if tag == "chunk-done":
                 flush(worker)
                 if not assign(worker):
-                    retire(worker)
+                    if chunks or retry_at:
+                        worker.idle = True  # a retry will ready up soon
+                    else:
+                        retire(worker)
                 continue
 
         now = time.monotonic()
-        for worker in [w for w in active.values() if w.deadline <= now]:
+        for worker in [w for w in active.values()
+                       if not w.idle and w.deadline <= now]:
             reap(worker, STATUS_TIMEOUT,
                  f"no progress for {worker.timeout:.0f}s; worker killed",
                  kill=True)
+
+        # idle workers: hand out retries that became ready, retire the
+        # rest once no further work can materialise
+        for worker in [w for w in active.values() if w.idle]:
+            if chunks or retry_at:
+                assign(worker)  # no-op while the retry backoff runs
+            else:
+                retire(worker)
+
+    # whatever never started belongs to the serial fallback (non-empty
+    # only when the ladder bottomed out or the whole pool died)
+    while chunks:
+        chunk, _ = chunks.popleft()
+        serial_pending.extend(chunk)
+    while retry_at:
+        serial_pending.append(heappop(retry_at)[1])
+    return serial_pending, attempts
+
+
+# ------------------------------------------------------------ serial fallback
+def _run_one_isolated(ctx, job: Job, job_timeout: float) -> tuple[str, object]:
+    """Run one job in a fresh single-shot process; (status, payload)."""
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_worker_entry, args=(child_conn, job),
+                       daemon=True)
+    proc.start()
+    child_conn.close()
+    deadline = time.monotonic() + job_timeout
+    try:
+        while True:
+            remain = deadline - time.monotonic()
+            if remain <= 0:
+                proc.terminate()
+                proc.join()
+                return (STATUS_TIMEOUT,
+                        f"no progress for {job_timeout:.0f}s; worker killed")
+            if not parent_conn.poll(remain):
+                continue
+            try:
+                message = parent_conn.recv()
+            except (EOFError, OSError):
+                proc.join()
+                return (STATUS_CRASH,
+                        f"worker exited with code {proc.exitcode} "
+                        f"before reporting")
+            if message[0] == "heartbeat":
+                deadline = time.monotonic() + job_timeout
+                continue
+            _tag, status, payload = message
+            proc.join()
+            return status, payload
+    finally:
+        parent_conn.close()
+
+
+def _run_serial_fallback(jobs, indices, cache, finish, attempts,
+                         job_timeout) -> None:
+    """The ladder's last rung: finish the sweep without a pool.
+
+    Jobs with a clean history run in-process (serial, no fork); a job
+    that has already taken a worker down -- any transient failure in
+    its history -- is never brought into the campaign driver's own
+    process and re-runs in a fresh single-shot isolated process
+    instead, still under the job timeout.  No further retries: this is
+    the recovery of last resort, and infrastructure fault hooks are
+    deliberately not installed here.
+    """
+    ctx = _mp_context()
+    for index in indices:
+        job = jobs[index]
+        history = attempts.get(index, [])
+        if history:
+            status, payload = _run_one_isolated(ctx, job, job_timeout)
+        else:
+            try:
+                payload = execute_job(job)
+                status = STATUS_OK
+            except Exception:
+                status, payload = STATUS_ERROR, traceback.format_exc()
+        if status == STATUS_OK:
+            if cache is not None:
+                cache.put(job, status, payload)
+            finish(index, JobOutcome(job, STATUS_OK, payload,
+                                     attempts=tuple(history)))
+        else:
+            finish(index, JobOutcome(job, status, None, error=str(payload),
+                                     attempts=tuple(history)))
 
 
 # ---------------------------------------------------- legacy fork-per-job pool
@@ -493,15 +740,33 @@ class _ActiveWorker:
         self.deadline = time.monotonic() + self.timeout
 
 
-def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout) -> None:
+def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout,
+                      retry, on_event) -> None:
     ctx = _mp_context()
-    queue = list(pending)
+    queue = deque(pending)
     active: dict[object, _ActiveWorker] = {}
+    attempts: dict[int, list[str]] = {}
+    retry_at: list[tuple[float, int]] = []  # heap of (ready time, index)
 
-    def settle(outcome_index: int, outcome: JobOutcome) -> None:
-        if cache is not None and outcome.ok:
-            cache.put(jobs[outcome_index], outcome.status, outcome.result)
-        finish(outcome_index, outcome)
+    def settle_ok(index: int, payload) -> None:
+        if cache is not None:
+            cache.put(jobs[index], STATUS_OK, payload)
+        finish(index, JobOutcome(jobs[index], STATUS_OK, payload,
+                                 attempts=tuple(attempts.get(index, ()))))
+
+    def settle_failure(index: int, status: str, error: str) -> None:
+        history = attempts.setdefault(index, [])
+        if len(history) < retry.retries_for(status):
+            history.append(status)
+            delay = retry.delay(index, len(history) - 1)
+            heappush(retry_at, (time.monotonic() + delay, index))
+            if on_event is not None:
+                on_event("retry", f"{jobs[index].label()}: {status}; retry "
+                                  f"{len(history)}/{retry.retries} "
+                                  f"in {delay:.2f}s")
+            return
+        finish(index, JobOutcome(jobs[index], status, None, error=error,
+                                 attempts=tuple(history)))
 
     def reap(worker: _ActiveWorker, kill: bool, status: str, error: str) -> None:
         if kill:
@@ -509,11 +774,14 @@ def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout) -> No
         worker.process.join()
         worker.conn.close()
         del active[worker.conn]
-        settle(worker.index, JobOutcome(jobs[worker.index], status, None, error=error))
+        settle_failure(worker.index, status, error)
 
-    while queue or active:
+    while queue or active or retry_at:
+        now = time.monotonic()
+        while retry_at and retry_at[0][0] <= now:
+            queue.append(heappop(retry_at)[1])
         while queue and len(active) < parallel:
-            index = queue.pop(0)
+            index = queue.popleft()
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(target=_worker_entry, args=(child_conn, jobs[index]),
                                daemon=True)
@@ -521,8 +789,17 @@ def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout) -> No
             child_conn.close()
             active[parent_conn] = _ActiveWorker(index, proc, parent_conn, job_timeout)
 
+        if not active:
+            # nothing running: sleep out the earliest retry backoff
+            if retry_at:
+                time.sleep(max(0.0, retry_at[0][0] - time.monotonic()))
+            continue
+
         now = time.monotonic()
-        wait_for = max(0.01, min(w.deadline for w in active.values()) - now)
+        waits = [w.deadline - now for w in active.values()]
+        if retry_at:
+            waits.append(retry_at[0][0] - now)
+        wait_for = max(0.01, min(waits))
         ready = _conn_wait(list(active), timeout=wait_for)
 
         for conn in ready:
@@ -535,9 +812,8 @@ def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout) -> No
                 code = worker.process.exitcode
                 conn.close()
                 del active[conn]
-                settle(worker.index, JobOutcome(
-                    jobs[worker.index], STATUS_CRASH, None,
-                    error=f"worker exited with code {code} before reporting"))
+                settle_failure(worker.index, STATUS_CRASH,
+                               f"worker exited with code {code} before reporting")
                 continue
             if message[0] == "heartbeat":
                 worker.beat()
@@ -547,10 +823,9 @@ def _run_fork_per_job(jobs, pending, parallel, cache, finish, job_timeout) -> No
             conn.close()
             del active[conn]
             if status == STATUS_OK:
-                settle(worker.index, JobOutcome(jobs[worker.index], STATUS_OK, payload))
+                settle_ok(worker.index, payload)
             else:
-                settle(worker.index, JobOutcome(jobs[worker.index], status, None,
-                                                error=str(payload)))
+                settle_failure(worker.index, status, str(payload))
 
         now = time.monotonic()
         for worker in [w for w in active.values() if w.deadline <= now]:

@@ -24,7 +24,9 @@ Job kinds:
 * ``verify`` -- one (litmus test, fence mode, engine) cell of the
   exhaustive model-checking matrix (:mod:`repro.verify`): DPOR allowed
   set, reference cross-check, simulator soundness and coverage.
-* ``selftest`` -- engine plumbing checks (crash/hang/error on demand).
+* ``selftest`` -- engine plumbing checks (crash/hang/error on demand;
+  the ``*-once`` variants fault only until their marker file exists,
+  which is how the retry tests stage a transient failure).
 """
 
 from __future__ import annotations
@@ -335,6 +337,20 @@ def _run_selftest_job(params: dict, heartbeat=None) -> dict:
             time.sleep(0.05)
     if mode == "error":
         raise RuntimeError("selftest error job")
+    if mode in ("crash-once", "hang-once"):
+        # transient-failure stand-ins for the retry tests: fault on the
+        # first execution (marker file absent), succeed on the re-run.
+        # The marker makes the job impure, so these are test-only and
+        # must never meet a result cache.
+        marker = params["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            if mode == "crash-once":
+                os._exit(17)
+            while True:  # killed by the engine's job timeout
+                time.sleep(0.05)
+        return {"mode": mode, "echo": params.get("echo")}
     return {"mode": mode, "echo": params.get("echo")}
 
 

@@ -187,3 +187,38 @@ def test_assemble_figure_handles_missing_cells():
     table = assemble_figure("fig14", jobs, results)
     assert "n/a" in table
     assert "1.000" in table  # intact cells still compute their ratio
+
+def test_stream_aggregator_zero_elapsed_clock_is_guarded():
+    """An all-cached sweep can land every job inside one timer tick:
+    the rate and ETA must come back None, never a division by zero."""
+    agg = StreamAggregator(5, clock=lambda: 42.0)  # clock never advances
+    for _ in range(3):
+        agg.add(True, cached=True)
+    assert agg.jobs_per_s() is None
+    assert agg.eta_s() is None
+    line = agg.line()  # must not raise on the None rate/eta pair
+    assert "3/5" in line and "job/s" not in line
+
+
+def test_stream_aggregator_all_cached_instant_completion():
+    """Finishing everything on a frozen clock reports eta 0, no rate."""
+    agg = StreamAggregator(4, clock=lambda: 7.0)
+    for _ in range(4):
+        agg.add(True, cached=True)
+    assert agg.eta_s() == 0.0          # done: no phantom wait
+    assert agg.jobs_per_s() is None    # rate undefined at zero elapsed
+    assert "4/4" in agg.line()
+
+
+def test_stream_aggregator_notes_surface_in_summary():
+    agg = StreamAggregator(2)
+    agg.add(True)
+    agg.note("downgrade: pool 8 -> 4")
+    agg.note("retry: litmus:sb 1/2")
+    summary = agg.summary()
+    assert "2 event(s)" in summary
+    assert "pool 8 -> 4" in summary and "retry: litmus:sb" in summary
+    # overflow keeps the line bounded
+    for i in range(9):
+        agg.note(f"e{i}")
+    assert "(+6 more)" in agg.summary()

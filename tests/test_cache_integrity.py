@@ -1,0 +1,154 @@
+"""ResultCache integrity: checksums on every blob, quarantine of corrupt
+entries, tolerant manifest loading, startup manifest repair."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import (
+    Job,
+    ResultCache,
+    STATUS_OK,
+    result_checksum,
+    run_campaign,
+)
+
+
+def make_cache(tmp_path, n=3):
+    cache = ResultCache(tmp_path, fingerprint="fp")
+    jobs = [Job("selftest", {"mode": "ok", "echo": i}) for i in range(n)]
+    for job in jobs:
+        cache.put(job, STATUS_OK, {"echo": job.params["echo"]})
+    return cache, jobs
+
+
+def blob_path(cache, job):
+    return cache._object_path(cache.key_for(job))
+
+
+# ------------------------------------------------------------------ checksums
+def test_result_checksum_is_canonical():
+    assert result_checksum({"a": 1, "b": 2}) == result_checksum({"b": 2, "a": 1})
+    assert result_checksum({"a": 1}) != result_checksum({"a": 2})
+
+
+def test_every_blob_carries_its_checksum(tmp_path):
+    cache, jobs = make_cache(tmp_path)
+    for job in jobs:
+        obj = json.loads(blob_path(cache, job).read_text())
+        assert obj["sha256"] == result_checksum(obj["result"])
+
+
+def test_clean_roundtrip_still_hits(tmp_path):
+    cache, jobs = make_cache(tmp_path)
+    assert cache.get(jobs[1]) == {"echo": 1}
+    assert cache.quarantined == 0
+
+
+# ----------------------------------------------------------------- quarantine
+def test_tampered_blob_is_quarantined_not_served(tmp_path):
+    """Valid JSON with altered payload: only the checksum catches it."""
+    cache, jobs = make_cache(tmp_path)
+    path = blob_path(cache, jobs[0])
+    obj = json.loads(path.read_text())
+    obj["result"] = {"echo": 999}  # plausible but wrong
+    path.write_text(json.dumps(obj, sort_keys=True))
+    assert cache.get(jobs[0]) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert (cache.root / "corrupt" / path.name).exists()
+
+
+def test_truncated_blob_is_quarantined(tmp_path):
+    cache, jobs = make_cache(tmp_path)
+    path = blob_path(cache, jobs[0])
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    assert cache.get(jobs[0]) is None
+    assert cache.quarantined == 1
+
+
+def test_pre_checksum_blob_is_quarantined(tmp_path):
+    """Objects written before checksums existed are not trusted."""
+    cache, jobs = make_cache(tmp_path)
+    path = blob_path(cache, jobs[0])
+    obj = json.loads(path.read_text())
+    del obj["sha256"]
+    path.write_text(json.dumps(obj, sort_keys=True))
+    assert cache.get(jobs[0]) is None
+    assert cache.quarantined == 1
+
+
+def test_plain_miss_is_not_a_quarantine(tmp_path):
+    cache, _ = make_cache(tmp_path)
+    assert cache.get(Job("selftest", {"mode": "ok", "echo": 99})) is None
+    assert cache.quarantined == 0 and cache.misses == 1
+
+
+def test_corrupt_entry_is_recomputed_and_reusable(tmp_path):
+    """The never-served property end to end: corrupt, recompute, rehit."""
+    cache = ResultCache(tmp_path, fingerprint="fp")
+    jobs = [Job("selftest", {"mode": "ok", "echo": 7})]
+    run_campaign(jobs, parallel=0, cache=cache)
+    blob_path(cache, jobs[0]).write_text('{"half": "a torn wr')
+    rerun = run_campaign(jobs, parallel=0, cache=ResultCache(tmp_path, fingerprint="fp"))
+    assert rerun.executed == 1 and rerun.ok
+    warm = run_campaign(jobs, parallel=0, cache=ResultCache(tmp_path, fingerprint="fp"))
+    assert warm.cached == 1 and warm.results() == rerun.results()
+
+
+# ----------------------------------------------------------- manifest healing
+def test_manifest_skips_torn_trailing_line(tmp_path, caplog):
+    cache, jobs = make_cache(tmp_path)
+    with open(cache.root / "manifest.jsonl", "a") as fh:
+        fh.write('{"key": "deadbeef", "kin')  # torn mid-append
+    with caplog.at_level("WARNING", logger="repro.campaign.cache"):
+        entries = cache.manifest()
+    assert len(entries) == len(jobs)  # the torn line is dropped, not fatal
+    assert any("torn manifest" in rec.message for rec in caplog.records)
+
+
+def test_manifest_skips_garbage_and_non_record_lines(tmp_path):
+    cache, jobs = make_cache(tmp_path)
+    with open(cache.root / "manifest.jsonl", "a") as fh:
+        fh.write("not json at all\n")
+        fh.write('"a json string, not a record"\n')
+        fh.write('{"no_key_field": true}\n')
+    assert len(cache.manifest()) == len(jobs)
+
+
+def test_startup_repair_rewrites_torn_manifest(tmp_path):
+    cache, jobs = make_cache(tmp_path)
+    with open(cache.root / "manifest.jsonl", "a") as fh:
+        fh.write('{"key": "deadbeef", "kin')
+    reopened = ResultCache(tmp_path, fingerprint="fp")
+    assert reopened.repaired == {"dropped_lines": 1, "recovered_blobs": 0}
+    # the rewritten manifest is clean: every line parses
+    text = (tmp_path / "manifest.jsonl").read_text()
+    assert all(json.loads(line) for line in text.splitlines())
+    assert len(reopened.manifest()) == len(jobs)
+    # a third open sees a healthy manifest and repairs nothing
+    assert ResultCache(tmp_path, fingerprint="fp").repaired is None
+
+
+def test_startup_repair_reindexes_orphaned_blobs(tmp_path):
+    """Blobs whose manifest lines were lost to the tear are re-indexed
+    from disk -- the cache serves them again without recomputation."""
+    cache, jobs = make_cache(tmp_path)
+    manifest = tmp_path / "manifest.jsonl"
+    lines = manifest.read_text().splitlines()
+    # lose the last record to the torn append that replaced it
+    manifest.write_text("\n".join(lines[:-1]) + "\n" + '{"key": "dead')
+    reopened = ResultCache(tmp_path, fingerprint="fp")
+    assert reopened.repaired == {"dropped_lines": 1, "recovered_blobs": 1}
+    assert len(reopened.manifest()) == len(jobs)
+    assert {e["key"] for e in reopened.manifest()} == \
+        {cache.key_for(j) for j in jobs}
+    assert reopened.get(jobs[-1]) == {"echo": len(jobs) - 1}
+
+
+def test_clean_cache_needs_no_repair(tmp_path):
+    make_cache(tmp_path)
+    assert ResultCache(tmp_path, fingerprint="fp").repaired is None
+    # an empty directory (no manifest yet) is also clean
+    assert ResultCache(tmp_path / "fresh", fingerprint="fp").repaired is None

@@ -8,6 +8,7 @@ import pytest
 
 from repro.campaign import (
     Job,
+    NO_RETRY,
     ResultCache,
     STATUS_CRASH,
     STATUS_ERROR,
@@ -110,7 +111,10 @@ def test_worker_failures_are_classified_not_fatal():
         Job("selftest", {"mode": "error"}),
         Job("selftest", {"mode": "ok", "echo": 2}),
     ]
-    campaign = run_campaign(jobs, parallel=2)
+    # NO_RETRY pins the raw classifications (retry recovery is covered
+    # in test_resilience.py) and keeps the permanently-crashing job from
+    # burning its retry budget here
+    campaign = run_campaign(jobs, parallel=2, retry=NO_RETRY)
     statuses = [o.status for o in campaign.outcomes]
     assert statuses == [STATUS_OK, STATUS_CRASH, STATUS_ERROR, STATUS_OK]
     assert campaign.outcomes[0].result["echo"] == 1
@@ -122,7 +126,7 @@ def test_worker_failures_are_classified_not_fatal():
 
 def test_hung_worker_is_killed_and_classified():
     jobs = [Job("selftest", {"mode": "hang"}), Job("selftest", {"mode": "ok"})]
-    campaign = run_campaign(jobs, parallel=2, job_timeout=1.0)
+    campaign = run_campaign(jobs, parallel=2, job_timeout=1.0, retry=NO_RETRY)
     assert campaign.outcomes[0].status == STATUS_TIMEOUT
     assert campaign.outcomes[1].status == STATUS_OK
 
@@ -188,7 +192,7 @@ def test_worker_death_mid_chunk_requeues_remaining_jobs():
         Job("selftest", {"mode": "ok", "echo": 4}),
     ]
     # a huge cost target forces every job into one chunk on one worker
-    campaign = run_campaign(jobs, parallel=1, chunk_cost=1e9)
+    campaign = run_campaign(jobs, parallel=1, chunk_cost=1e9, retry=NO_RETRY)
     statuses = [o.status for o in campaign.outcomes]
     assert statuses == [STATUS_OK, STATUS_CRASH, STATUS_OK, STATUS_OK, STATUS_OK]
     assert [o.result["echo"] for o in campaign.outcomes if o.ok] == [0, 2, 3, 4]
@@ -200,7 +204,8 @@ def test_timeout_mid_chunk_kills_only_the_wedged_job():
         Job("selftest", {"mode": "hang"}),
         Job("selftest", {"mode": "ok", "echo": 2}),
     ]
-    campaign = run_campaign(jobs, parallel=1, job_timeout=1.0, chunk_cost=1e9)
+    campaign = run_campaign(jobs, parallel=1, job_timeout=1.0, chunk_cost=1e9,
+                            retry=NO_RETRY)
     statuses = [o.status for o in campaign.outcomes]
     assert statuses == [STATUS_OK, STATUS_TIMEOUT, STATUS_OK]
     assert "no progress" in campaign.outcomes[1].error

@@ -1,0 +1,179 @@
+"""Infrastructure fault injection: scripted plans, worker hooks, cache
+sabotage -- and the engine healing every injected fault."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    DegradationLadder,
+    InfraFaultPlan,
+    Job,
+    NO_RETRY,
+    ResultCache,
+    RetryPolicy,
+    STATUS_CRASH,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    run_campaign,
+    sabotage_cache,
+    scripted_plan,
+)
+from repro.campaign.chaosinfra import INFRA_EXIT_CODE
+
+FAST_RETRY = RetryPolicy(retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+
+def ok_jobs(n):
+    return [Job("selftest", {"mode": "ok", "echo": i}) for i in range(n)]
+
+
+def calm_ladder(target):
+    """A ladder that tolerates the whole scripted storm without descending."""
+    return DegradationLadder(target=target, enabled=False)
+
+
+# -------------------------------------------------------------- scripted plans
+def test_scripted_plan_is_deterministic_per_seed():
+    a = scripted_plan(3, 20)
+    b = scripted_plan(3, 20)
+    assert a == b
+    assert a.describe() == b.describe()
+    assert scripted_plan(4, 20) != a
+
+
+def test_scripted_plan_targets_are_distinct_and_in_range():
+    plan = scripted_plan(9, 12)
+    targets = ([i for i, _ in plan.kills] + [i for i, _ in plan.receive_kills]
+               + [i for i, _ in plan.stalls])
+    assert all(0 <= i < 12 for i in targets)
+    # the double-kill victim appears twice; everything else is distinct
+    assert len(set(targets)) == 4
+    assert plan.live
+    assert plan.corrupt_blobs and plan.truncate_blobs and plan.tear_manifest
+
+
+def test_scripted_plan_respects_retry_budget():
+    shallow = scripted_plan(3, 20, retries=1)
+    assert max(a for _, a in shallow.kills) == 0  # no attempt-1 faults
+    deep = scripted_plan(3, 20, retries=2)
+    assert max(a for _, a in deep.kills) == 1
+
+
+def test_scripted_plan_needs_enough_jobs():
+    with pytest.raises(ValueError):
+        scripted_plan(0, 3)
+
+
+def test_empty_plan_is_not_live():
+    assert not InfraFaultPlan().live
+
+
+# ------------------------------------------------------------ engine under fire
+def test_injected_kill_is_healed_by_retry():
+    plan = InfraFaultPlan(kills=((1, 0),))
+    jobs = ok_jobs(4)
+    campaign = run_campaign(jobs, parallel=2, retry=FAST_RETRY, infra=plan,
+                            ladder=calm_ladder(2))
+    assert campaign.ok
+    assert campaign.outcomes[1].attempts == (STATUS_CRASH,)
+    assert campaign.retried == 1
+
+
+def test_injected_kill_without_retry_shows_infra_exit_code():
+    plan = InfraFaultPlan(kills=((0, 0),))
+    campaign = run_campaign(ok_jobs(2), parallel=1, retry=NO_RETRY, infra=plan,
+                            ladder=calm_ladder(1))
+    assert campaign.outcomes[0].status == STATUS_CRASH
+    assert f"code {INFRA_EXIT_CODE}" in campaign.outcomes[0].error
+    assert campaign.outcomes[1].status == STATUS_OK
+
+
+def test_injected_stall_trips_timeout_then_recovers():
+    plan = InfraFaultPlan(stalls=((0, 0),), stall_seconds=4.0)
+    campaign = run_campaign(ok_jobs(3), parallel=2, job_timeout=1.0,
+                            retry=FAST_RETRY, infra=plan,
+                            ladder=calm_ladder(2))
+    assert campaign.ok
+    assert campaign.outcomes[0].attempts == (STATUS_TIMEOUT,)
+
+
+def test_receive_kill_poisons_chunk_then_retries_recover():
+    """A pre-start kill burns the chunk's re-queue budget (all jobs
+    classified worker-crash by the backstop) -- then per-job retries at
+    attempt 1 run clean and everything ends ok."""
+    plan = InfraFaultPlan(receive_kills=((0, 0),))
+    jobs = ok_jobs(4)
+    campaign = run_campaign(jobs, parallel=1, chunk_cost=1e9,
+                            retry=FAST_RETRY, infra=plan,
+                            ladder=calm_ladder(1))
+    assert campaign.ok
+    assert all(o.attempts == (STATUS_CRASH,) for o in campaign.outcomes)
+    assert campaign.retried == len(jobs)
+
+
+def test_jitter_changes_no_outcome():
+    plan = InfraFaultPlan(seed=3, jitter_prob=1.0, jitter_max_s=0.01)
+    baseline = run_campaign(ok_jobs(6), parallel=2)
+    jittered = run_campaign(ok_jobs(6), parallel=2, infra=plan,
+                            ladder=calm_ladder(2))
+    assert jittered.ok
+    assert jittered.results() == baseline.results()
+    assert jittered.retried == 0
+
+
+# --------------------------------------------------------------- cache sabotage
+def _populated_cache(tmp_path, n=6):
+    cache = ResultCache(tmp_path, fingerprint="fp")
+    jobs = ok_jobs(n)
+    run_campaign(jobs, parallel=0, cache=cache)
+    return cache, jobs
+
+
+def test_sabotage_damages_exactly_what_it_reports(tmp_path):
+    cache, _jobs = _populated_cache(tmp_path)
+    plan = InfraFaultPlan(seed=5, corrupt_blobs=2, truncate_blobs=1,
+                          tear_manifest=True)
+    report = sabotage_cache(tmp_path, plan)
+    assert len(report["corrupted"]) == 2
+    assert len(report["truncated"]) == 1
+    assert report["manifest_torn"]
+    # corrupted blobs still parse (only the checksum can convict them)
+    for name in report["corrupted"]:
+        blob = next(p for p in (tmp_path / "objects").rglob(name))
+        assert json.loads(blob.read_text())["result"] == {"tampered": True}
+    # truncated blobs no longer parse
+    for name in report["truncated"]:
+        blob = next(p for p in (tmp_path / "objects").rglob(name))
+        with pytest.raises(ValueError):
+            json.loads(blob.read_text())
+    # the torn manifest line is the unterminated trailing one
+    tail = (tmp_path / "manifest.jsonl").read_text().rsplit("\n", 1)[-1]
+    assert tail and not tail.endswith("}")
+
+
+def test_sabotage_is_deterministic(tmp_path):
+    _populated_cache(tmp_path / "a")
+    _populated_cache(tmp_path / "b")
+    plan = InfraFaultPlan(seed=7, corrupt_blobs=1, truncate_blobs=1)
+    assert sabotage_cache(tmp_path / "a", plan) == \
+        sabotage_cache(tmp_path / "b", plan)
+
+
+def test_sabotaged_cache_recovers_transparently(tmp_path):
+    """The full recovery path: sabotage, re-open, resume -- only the
+    damaged entries recompute and the results match the originals."""
+    cache, jobs = _populated_cache(tmp_path)
+    original = run_campaign(jobs, parallel=0, cache=cache)
+    plan = InfraFaultPlan(seed=1, corrupt_blobs=1, truncate_blobs=1,
+                          tear_manifest=True)
+    sabotage_cache(tmp_path, plan)
+    reopened = ResultCache(tmp_path, fingerprint="fp")
+    assert reopened.repaired is not None  # the torn line forced a repair
+    resumed = run_campaign(jobs, parallel=0, cache=reopened)
+    assert resumed.ok
+    assert resumed.executed == 2 and resumed.cached == len(jobs) - 2
+    assert reopened.quarantined == 2
+    assert resumed.results() == original.results()

@@ -265,3 +265,77 @@ def test_dense_loop_escape_hatch_changes_nothing(tmp_path, capsys):
     assert main(["litmus", str(f), "--dense-loop"]) == 0
     dense_out = capsys.readouterr().out
     assert dense_out == fast_out
+
+# ---------------------------------------------------------- resilience surface
+def test_campaign_unrecovered_failures_exit_nonzero(monkeypatch, capsys):
+    """Jobs still crash-classified after the retry budget produce a
+    per-classification summary line and a non-zero exit."""
+    import repro.campaign as campaign_mod
+    from repro.campaign import Job
+
+    monkeypatch.setattr(
+        campaign_mod, "litmus_jobs",
+        lambda **kw: [Job("selftest", {"mode": "crash", "name": "crasher"})])
+    assert main(["campaign", "--litmus", "--no-cache", "--parallel", "1",
+                 "--retries", "1", "--retry-backoff", "0.01"]) == 1
+    captured = capsys.readouterr()
+    assert "unrecovered failures after retries: worker-crash=1" in captured.err
+    assert "retry 1/1" in captured.err   # the retry itself was reported
+    assert "1 retried" in captured.err
+    assert "FAIL" in captured.out        # and the litmus table shows it
+
+
+def test_campaign_retries_disabled_on_request(monkeypatch, capsys):
+    import repro.campaign as campaign_mod
+    from repro.campaign import Job
+
+    monkeypatch.setattr(
+        campaign_mod, "litmus_jobs",
+        lambda **kw: [Job("selftest", {"mode": "crash", "name": "crasher"})])
+    assert main(["campaign", "--litmus", "--no-cache", "--parallel", "1",
+                 "--retries", "0"]) == 1
+    err = capsys.readouterr().err
+    assert "retry" not in err.split("unrecovered")[0]  # no retry happened
+    assert "worker-crash=1" in err
+
+
+def _fake_differential_report(ok: bool) -> dict:
+    phase = {"executed": 5, "cached": 0, "failures": 0, "retried": 2,
+             "recovered": 2, "downgrades": [], "quarantined": 0,
+             "manifest_repair": None, "fingerprint": "f" * 64}
+    recovery = dict(phase, quarantined=2,
+                    manifest_repair={"dropped_lines": 1, "recovered_blobs": 0})
+    return {"seed": 3, "jobs": 5, "parallel": 2, "smoke": True,
+            "identical": ok, "ok": ok, "sabotage": {},
+            "phases": {"baseline": dict(phase, retried=0, recovered=0),
+                       "faulted": phase, "recovery": recovery}}
+
+
+def test_campaign_chaos_infra_reports_phases(monkeypatch, capsys):
+    import repro.campaign as campaign_mod
+
+    seen = {}
+
+    def fake(seed, parallel, smoke, progress):
+        seen.update(seed=seed, parallel=parallel, smoke=smoke)
+        return _fake_differential_report(True)
+
+    monkeypatch.setattr(campaign_mod, "run_resilience_differential", fake)
+    assert main(["campaign", "--chaos-infra", "3", "--smoke",
+                 "--parallel", "2"]) == 0
+    assert seen == {"seed": 3, "parallel": 2, "smoke": True}
+    captured = capsys.readouterr()
+    assert "campaign resilience differential" in captured.out
+    assert "baseline" in captured.out and "recovery" in captured.out
+    assert "byte-identical outcome fingerprint" in captured.out
+    assert "manifest repair: 1 torn line(s) dropped" in captured.err
+
+
+def test_campaign_chaos_infra_divergence_fails(monkeypatch, capsys):
+    import repro.campaign as campaign_mod
+
+    monkeypatch.setattr(
+        campaign_mod, "run_resilience_differential",
+        lambda seed, parallel, smoke, progress: _fake_differential_report(False))
+    assert main(["campaign", "--chaos-infra", "3"]) == 1
+    assert "fingerprints diverged" in capsys.readouterr().err

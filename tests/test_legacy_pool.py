@@ -1,0 +1,111 @@
+"""Legacy --fork-per-job pool lifecycle and the persistent pool's
+poisoned-chunk backstop."""
+
+from __future__ import annotations
+
+from repro.campaign import (
+    DegradationLadder,
+    InfraFaultPlan,
+    Job,
+    NO_RETRY,
+    ResultCache,
+    RetryPolicy,
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    run_campaign,
+)
+
+FAST_RETRY = RetryPolicy(retries=2, backoff_base=0.01, backoff_cap=0.05)
+
+
+def ok_jobs(n):
+    return [Job("selftest", {"mode": "ok", "echo": i}) for i in range(n)]
+
+
+# ------------------------------------------------------- fork-per-job lifecycle
+def test_fork_per_job_respawns_after_crash():
+    """A dead worker costs one job; the pool keeps draining the queue."""
+    jobs = [Job("selftest", {"mode": "crash"})] + ok_jobs(5)
+    campaign = run_campaign(jobs, parallel=2, fork_per_job=True,
+                            retry=NO_RETRY)
+    assert campaign.outcomes[0].status == STATUS_CRASH
+    assert "exited with code 17" in campaign.outcomes[0].error
+    assert all(o.status == STATUS_OK for o in campaign.outcomes[1:])
+    assert [o.result["echo"] for o in campaign.outcomes[1:]] == list(range(5))
+
+
+def test_fork_per_job_kills_hung_worker():
+    jobs = [Job("selftest", {"mode": "hang"})] + ok_jobs(2)
+    campaign = run_campaign(jobs, parallel=2, fork_per_job=True,
+                            job_timeout=1.0, retry=NO_RETRY)
+    assert campaign.outcomes[0].status == STATUS_TIMEOUT
+    assert "no progress" in campaign.outcomes[0].error
+    assert all(o.status == STATUS_OK for o in campaign.outcomes[1:])
+
+
+def test_fork_per_job_mixed_failures_and_cache(tmp_path):
+    jobs = [
+        Job("selftest", {"mode": "ok", "echo": 0}),
+        Job("selftest", {"mode": "error"}),
+        Job("selftest", {"mode": "crash"}),
+        Job("selftest", {"mode": "ok", "echo": 3}),
+    ]
+    cache = ResultCache(tmp_path, fingerprint="fp")
+    campaign = run_campaign(jobs, parallel=2, fork_per_job=True,
+                            retry=NO_RETRY, cache=cache)
+    statuses = [o.status for o in campaign.outcomes]
+    assert statuses == [STATUS_OK, STATUS_ERROR, STATUS_CRASH, STATUS_OK]
+    assert len(cache) == 2  # only the ok results persist
+    warm = run_campaign(jobs, parallel=2, fork_per_job=True, retry=NO_RETRY,
+                        cache=ResultCache(tmp_path, fingerprint="fp"))
+    assert warm.cached == 2 and warm.executed == 2
+
+
+def test_fork_per_job_retry_recovers_transient_crash(tmp_path):
+    jobs = ok_jobs(2) + [
+        Job("selftest", {"mode": "crash-once", "marker": str(tmp_path / "m")}),
+    ]
+    campaign = run_campaign(jobs, parallel=2, fork_per_job=True,
+                            retry=FAST_RETRY)
+    assert campaign.ok
+    assert campaign.outcomes[2].attempts == (STATUS_CRASH,)
+    assert campaign.retried == 1
+
+
+def test_fork_per_job_retry_recovers_transient_hang(tmp_path):
+    jobs = ok_jobs(1) + [
+        Job("selftest", {"mode": "hang-once", "marker": str(tmp_path / "m")}),
+    ]
+    campaign = run_campaign(jobs, parallel=2, fork_per_job=True,
+                            job_timeout=1.0, retry=FAST_RETRY)
+    assert campaign.ok
+    assert campaign.outcomes[1].attempts == (STATUS_TIMEOUT,)
+
+
+# ------------------------------------------------------ poisoned-chunk backstop
+def test_poisoned_chunk_backstop_caps_requeues():
+    """A chunk whose delivery kills the worker before any job starts is
+    re-queued a bounded number of times, then classified -- the pool
+    must not respawn-loop forever."""
+    plan = InfraFaultPlan(receive_kills=((0, 0),))
+    jobs = ok_jobs(4)
+    campaign = run_campaign(jobs, parallel=1, chunk_cost=1e9, infra=plan,
+                            retry=NO_RETRY,
+                            ladder=DegradationLadder(target=1, enabled=False))
+    # with retries disabled every job in the poisoned chunk is charged
+    assert all(o.status == STATUS_CRASH for o in campaign.outcomes)
+    assert all("chunk re-queued" in o.error for o in campaign.outcomes)
+
+
+def test_poisoned_chunk_progress_resets_the_backstop():
+    """A crash *after* progress (a started job) resets the re-queue
+    count: only the in-flight job is charged, the rest complete."""
+    plan = InfraFaultPlan(kills=((1, 0),))
+    jobs = ok_jobs(4)
+    campaign = run_campaign(jobs, parallel=1, chunk_cost=1e9, infra=plan,
+                            retry=NO_RETRY,
+                            ladder=DegradationLadder(target=1, enabled=False))
+    statuses = [o.status for o in campaign.outcomes]
+    assert statuses == [STATUS_OK, STATUS_CRASH, STATUS_OK, STATUS_OK]
