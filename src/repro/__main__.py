@@ -35,6 +35,15 @@ Commands:
   outcome coverage (see :mod:`repro.verify`); writes
   ``verify-report.json`` and exits non-zero on any soundness violation
   or explorer/reference disagreement.
+* ``synth`` — automatically synthesize the cheapest sound fence
+  placement for every synthesis-corpus entry (classic litmus tests
+  plus kernels distilled from the ``apps/`` algorithms), prove each
+  placement with both the DPOR explorer and the axiomatic reference,
+  and print the synthesized-vs-hand-written comparison (fence count,
+  mode mix, simulated stall cycles; see :mod:`repro.synth`); writes
+  ``synth-report.json`` and exits non-zero if any hand-written
+  placement is unsound or any synthesized placement costs more stall
+  than the hand-written one.
 
 Every simulation-grid command accepts ``--parallel N`` to fan cells out
 over N crash-isolated worker processes (default ``auto``: one per CPU,
@@ -356,6 +365,42 @@ def cmd_verify(ns) -> int:
     return 1
 
 
+# ----------------------------------------------------------------------- synth
+def cmd_synth(ns) -> int:
+    """Synthesize fence placements and compare against hand-written."""
+    from .campaign import synth_jobs
+    from .synth.report import (
+        assemble_synth_report,
+        format_synth_failures,
+        format_synth_report,
+        write_synth_report,
+    )
+
+    names = ns.synth_tests.split(",") if ns.synth_tests else None
+    modes = ns.synth_modes.split(",") if ns.synth_modes else None
+    try:
+        jobs = synth_jobs(names=names, modes=modes, smoke=ns.smoke)
+    except KeyError as exc:
+        print(f"synth: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = _run_jobs(jobs, ns, "synth")
+    report = assemble_synth_report(result.outcomes, smoke=ns.smoke)
+    print(format_synth_report(report))
+    for line in format_synth_failures(report):
+        print(line, file=sys.stderr)
+    write_synth_report(report, ns.synth_out)
+    print(f"report written to {ns.synth_out}", file=sys.stderr)
+    if report["ok"]:
+        t = report["totals"]
+        print(f"synth: {len(report['cases'])} placement(s) synthesized, each "
+              f"proven sound by both oracles; total stall "
+              f"{t['synth_stall']} vs hand-written {t['hand_stall']} cycles",
+              file=sys.stderr)
+        return 0
+    print("synth: FAIL -- see report for details", file=sys.stderr)
+    return 1
+
+
 # ------------------------------------------------------------------------ perf
 def cmd_perf_campaign(ns) -> int:
     """Race the persistent pool against fork-per-job; gate the ratio."""
@@ -569,7 +614,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost",
-                 "litmus", "chaos", "campaign", "perf", "verify"],
+                 "litmus", "chaos", "campaign", "perf", "verify", "synth"],
     )
     parser.add_argument("args", nargs="*", help="litmus: <file>")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
@@ -652,6 +697,18 @@ def main(argv: list[str] | None = None) -> int:
                               help="verify: comma-separated engine subset "
                                    "(event,dense) [both]")
 
+    synth_group = parser.add_argument_group("synth options")
+    synth_group.add_argument("--synth-out", default="synth-report.json",
+                             metavar="FILE",
+                             help="synth: report path [synth-report.json]")
+    synth_group.add_argument("--synth-tests", default="",
+                             help="synth: comma-separated corpus subset "
+                                  "(SB,MP,WRC,IRIW,barnes-publish,"
+                                  "ptc-handoff)")
+    synth_group.add_argument("--synth-modes", default="",
+                             help="synth: comma-separated mode lattice subset "
+                                  "(none,sfence-set,sfence-class,full)")
+
     perf_group = parser.add_argument_group("perf options")
     perf_group.add_argument("--perf-out", "-o", default="BENCH_simperf.json",
                             metavar="FILE",
@@ -692,6 +749,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_perf(ns)
     if ns.command == "verify":
         return cmd_verify(ns)
+    if ns.command == "synth":
+        return cmd_synth(ns)
     if ns.command == "hwcost":
         return cmd_hwcost(ns)
     return cmd_figure(ns.command, ns)

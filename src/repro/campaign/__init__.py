@@ -58,6 +58,7 @@ from .jobs import (
     job_cost,
     litmus_jobs,
     probe_jobs,
+    synth_jobs,
     verify_jobs,
 )
 
@@ -96,5 +97,6 @@ __all__ = [
     "sabotage_cache",
     "scripted_plan",
     "set_process_fingerprint",
+    "synth_jobs",
     "verify_jobs",
 ]

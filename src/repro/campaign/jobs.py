@@ -24,6 +24,10 @@ Job kinds:
 * ``verify`` -- one (litmus test, fence mode, engine) cell of the
   exhaustive model-checking matrix (:mod:`repro.verify`): DPOR allowed
   set, reference cross-check, simulator soundness and coverage.
+* ``synth`` -- one fence-synthesis corpus entry: search the placement
+  x mode lattice for the cheapest placement both oracles prove sound,
+  then compare against the hand-written placement
+  (:mod:`repro.synth`).
 * ``selftest`` -- engine plumbing checks (crash/hang/error on demand;
   the ``*-once`` variants fault only until their marker file exists,
   which is how the retry tests stage a transient failure).
@@ -54,6 +58,8 @@ class Job:
             return f"litmus:{p['name']}"
         if self.kind == "verify":
             return f"verify:{p['name']}[{p['mode']}]@{p['engine']}"
+        if self.kind == "synth":
+            return f"synth:{p['name']}"
         return self.kind
 
 
@@ -66,6 +72,7 @@ _KIND_COST = {
     "figure": 8.0,
     "verify": 1.0,
     "litmus": 1.0,
+    "synth": 8.0,  # lattice scan: many explorations + cost probes per job
     "selftest": 0.1,
 }
 
@@ -202,6 +209,40 @@ def verify_jobs(
     ]
 
 
+def synth_jobs(
+    names: list[str] | None = None,
+    modes: list[str] | None = None,
+    offsets: list[int] | None = None,
+    smoke: bool = False,
+) -> list[Job]:
+    """One fence-synthesis job per synthesis-corpus entry.
+
+    The mode lattice and the offset grid are job parameters (not
+    ambient configuration), so changing either busts the result-cache
+    key and a cached payload can never describe a different search.
+    """
+    from ..synth.corpus import SYNTH_CORPUS, synth_entry
+    from ..synth.cost import PROBE_OFFSETS, SMOKE_PROBE_OFFSETS
+    from ..synth.sites import MODES
+
+    names = [e.name for e in SYNTH_CORPUS] if names is None else list(names)
+    for name in names:
+        synth_entry(name)  # raises KeyError on an unknown test
+    modes = list(MODES) if modes is None else list(modes)
+    for mode in modes:
+        if mode not in MODES:
+            raise KeyError(f"unknown fence mode {mode!r} (have {list(MODES)})")
+    if offsets is None:
+        offsets = list(SMOKE_PROBE_OFFSETS if smoke else PROBE_OFFSETS)
+    return [
+        Job("synth", {
+            "name": name, "modes": list(modes), "offsets": list(offsets),
+            "smoke": smoke,
+        })
+        for name in names
+    ]
+
+
 def probe_jobs(
     cases: list[tuple[str, str, int]],
     base_budget: int = 400_000,
@@ -269,6 +310,12 @@ def _run_verify_job(params: dict, heartbeat=None) -> dict:
     from ..verify.runner import verify_case
 
     return verify_case(params)
+
+
+def _run_synth_job(params: dict, heartbeat=None) -> dict:
+    from ..synth.report import run_synth_case
+
+    return run_synth_case(params, on_progress=heartbeat)
 
 
 def _run_probe_job(params: dict, heartbeat=None) -> dict:
@@ -359,6 +406,7 @@ _RUNNERS = {
     "figure": _run_figure_job,
     "litmus": _run_litmus_job,
     "probe": _run_probe_job,
+    "synth": _run_synth_job,
     "verify": _run_verify_job,
     "selftest": _run_selftest_job,
 }

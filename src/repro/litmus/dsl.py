@@ -248,6 +248,35 @@ def abstract_threads(test: LitmusTest) -> list[list[tuple]]:
     return threads
 
 
+def outcomes_matching(
+    condition: str | None,
+    register_names: list[str],
+    outcomes,
+) -> list[tuple]:
+    """The outcome tuples (among ``outcomes``) satisfying ``condition``.
+
+    This is the *single* code path that decides which concrete register
+    tuples an ``exists`` clause names: :func:`run_litmus` derives
+    ``condition_observed`` from it, :meth:`LitmusRun.matching_outcomes`
+    delegates to it, the verify runner uses it to name the tuples a
+    simulator sweep reached, and the fence synthesizer uses it to name
+    the bad outcome a rejected candidate placement still admits.
+    Callers used to re-derive the evaluation inline; keeping one
+    implementation means every mismatch/counterexample message agrees
+    on both the tuples and their (sorted) register order.
+    """
+    if not condition:
+        return []
+    matched = []
+    for outcome in sorted(outcomes, key=str):
+        env = dict(zip(register_names, outcome))
+        if eval(  # noqa: S307 - test-author expression
+            condition, {"__builtins__": {}}, env
+        ):
+            matched.append(outcome)
+    return matched
+
+
 @dataclass
 class LitmusRun:
     """Outcome of exploring one litmus test."""
@@ -281,17 +310,9 @@ class LitmusRun:
         These are the offending tuples when a forbidden condition was
         observed -- error reporting names them instead of just the test.
         """
-        if not self.test.condition:
-            return []
-        names = self.register_names
-        matched = []
-        for outcome in sorted(self.outcomes, key=str):
-            env = dict(zip(names, outcome))
-            if eval(  # noqa: S307 - test-author expression
-                self.test.condition, {"__builtins__": {}}, env
-            ):
-                matched.append(outcome)
-        return matched
+        return outcomes_matching(
+            self.test.condition, self.register_names, self.outcomes
+        )
 
 
 def run_litmus(
@@ -305,7 +326,6 @@ def run_litmus(
     offsets = offsets or DEFAULT_OFFSETS
     cores = n_cores or max(2, test.n_threads)
     outcomes: set[tuple] = set()
-    observed = False
     total_cycles = 0
     reg_names: list[str] | None = None
     for d0 in offsets:
@@ -319,8 +339,7 @@ def run_litmus(
             if reg_names is None:
                 reg_names = sorted(registers)
             outcomes.add(tuple(registers.get(r) for r in reg_names))
-            if test.condition and eval(  # noqa: S307 - test-author expression
-                test.condition, {"__builtins__": {}}, dict(registers)
-            ):
-                observed = True
+    observed = bool(
+        outcomes_matching(test.condition, reg_names or [], outcomes)
+    )
     return LitmusRun(test, outcomes, observed, total_cycles)

@@ -1,0 +1,304 @@
+"""Cheapest-first lattice search with two-oracle acceptance.
+
+The synthesizer answers: *which mode at which site forbids every bad
+outcome for the fewest simulated stall cycles?*  The pieces:
+
+* **Spec.**  The bad outcomes are the register tuples satisfying the
+  test's ``exists`` clause within the fence-free allowed set (or an
+  explicit forbidden set, for callers that derive one differentially).
+  Since every placement's allowed set is a subset of the fence-free
+  one, that universe is exhaustive.
+* **Acceptance.**  A candidate placement is *sound* only when two
+  independently implemented oracles both prove its allowed-outcome set
+  excludes every bad outcome: the sleep-set DPOR explorer
+  (:func:`repro.verify.explorer.explore_allowed_outcomes`) and the
+  axiomatic permutation enumerator
+  (:func:`repro.core.semantics.reference_allowed_outcomes`).  The two
+  must also agree exactly; a disagreement aborts synthesis as an
+  oracle bug rather than silently trusting either.
+* **Search.**  Candidates are scanned in increasing order of summed
+  per-site solo stall estimates (weaker modes first on ties), seeded
+  with the measured all-full placement as the initial upper bound.
+  Two prunes apply: an assignment abstractly dominated by a known
+  unsound one is skipped without consulting the oracles (weakening
+  can only grow the allowed set), and the scan stops at the first
+  candidate whose estimate reaches the best measured stall.
+* **Minimality.**  From the best candidate the search descends through
+  one-step-weakened neighbours (``full -> sfence-class -> sfence-set
+  -> none`` per site) while any sound neighbour measures strictly
+  cheaper, so the returned placement has no sound strictly-cheaper
+  neighbour -- the property the seeded minimality fuzzer re-checks in
+  tier-1.
+
+Every rejected candidate records *which* bad outcome it still admits,
+through the same :func:`repro.litmus.dsl.outcomes_matching` code path
+that names litmus mismatch tuples, so synthesis counterexample logs
+read exactly like the rest of the repo's failure messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from ..core.semantics import reference_allowed_outcomes
+from ..litmus.dsl import LitmusTest, abstract_threads, outcomes_matching
+from ..verify.explorer import explore_allowed_outcomes
+from .cost import PROBE_OFFSETS, placement_cycles, site_estimates
+from .sites import (
+    MODES,
+    FenceSite,
+    abstract_signature,
+    apply_placement,
+    dominated_by,
+    fence_sites,
+    strip_test,
+    weakened_neighbors,
+)
+
+#: at most this many counterexamples are retained per synthesis
+COUNTEREXAMPLE_CAP = 16
+
+
+class SynthesisError(RuntimeError):
+    """The lattice cannot enforce the spec, or the oracles disagree."""
+
+
+@dataclass
+class SynthesisResult:
+    """One synthesized placement plus the evidence behind it."""
+
+    name: str
+    sites: list[FenceSite]
+    registers: list[str]
+    modes: tuple[str, ...]            # the mode lattice searched
+    offsets: list[int]                # cost-probe grid
+    assignment: tuple[str, ...]       # chosen mode per site
+    forbidden: list[tuple]            # the bad outcomes (spec)
+    baseline_cycles: int              # fence-free sweep cycles
+    cycles: int                       # chosen placement sweep cycles
+    stall_cycles: int                 # cycles - baseline
+    all_full_stall: int               # the all-full upper bound's stall
+    estimates: dict[tuple[int, str], int]
+    counterexamples: list[dict] = field(default_factory=list)
+    candidates_total: int = 0
+    candidates_checked: int = 0       # oracle consultations
+    candidates_pruned: int = 0        # skipped via unsound dominance
+    measured: int = 0                 # simulator cost measurements
+    explorations: int = 0             # distinct oracle explorations
+    descent_steps: int = 0            # local-minimality moves taken
+
+    @property
+    def fence_count(self) -> int:
+        return sum(1 for mode in self.assignment if mode != "none")
+
+    @property
+    def mode_mix(self) -> dict[str, int]:
+        """Non-none fence count per mode, in lattice order."""
+        return {
+            mode: n
+            for mode in MODES
+            if mode != "none"
+            and (n := sum(1 for m in self.assignment if m == mode))
+        }
+
+    def placement(self) -> dict[str, str]:
+        """Site label -> mode, the stable golden/report shape."""
+        return {
+            site.label: mode
+            for site, mode in zip(self.sites, self.assignment)
+        }
+
+
+class _Oracles:
+    """Memoised two-oracle allowed-set computation for one test."""
+
+    def __init__(self, stripped: LitmusTest, sites: list[FenceSite]) -> None:
+        self.stripped = stripped
+        self.sites = sites
+        self.explorations = 0
+        self._memo: dict[tuple[str, ...], set[tuple]] = {}
+        self.registers: list[str] = []
+
+    def allowed(self, assignment: tuple[str, ...]) -> set[tuple]:
+        """The agreed allowed set of one placement (both oracles)."""
+        sig = abstract_signature(assignment)
+        cached = self._memo.get(sig)
+        if cached is not None:
+            return cached
+        variant = apply_placement(self.stripped, self.sites, assignment)
+        threads = abstract_threads(variant)
+        init = dict(variant.init)
+        exploration = explore_allowed_outcomes(threads, init)
+        reference = reference_allowed_outcomes(threads, init)
+        if exploration.outcomes != reference:
+            raise SynthesisError(
+                f"{self.stripped.name}: oracle disagreement at placement "
+                f"{assignment}: explorer-only "
+                f"{sorted(exploration.outcomes - reference)}, reference-only "
+                f"{sorted(reference - exploration.outcomes)}"
+            )
+        self.explorations += 1
+        self.registers = exploration.registers
+        self._memo[sig] = exploration.outcomes
+        return exploration.outcomes
+
+
+def synthesize(
+    test: LitmusTest,
+    modes: tuple[str, ...] = MODES,
+    offsets: list[int] | None = None,
+    forbidden: set[tuple] | None = None,
+    max_measured: int = 128,
+    on_progress=None,
+) -> SynthesisResult:
+    """Synthesize the cheapest sound fence placement for ``test``.
+
+    ``test`` may carry fences -- they are stripped first; the spec
+    comes from its ``exists`` clause unless an explicit ``forbidden``
+    outcome set is given.  ``modes`` restricts the per-site lattice
+    (it must include ``none`` and at least one global-scope mode).
+    ``on_progress`` (when given) is invoked after every simulator
+    measurement -- campaign jobs feed their heartbeat through it.
+    """
+    offsets = list(PROBE_OFFSETS if offsets is None else offsets)
+    for mode in modes:
+        if mode not in MODES:
+            raise KeyError(f"unknown fence mode {mode!r} (have {MODES})")
+    if "none" not in modes:
+        raise SynthesisError("the mode lattice must include 'none'")
+    strongest = [m for m in ("full", "sfence-class") if m in modes]
+    if not strongest:
+        raise SynthesisError(
+            "the mode lattice must include a global-scope mode")
+
+    stripped = strip_test(test)
+    sites = fence_sites(stripped)
+    oracles = _Oracles(stripped, sites)
+    none_assign = ("none",) * len(sites)
+    allowed_none = oracles.allowed(none_assign)
+    registers = oracles.registers
+
+    if forbidden is None:
+        bad = set(outcomes_matching(test.condition, registers, allowed_none))
+    else:
+        bad = set(forbidden) & allowed_none
+
+    def measure(assignment: tuple[str, ...]) -> int:
+        variant = apply_placement(stripped, sites, assignment)
+        cycles = placement_cycles(variant, offsets)
+        if on_progress is not None:
+            on_progress()
+        return cycles
+
+    baseline_cycles = measure(none_assign)
+    result = SynthesisResult(
+        name=stripped.name, sites=sites, registers=registers,
+        modes=tuple(modes), offsets=offsets, assignment=none_assign,
+        forbidden=sorted(bad, key=str), baseline_cycles=baseline_cycles,
+        cycles=baseline_cycles, stall_cycles=0, all_full_stall=0,
+        estimates={},
+    )
+    if not bad:
+        # nothing to forbid (CoWR-style coherence specs, or a fuzz
+        # program whose fences never constrained anything): the empty
+        # placement is sound and free
+        result.candidates_total = 1
+        result.explorations = oracles.explorations
+        return result
+
+    def admits(assignment: tuple[str, ...]) -> list[tuple]:
+        """Bad outcomes this placement still allows (both oracles agree)."""
+        allowed = oracles.allowed(assignment)
+        if test.condition is not None and forbidden is None:
+            # the shared exists-clause path, so counterexample tuples
+            # match litmus mismatch messages exactly
+            return [o for o in outcomes_matching(
+                test.condition, registers, allowed) if o in bad]
+        return sorted(allowed & bad, key=str)
+
+    # the strongest corner is the search's soundness + cost upper bound
+    full_assign = (strongest[0],) * len(sites)
+    full_bad = admits(full_assign)
+    if full_bad:
+        raise SynthesisError(
+            f"{stripped.name}: even the all-{strongest[0]} placement admits "
+            f"bad outcome(s) {[tuple(o) for o in full_bad]} -- the site "
+            f"lattice cannot enforce the spec"
+        )
+    result.estimates = site_estimates(
+        stripped, sites, offsets, baseline_cycles, modes=tuple(modes),
+        on_probe=on_progress,
+    )
+    best_assign = full_assign
+    best_cycles = measure(full_assign)
+    measured = len(sites) * (len(modes) - 1) + 2  # probes + baseline + full
+
+    def estimate(assignment: tuple[str, ...]) -> int:
+        return sum(result.estimates[(i, m)]
+                   for i, m in enumerate(assignment))
+
+    mode_rank = {mode: MODES.index(mode) for mode in modes}
+    candidates = sorted(
+        product(modes, repeat=len(sites)),
+        key=lambda a: (estimate(a), tuple(mode_rank[m] for m in a)),
+    )
+    result.candidates_total = len(candidates)
+
+    unsound_sigs: list[tuple[str, ...]] = []
+    for assignment in candidates:
+        if assignment == full_assign:
+            continue
+        if estimate(assignment) >= best_cycles - baseline_cycles:
+            break  # estimates only grow from here; the bound is tight
+        sig = abstract_signature(assignment)
+        if any(dominated_by(sig, bad_sig) for bad_sig in unsound_sigs):
+            result.candidates_pruned += 1
+            continue
+        result.candidates_checked += 1
+        bad_here = admits(assignment)
+        if bad_here:
+            unsound_sigs = [s for s in unsound_sigs
+                            if not dominated_by(s, sig)] + [sig]
+            if len(result.counterexamples) < COUNTEREXAMPLE_CAP:
+                result.counterexamples.append({
+                    "placement": {
+                        site.label: mode
+                        for site, mode in zip(sites, assignment)
+                        if mode != "none"
+                    },
+                    "admits": [list(o) for o in bad_here[:4]],
+                })
+            continue
+        cycles = measure(assignment)
+        measured += 1
+        if cycles < best_cycles:
+            best_assign, best_cycles = assignment, cycles
+        if measured >= max_measured:
+            break
+
+    # local descent: weaken one site one step while it stays sound and
+    # measures strictly cheaper -- the committed minimality property
+    improved = True
+    while improved:
+        improved = False
+        for _, neighbor in weakened_neighbors(best_assign):
+            if any(m not in modes for m in neighbor):
+                continue
+            if admits(neighbor):
+                continue
+            cycles = measure(neighbor)
+            measured += 1
+            if cycles < best_cycles:
+                best_assign, best_cycles = neighbor, cycles
+                result.descent_steps += 1
+                improved = True
+                break
+
+    result.assignment = best_assign
+    result.cycles = best_cycles
+    result.stall_cycles = best_cycles - baseline_cycles
+    result.all_full_stall = measure(full_assign) - baseline_cycles
+    result.measured = measured
+    result.explorations = oracles.explorations
+    return result

@@ -1,0 +1,167 @@
+"""The placement x mode lattice: insertion sites and candidate variants.
+
+A *site* is a canonical fence-insertion point: immediately after one
+memory operation of one thread, provided a later memory operation in
+the same thread exists for the fence to order against.  These are the
+points :func:`repro.verify.modes.apply_fence_mode` already writes its
+all-sites variants at (a fence after a thread's final memory op orders
+nothing and is dropped there too), so the synthesizer's ``all-full``
+corner of the lattice is the verify matrix's ``full`` mode.
+
+A *placement* assigns each site one of four modes:
+
+* ``none``         -- no fence at this site;
+* ``sfence-set``   -- ``fence.set``: orders only set-scope-flagged
+  accesses (the FSB/mapping-table hardware path);
+* ``sfence-class`` -- ``fence.class``: the ScopeTracker path, which in
+  a litmus program (no method scopes) takes the conservative global
+  interpretation;
+* ``full``         -- the traditional fence.
+
+Abstractly (for the two oracles) ``sfence-class`` and ``full`` are the
+same global-scope fence, and ``sfence-set`` scopes only the flagged
+variables; the *strength* order ``none < sfence-set <= sfence-class =
+full`` is what makes unsound-dominance pruning valid: strengthening a
+site never grows the allowed-outcome set.  Concretely the three fence
+modes drive three different hardware mechanisms with different
+measured stall costs, which is the whole point of searching the
+lattice instead of counting fences.
+
+Flag handling: a test that declares ``flag`` variables keeps them; a
+test with no flags gets every shared variable flagged (the
+:mod:`repro.verify.modes` ``sfence-set`` convention).  The effective
+flag set is applied to *every* variant -- baseline included -- so
+measured costs across the lattice differ only in the fences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..litmus.dsl import LitmusTest, litmus_variables, stmt_kind
+
+#: the per-site mode lattice, weakest first (report + tie-break order)
+MODES = ("none", "sfence-set", "sfence-class", "full")
+
+#: DSL statement inserted for each non-``none`` mode
+MODE_STMT = {
+    "full": "fence",
+    "sfence-class": "fence.class",
+    "sfence-set": "fence.set",
+}
+
+#: abstract scope each mode presents to the oracles
+ABSTRACT_SCOPE = {
+    "none": "none",
+    "sfence-set": "set",
+    "sfence-class": "global",
+    "full": "global",
+}
+
+#: numeric abstract strength per mode (dominance pruning compares these)
+STRENGTH = {"none": 0, "set": 1, "global": 2}
+
+#: one-step weakenings, the minimality fuzzer's neighbourhood
+WEAKEN_STEP = {"full": "sfence-class", "sfence-class": "sfence-set",
+               "sfence-set": "none"}
+
+
+@dataclass(frozen=True)
+class FenceSite:
+    """One canonical insertion point in a (fence-stripped) test."""
+
+    thread: int      # thread index
+    stmt_index: int  # index of the memory-op statement in that thread
+    label: str       # e.g. ``"T0:x = 1"`` -- stable report/golden key
+
+
+def effective_flags(test: LitmusTest) -> set[str]:
+    """The flag set every lattice variant of ``test`` runs under."""
+    return set(test.flagged) or litmus_variables(test)
+
+
+def strip_test(test: LitmusTest) -> LitmusTest:
+    """``test`` with every fence removed and effective flags applied."""
+    threads = [
+        [stmt for stmt in stmts if stmt_kind(stmt) != "fence"]
+        for stmts in test.threads
+    ]
+    return LitmusTest(test.name, threads, dict(test.init),
+                      effective_flags(test), test.condition)
+
+
+def fence_sites(stripped: LitmusTest) -> list[FenceSite]:
+    """Every canonical insertion site of a fence-stripped test.
+
+    Sites appear in (thread, program-order) order; a fence after the
+    final memory operation of a thread is not a site (nothing left in
+    that thread for it to order, so it can never change the allowed
+    set -- only waste cycles).
+    """
+    sites: list[FenceSite] = []
+    for t, stmts in enumerate(stripped.threads):
+        mem_indices = [
+            i for i, stmt in enumerate(stmts)
+            if stmt_kind(stmt) in ("store", "load")
+        ]
+        for i in mem_indices[:-1]:
+            sites.append(FenceSite(t, i, f"T{t}:{stmts[i]}"))
+    return sites
+
+
+def apply_placement(
+    stripped: LitmusTest,
+    sites: list[FenceSite],
+    assignment: tuple[str, ...],
+) -> LitmusTest:
+    """The concrete variant of ``stripped`` under one mode assignment."""
+    if len(sites) != len(assignment):
+        raise ValueError(
+            f"assignment has {len(assignment)} modes for {len(sites)} sites")
+    insert: dict[tuple[int, int], str] = {}
+    for site, mode in zip(sites, assignment):
+        if mode == "none":
+            continue
+        if mode not in MODE_STMT:
+            raise KeyError(f"unknown fence mode {mode!r} (have {MODES})")
+        insert[(site.thread, site.stmt_index)] = MODE_STMT[mode]
+    threads: list[list[str]] = []
+    for t, stmts in enumerate(stripped.threads):
+        rewritten: list[str] = []
+        for i, stmt in enumerate(stmts):
+            rewritten.append(stmt)
+            fence = insert.get((t, i))
+            if fence is not None:
+                rewritten.append(fence)
+        threads.append(rewritten)
+    return LitmusTest(stripped.name, threads, dict(stripped.init),
+                      set(stripped.flagged), stripped.condition)
+
+
+def abstract_signature(assignment: tuple[str, ...]) -> tuple[str, ...]:
+    """The oracle-visible shape of an assignment (class and full merge)."""
+    return tuple(ABSTRACT_SCOPE[mode] for mode in assignment)
+
+
+def dominated_by(sig_a: tuple[str, ...], sig_b: tuple[str, ...]) -> bool:
+    """Is abstract signature ``a`` no stronger than ``b`` at every site?
+
+    If so and ``b`` is unsound, ``a`` is unsound too: weakening a site
+    only grows the allowed-outcome set, so every bad outcome ``b``
+    admits survives in ``a``.
+    """
+    return all(STRENGTH[a] <= STRENGTH[b] for a, b in zip(sig_a, sig_b))
+
+
+def weakened_neighbors(assignment: tuple[str, ...]):
+    """Every one-step-weakened neighbour, in deterministic site order.
+
+    Yields ``(site_index, neighbour_assignment)`` pairs.  This is the
+    neighbourhood the local-descent phase and the minimality fuzzer
+    both walk: one site, one step down its weakening chain
+    ``full -> sfence-class -> sfence-set -> none``.
+    """
+    for i, mode in enumerate(assignment):
+        weaker = WEAKEN_STEP.get(mode)
+        if weaker is not None:
+            yield i, assignment[:i] + (weaker,) + assignment[i + 1:]

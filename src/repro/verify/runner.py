@@ -36,7 +36,12 @@ import random
 
 from ..analysis.report import format_table
 from ..core.semantics import reference_allowed_outcomes
-from ..litmus.dsl import abstract_threads, parse_litmus, run_litmus
+from ..litmus.dsl import (
+    abstract_threads,
+    outcomes_matching,
+    parse_litmus,
+    run_litmus,
+)
 from ..sim.config import MemoryModel
 from .explorer import explore_allowed_outcomes
 from .modes import FENCE_MODES, apply_fence_mode
@@ -102,7 +107,6 @@ def verify_case(params: dict) -> dict:
     dense = params["engine"] == "dense"
     smoke = bool(params.get("smoke", False))
     observed: set[tuple] = set()
-    condition_hits: set[tuple] = set()
     registers: list[str] = exploration.registers
     for seed in range(params.get("seeds", DEFAULT_SEEDS)):
         run = run_litmus(
@@ -111,8 +115,11 @@ def verify_case(params: dict) -> dict:
             dense_loop=dense,
         )
         observed |= run.outcomes
-        condition_hits |= set(run.matching_outcomes())
         registers = run.register_names
+    # one shared code path names the condition-matching tuples (the
+    # same one litmus mismatch messages and synthesis counterexample
+    # logs use), applied once to the union instead of per sweep seed
+    condition_hits = outcomes_matching(variant.condition, registers, observed)
 
     violations = sorted(observed - allowed)
     unreached = sorted(allowed - observed)

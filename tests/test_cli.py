@@ -339,3 +339,30 @@ def test_campaign_chaos_infra_divergence_fails(monkeypatch, capsys):
         lambda seed, parallel, smoke, progress: _fake_differential_report(False))
     assert main(["campaign", "--chaos-infra", "3"]) == 1
     assert "fingerprints diverged" in capsys.readouterr().err
+
+
+def test_synth_command_smoke(tmp_path, capsys):
+    out_path = tmp_path / "synth-report.json"
+    assert main(["synth", "--smoke", "--no-cache",
+                 "--synth-tests", "SB,barnes-publish",
+                 "--synth-out", str(out_path)]) == 0
+    captured = capsys.readouterr()
+    assert "hand-written vs synthesized placements" in captured.out
+    assert "proven sound by both oracles" in captured.err
+    report = json.loads(out_path.read_text())
+    assert report["ok"] is True
+    assert sorted(report["cases"]) == ["SB", "barnes-publish"]
+    barnes = report["cases"]["barnes-publish"]
+    # the headline: scoped fences beat the hand-written bracketing
+    assert barnes["stall_savings"] > 0
+    assert barnes["synthesized"]["mode_mix"] == {"sfence-set": 2}
+
+
+def test_synth_rejects_unknown_test(capsys):
+    assert main(["synth", "--synth-tests", "nope", "--no-cache"]) == 2
+    assert "unknown synth test" in capsys.readouterr().err
+
+
+def test_synth_rejects_unknown_mode(capsys):
+    assert main(["synth", "--synth-modes", "mega", "--no-cache"]) == 2
+    assert "unknown fence mode" in capsys.readouterr().err

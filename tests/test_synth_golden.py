@@ -1,0 +1,104 @@
+"""Golden synthesized placements for the classic litmus tests.
+
+Pins the exact site -> mode mapping synthesis produces for SB, MP, WRC
+and IRIW on the default probe grid.  A change in the search, the cost
+model or the oracles that moves any placement fails with a readable
+unified diff of the golden-vs-actual JSON, not a bare assert.
+
+The goldens encode the paper's story: SB and IRIW flag every variable,
+so scoping buys nothing and full fences win the tie only by being
+cheaper to drive; MP's synthesized set fences match full-fence cost
+with weaker hardware; WRC drops the traditional third fence on the
+lone-store thread entirely (it orders nothing).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+
+import pytest
+
+from repro.litmus.dsl import parse_litmus
+from repro.synth import synthesize
+from repro.synth.corpus import synth_entry
+
+GOLDEN_PLACEMENTS = {
+    "SB": {
+        "T0:x = 1": "full",
+        "T1:y = 1": "full",
+    },
+    "MP": {
+        "T0:x = 1": "sfence-set",
+        "T1:rw = y": "none",
+        "T1:r0 = y": "sfence-set",
+    },
+    "WRC": {
+        "T1:r0 = x": "full",
+        "T2:r1 = y": "full",
+    },
+    "IRIW": {
+        "T2:r0 = x": "full",
+        "T3:r2 = y": "full",
+    },
+}
+
+#: forbidden outcomes each synthesis must derive from its exists clause
+GOLDEN_FORBIDDEN = {
+    "SB": [[0, 0]],
+    # registers (r0, r1, rw): the poll register is free in the spec
+    "MP": [[1, 0, 0], [1, 0, 1]],
+    "WRC": [[1, 1, 0]],      # registers (r0, r1, r2)
+    "IRIW": [[1, 0, 1, 0]],  # registers (r0, r1, r2, r3)
+}
+
+
+def _diff(name: str, golden: dict, actual: dict) -> str:
+    golden_text = json.dumps(golden, indent=2, sort_keys=True)
+    actual_text = json.dumps(actual, indent=2, sort_keys=True)
+    diff = "\n".join(difflib.unified_diff(
+        golden_text.splitlines(), actual_text.splitlines(),
+        fromfile=f"golden/{name}", tofile=f"synthesized/{name}", lineterm="",
+    ))
+    return (f"synthesized placement for {name} moved off its golden:\n"
+            f"{diff}\n"
+            f"(if the new placement is an intentional improvement, update "
+            f"GOLDEN_PLACEMENTS and regenerate synth-report.json)")
+
+
+def _synthesize(name: str):
+    return synthesize(parse_litmus(synth_entry(name).source))
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PLACEMENTS))
+def test_golden_placement(name):
+    result = _synthesize(name)
+    actual = result.placement()
+    golden = GOLDEN_PLACEMENTS[name]
+    assert actual == golden, _diff(name, golden, actual)
+    assert [list(o) for o in result.forbidden] == GOLDEN_FORBIDDEN[name]
+    # the cost invariant behind every golden: never beyond all-full
+    assert result.stall_cycles <= result.all_full_stall
+
+
+def test_wrc_drops_the_paid_for_nothing_fence():
+    """The hand version fences all three threads; synthesis fences two."""
+    result = _synthesize("WRC")
+    assert result.fence_count == 2
+    hand_fence_count = 3
+    assert result.fence_count < hand_fence_count
+
+
+def test_mp_uses_scoped_fences():
+    result = _synthesize("MP")
+    assert result.mode_mix == {"sfence-set": 2}
+
+
+def test_diff_rendering_is_readable():
+    """The failure message is a real unified diff, not repr soup."""
+    message = _diff("SB", GOLDEN_PLACEMENTS["SB"],
+                    {"T0:x = 1": "none", "T1:y = 1": "full"})
+    assert '-  "T0:x = 1": "full"' in message
+    assert '+  "T0:x = 1": "none"' in message
+    assert "golden/SB" in message and "synthesized/SB" in message
+    assert "update" in message  # tells the reader how to re-pin

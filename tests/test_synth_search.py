@@ -1,0 +1,251 @@
+"""Unit tests for the fence-synthesis lattice and search core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.semantics import reference_allowed_outcomes
+from repro.litmus.dsl import abstract_threads, outcomes_matching, parse_litmus
+from repro.synth import SynthesisError, synthesize
+from repro.synth.corpus import SYNTH_CORPUS, _check_shared_spec, synth_entry
+from repro.synth.cost import SMOKE_PROBE_OFFSETS
+from repro.synth.sites import (
+    MODES,
+    abstract_signature,
+    apply_placement,
+    dominated_by,
+    fence_sites,
+    strip_test,
+    weakened_neighbors,
+)
+from repro.verify.explorer import explore_allowed_outcomes
+
+SB = """
+name SB
+x = 1  | y = 1
+r0 = y | r1 = x
+exists r0 == 0 and r1 == 0
+"""
+
+
+def _synth(source: str, **kw):
+    kw.setdefault("offsets", SMOKE_PROBE_OFFSETS)
+    return synthesize(parse_litmus(source), **kw)
+
+
+# ------------------------------------------------------------------- lattice
+def test_strip_removes_fences_and_flags_everything():
+    test = parse_litmus("""
+        name t
+        x = 1     | y = 1
+        fence.set | fence
+        r0 = y    | r1 = x
+    """)
+    stripped = strip_test(test)
+    assert all("fence" not in s for stmts in stripped.threads for s in stmts)
+    assert stripped.flagged == {"x", "y"}
+
+
+def test_strip_keeps_declared_flags():
+    test = parse_litmus("""
+        name t
+        flag x
+        x = 1  | y = 1
+        r0 = y | r1 = x
+    """)
+    assert strip_test(test).flagged == {"x"}
+
+
+def test_fence_sites_skip_trailing_positions():
+    stripped = strip_test(parse_litmus(SB))
+    sites = fence_sites(stripped)
+    # one site per thread: after the store, before the load; never
+    # after a thread's final memory op
+    assert [s.label for s in sites] == ["T0:x = 1", "T1:y = 1"]
+
+
+def test_delay_is_not_a_site():
+    stripped = strip_test(parse_litmus("""
+        name t
+        x = 1 | rw = y
+        y = 1 | delay
+              | r0 = x
+    """))
+    labels = [s.label for s in fence_sites(stripped)]
+    assert labels == ["T0:x = 1", "T1:rw = y"]
+
+
+def test_apply_placement_inserts_mode_statements():
+    stripped = strip_test(parse_litmus(SB))
+    sites = fence_sites(stripped)
+    variant = apply_placement(stripped, sites, ("sfence-set", "full"))
+    assert variant.threads[0] == ["x = 1", "fence.set", "r0 = y"]
+    assert variant.threads[1] == ["y = 1", "fence", "r1 = x"]
+    none = apply_placement(stripped, sites, ("none", "none"))
+    assert none.threads == stripped.threads
+
+
+def test_apply_placement_validates():
+    stripped = strip_test(parse_litmus(SB))
+    sites = fence_sites(stripped)
+    with pytest.raises(ValueError):
+        apply_placement(stripped, sites, ("full",))
+    with pytest.raises(KeyError):
+        apply_placement(stripped, sites, ("full", "mega"))
+
+
+def test_dominance_is_pointwise_strength():
+    full = abstract_signature(("full", "full"))
+    klass = abstract_signature(("sfence-class", "full"))
+    mixed = abstract_signature(("sfence-set", "full"))
+    assert klass == full  # class and full merge abstractly
+    assert dominated_by(mixed, full)
+    assert not dominated_by(full, mixed)
+    assert dominated_by(abstract_signature(("none", "sfence-set")), mixed)
+
+
+def test_weakened_neighbors_walk_the_chain():
+    neighbors = dict(weakened_neighbors(("full", "sfence-set")))
+    assert neighbors == {
+        0: ("sfence-class", "sfence-set"),
+        1: ("full", "none"),
+    }
+    assert list(weakened_neighbors(("none", "none"))) == []
+
+
+# -------------------------------------------------------------------- search
+def test_synthesized_sb_placement_is_sound_per_both_oracles():
+    result = _synth(SB)
+    assert result.forbidden == [(0, 0)]
+    variant = apply_placement(
+        strip_test(parse_litmus(SB)), result.sites, result.assignment)
+    threads = abstract_threads(variant)
+    init = dict(variant.init)
+    explored = explore_allowed_outcomes(threads, init).outcomes
+    reference = reference_allowed_outcomes(threads, init)
+    assert (0, 0) not in explored
+    assert (0, 0) not in reference
+    assert explored == reference
+    assert result.stall_cycles <= result.all_full_stall
+    assert result.fence_count == 2  # one fence per thread is necessary
+
+
+def test_counterexamples_name_the_admitted_outcomes():
+    result = _synth(SB)
+    assert result.counterexamples, "the scan must reject weaker candidates"
+    for ce in result.counterexamples:
+        assert [0, 0] in ce["admits"]
+        # placement keys are the human-readable site labels
+        assert all(label.startswith("T") for label in ce["placement"])
+
+
+def test_counterexamples_share_the_matching_outcomes_code_path():
+    """Counterexample tuples are outcomes_matching output, verbatim."""
+    test = parse_litmus(SB)
+    result = _synth(SB)
+    stripped = strip_test(test)
+    for ce in result.counterexamples[:2]:
+        assignment = tuple(
+            ce["placement"].get(site.label, "none") for site in result.sites)
+        variant = apply_placement(stripped, result.sites, assignment)
+        allowed = explore_allowed_outcomes(
+            abstract_threads(variant), dict(variant.init)).outcomes
+        expected = outcomes_matching(
+            test.condition, result.registers, allowed)
+        assert ce["admits"] == [list(o) for o in expected[:4]]
+
+
+def test_unsound_dominance_prunes_without_oracles():
+    result = _synth(SB)
+    assert result.candidates_pruned > 0
+    assert (result.candidates_checked + result.candidates_pruned
+            < result.candidates_total)
+
+
+def test_trivial_spec_synthesizes_the_empty_placement():
+    result = _synth("""
+        name free
+        x = 1  | y = 1
+        r0 = y | r1 = x
+        exists r0 == 5 and r1 == 5
+    """)
+    assert result.fence_count == 0
+    assert result.stall_cycles == 0
+    assert result.forbidden == []
+
+
+def test_explicit_forbidden_set_overrides_the_exists_clause():
+    # forbid the SB relaxation directly, no exists needed
+    source = SB.replace("exists r0 == 0 and r1 == 0", "")
+    result = _synth(source, forbidden={(0, 0)})
+    assert result.forbidden == [(0, 0)]
+    assert result.fence_count == 2
+    # a forbidden outcome the fence-free program can't produce is vacuous
+    vacuous = _synth(source, forbidden={(7, 7)})
+    assert vacuous.fence_count == 0
+
+
+def test_restricted_lattice_still_synthesizes():
+    result = _synth(SB, modes=("none", "full"))
+    assert set(result.assignment) <= {"none", "full"}
+    assert result.fence_count == 2
+
+
+def test_lattice_validation():
+    with pytest.raises(KeyError):
+        _synth(SB, modes=("none", "mega"))
+    with pytest.raises(SynthesisError):
+        _synth(SB, modes=("full",))  # no 'none'
+    with pytest.raises(SynthesisError):
+        _synth(SB, modes=("none", "sfence-set"))  # no global-scope mode
+
+
+def test_unenforceable_spec_raises():
+    # (1, 1) is SC-reachable: no fence placement can forbid it
+    with pytest.raises(SynthesisError, match="cannot enforce"):
+        _synth("""
+            name hopeless
+            x = 1  | y = 1
+            r0 = y | r1 = x
+            exists r0 == 1 and r1 == 1
+        """)
+
+
+def test_local_minimality_of_synthesized_placements():
+    """No one-step-weakened neighbour is both sound and strictly cheaper."""
+    from repro.synth.cost import placement_cycles
+
+    for name in ("SB", "barnes-publish"):
+        entry = synth_entry(name)
+        result = _synth(entry.source)
+        stripped = strip_test(parse_litmus(entry.source))
+        bad = set(result.forbidden)
+        for _, neighbor in weakened_neighbors(result.assignment):
+            variant = apply_placement(stripped, result.sites, neighbor)
+            allowed = explore_allowed_outcomes(
+                abstract_threads(variant), dict(variant.init)).outcomes
+            if allowed & bad:
+                continue  # unsound neighbour: may cost anything
+            cycles = placement_cycles(variant, result.offsets)
+            assert cycles >= result.cycles, (
+                f"{name}: sound neighbour {neighbor} measures {cycles} < "
+                f"chosen {result.assignment} at {result.cycles}")
+
+
+# -------------------------------------------------------------------- corpus
+def test_corpus_pairs_share_one_spec():
+    _check_shared_spec()
+
+
+def test_corpus_names_are_unique_and_resolvable():
+    names = [e.name for e in SYNTH_CORPUS]
+    assert len(names) == len(set(names))
+    assert synth_entry("SB").name == "SB"
+    with pytest.raises(KeyError):
+        synth_entry("nope")
+
+
+def test_corpus_covers_classics_and_app_kernels():
+    names = {e.name for e in SYNTH_CORPUS}
+    assert {"SB", "MP", "WRC", "IRIW"} <= names
+    assert {"barnes-publish", "ptc-handoff"} <= names
