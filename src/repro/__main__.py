@@ -43,7 +43,13 @@ Commands:
   mode mix, simulated stall cycles; see :mod:`repro.synth`); writes
   ``synth-report.json`` and exits non-zero if any hand-written
   placement is unsound or any synthesized placement costs more stall
-  than the hand-written one.
+  than the hand-written one.  ``synth --apps`` runs the whole-program
+  path instead: fence slots and the reduced mode lattice derived from
+  delay-set analysis of the real ``apps/``/``algorithms/`` workloads,
+  proven by distilled kernels (DPOR + axiomatic) or the chaos-campaign
+  oracle, policed by an anti-vacuity mutation battery; writes
+  ``app-synth-report.json`` and exits non-zero naming the
+  counterexample run when an oracle rejects a placement.
 
 Every simulation-grid command accepts ``--parallel N`` to fan cells out
 over N crash-isolated worker processes (default ``auto``: one per CPU,
@@ -366,6 +372,42 @@ def cmd_verify(ns) -> int:
 
 
 # ----------------------------------------------------------------------- synth
+def cmd_synth_apps(ns) -> int:
+    """Whole-program synthesis over the apps/algorithms corpus."""
+    from .campaign import app_synth_jobs
+    from .synth.report import (
+        assemble_app_synth_report,
+        format_app_synth_failures,
+        format_app_synth_report,
+        write_app_synth_report,
+    )
+
+    names = ns.synth_tests.split(",") if ns.synth_tests else None
+    seeds = list(range(ns.app_runs)) if ns.app_runs else None
+    try:
+        jobs = app_synth_jobs(names=names, seeds=seeds, smoke=ns.smoke)
+    except KeyError as exc:
+        print(f"synth: {exc.args[0]}", file=sys.stderr)
+        return 2
+    result = _run_jobs(jobs, ns, "app-synth")
+    report = assemble_app_synth_report(result.outcomes, smoke=ns.smoke)
+    print(format_app_synth_report(report))
+    for line in format_app_synth_failures(report):
+        print(line, file=sys.stderr)
+    write_app_synth_report(report, ns.app_synth_out)
+    print(f"report written to {ns.app_synth_out}", file=sys.stderr)
+    if report["ok"]:
+        t = report["totals"]
+        print(f"synth --apps: {len(report['cases'])} app placement(s) proven "
+              f"sound by their designated oracles; {t['synth_fences']} "
+              f"synthesized fences vs {t['hand_fences']} hand-written; "
+              f"mutation battery {t['killed']}/{t['mutants']}",
+              file=sys.stderr)
+        return 0
+    print("synth --apps: FAIL -- see report for details", file=sys.stderr)
+    return 1
+
+
 def cmd_synth(ns) -> int:
     """Synthesize fence placements and compare against hand-written."""
     from .campaign import synth_jobs
@@ -376,6 +418,8 @@ def cmd_synth(ns) -> int:
         write_synth_report,
     )
 
+    if ns.synth_apps:
+        return cmd_synth_apps(ns)
     names = ns.synth_tests.split(",") if ns.synth_tests else None
     modes = ns.synth_modes.split(",") if ns.synth_modes else None
     try:
@@ -708,6 +752,19 @@ def main(argv: list[str] | None = None) -> int:
     synth_group.add_argument("--synth-modes", default="",
                              help="synth: comma-separated mode lattice subset "
                                   "(none,sfence-set,sfence-class,full)")
+    synth_group.add_argument("--apps", dest="synth_apps", action="store_true",
+                             help="synth: whole-program synthesis over the "
+                                  "apps/algorithms corpus instead of the "
+                                  "litmus corpus (use --synth-tests to pick "
+                                  "apps: chase-lev,harris-list,barnes,ptc,"
+                                  "radiosity)")
+    synth_group.add_argument("--app-synth-out", default="app-synth-report.json",
+                             metavar="FILE",
+                             help="synth --apps: report path "
+                                  "[app-synth-report.json]")
+    synth_group.add_argument("--app-runs", type=int, default=0, metavar="N",
+                             help="synth --apps: chaos-oracle seeds per "
+                                  "scenario (0 = the corpus default)")
 
     perf_group = parser.add_argument_group("perf options")
     perf_group.add_argument("--perf-out", "-o", default="BENCH_simperf.json",

@@ -22,6 +22,7 @@ positive ints, ``EMPTY``/``ABORT`` are negative sentinels.
 from __future__ import annotations
 
 from ..isa.instructions import FenceKind, WAIT_STORES
+from ..runtime.harness import FencePlan
 from ..runtime.lang import Env, ScopedStructure, scoped_method
 
 EMPTY = -1
@@ -38,6 +39,7 @@ class WorkStealingDeque(ScopedStructure):
         capacity: int = 1024,
         scope: FenceKind = FenceKind.CLASS,
         use_fences: bool = True,
+        fence_plan: FencePlan | None = None,
     ) -> None:
         super().__init__(env, name, scope)
         if capacity < 1:
@@ -47,12 +49,13 @@ class WorkStealingDeque(ScopedStructure):
         self.tail = self.svar("TAIL")
         self.arr = self.sarray("wsq", capacity)
         self.use_fences = use_fences
+        self.plan = fence_plan if fence_plan is not None else (
+            FencePlan.hand() if use_fences else FencePlan.none())
         self.init_opstats()
 
-    def _fence(self, waits: int, speculable: bool = True):
-        """The algorithm's fence, droppable for bug-demonstration tests."""
-        if self.use_fences:
-            yield self.fence(waits, speculable=speculable)
+    def _fence(self, slot: str, waits: int, speculable: bool = True):
+        """The algorithm's fence at a named slot, per the active plan."""
+        return self.plan.fence(slot, self.scope, waits, speculable)
 
     @scoped_method
     def put(self, task: int):
@@ -60,7 +63,7 @@ class WorkStealingDeque(ScopedStructure):
         yield self.note_op()
         tail = yield self.tail.load()
         yield self.arr.store(tail % self.capacity, task)
-        yield from self._fence(WAIT_STORES)  # storestore
+        yield from self._fence("put.publish", WAIT_STORES)  # storestore
         yield self.tail.store(tail + 1)
 
     @scoped_method
@@ -72,7 +75,7 @@ class WorkStealingDeque(ScopedStructure):
         # storeload fence: the HEAD read below guards a non-CAS-protected
         # take (the tail > head fast path), so it may not be speculated
         # in this simulator (no load replay; see Fence.speculable)
-        yield from self._fence(WAIT_STORES, speculable=False)
+        yield from self._fence("take.reserve", WAIT_STORES, speculable=False)
         head = yield self.head.load()
         if tail < head:
             yield self.tail.store(head)

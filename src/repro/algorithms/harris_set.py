@@ -14,6 +14,7 @@ S-Fence candidates.
 from __future__ import annotations
 
 from ..isa.instructions import FenceKind, WAIT_LOADS, WAIT_STORES
+from ..runtime.harness import FencePlan
 from ..runtime.lang import Env, ScopedStructure, scoped_method
 
 NULL = 0
@@ -41,6 +42,7 @@ class HarrisSet(ScopedStructure):
         pool_size: int = 4096,
         scope: FenceKind = FenceKind.CLASS,
         use_fences: bool = True,
+        fence_plan: FencePlan | None = None,
     ) -> None:
         super().__init__(env, name, scope)
         if pool_size < 3:
@@ -49,6 +51,8 @@ class HarrisSet(ScopedStructure):
         self.key = self.sarray("key", pool_size)
         self.nxt = self.sarray("next", pool_size)
         self.use_fences = use_fences
+        self.plan = fence_plan if fence_plan is not None else (
+            FencePlan.hand() if use_fences else FencePlan.none())
         self.HEAD = 1
         self.TAIL = 2
         self._next_free = 3
@@ -63,9 +67,8 @@ class HarrisSet(ScopedStructure):
         self._next_free = n + 1
         return n
 
-    def _fence(self, waits: int):
-        if self.use_fences:
-            yield self.fence(waits)
+    def _fence(self, slot: str, waits: int):
+        return self.plan.fence(slot, self.scope, waits)
 
     @scoped_method
     def _search(self, search_key: int):
@@ -77,7 +80,7 @@ class HarrisSet(ScopedStructure):
             # order earlier (possibly in-flight) loads before starting a
             # fresh traversal from the head -- the published RMO fence
             # placement for list search (independent loads)
-            yield from self._fence(WAIT_LOADS)
+            yield from self._fence("search.restart", WAIT_LOADS)
             t = self.HEAD
             t_next = yield self.nxt.load(t)
             left = t
@@ -127,7 +130,7 @@ class HarrisSet(ScopedStructure):
                 if r_key == key:
                     return False
             yield self.nxt.store(node, _mk(right, 0))
-            yield from self._fence(WAIT_STORES)  # init before publication
+            yield from self._fence("insert.publish", WAIT_STORES)  # init before publication
             ok = yield self.nxt.cas(left, _mk(right, 0), _mk(node, 0))
             if ok:
                 return True

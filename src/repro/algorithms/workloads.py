@@ -47,10 +47,12 @@ def build_wsq_workload(
     n_threads: int = 8,
     use_fences: bool = True,
     emit_branches: bool = False,
+    fence_plan=None,
 ) -> WorkloadHandle:
     """Owner puts/takes, thieves steal (the paper's motivating pattern)."""
     deque = WorkStealingDeque(
-        env, capacity=2 * iterations + 4, scope=scope, use_fences=use_fences
+        env, capacity=2 * iterations + 4, scope=scope, use_fences=use_fences,
+        fence_plan=fence_plan,
     )
     done = env.var("wsq.done")
     puts: list[int] = []
@@ -178,6 +180,7 @@ def build_harris_workload(
     seed: int = 7,
     use_fences: bool = True,
     emit_branches: bool = False,
+    fence_plan=None,
 ) -> WorkloadHandle:
     """Random inserts/deletes/lookups over a small contended key space."""
     sset = HarrisSet(
@@ -185,6 +188,7 @@ def build_harris_workload(
         pool_size=n_threads * iterations + 8,
         scope=scope,
         use_fences=use_fences,
+        fence_plan=fence_plan,
     )
     # per-key counts of *successful* inserts and deletes (guest-reported)
     ins_ok: Counter = Counter()

@@ -28,9 +28,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..isa.instructions import Compute, Fence, FenceKind, WAIT_BOTH
+from ..isa.instructions import Compute, FenceKind, WAIT_BOTH
 from ..isa.program import Program
-from ..runtime.harness import FlaggedExchange, ScratchSpill
+from ..runtime.harness import FencePlan, FlaggedExchange, ScratchSpill
 from ..runtime.lang import Env, SharedArray
 from .quadtree import Quadtree, build_quadtree
 
@@ -75,6 +75,7 @@ def build_barnes(
     cold_spill_every: int = 1,
     compute_per_interaction: int = 4,
     exchange_every: int = 2,
+    fence_plan=None,
 ) -> BarnesInstance:
     """Construct the barnes force-step guest program.
 
@@ -126,15 +127,18 @@ def build_barnes(
         Program([], name="barnes"), tree, pos_x, pos_y, n_bodies
     )
 
-    def sc_fence():
-        return Fence(kind=scope, waits=WAIT_BOTH)
+    plan = fence_plan if fence_plan is not None else FencePlan.hand()
+
+    def sc_fence(slot: str):
+        return plan.fence(slot, scope, WAIT_BOTH)
 
     def thread(tid: int):
         spill = spills[tid]
         exchange = exchanges[tid]
         # SPLASH-2 style static partitioning: bodies tid, tid+P, ...
         for b in range(tid, n_bodies, n_threads):
-            yield sc_fence()  # delay-set boundary before conflicting reads
+            # delay-set boundary before conflicting reads
+            yield from sc_fence("gather")
             ax = ay = 0
             visited = 0
             stack = [tree.root]
@@ -171,10 +175,10 @@ def build_barnes(
             yield spill.store(ay & ((1 << 62) - 1))
             yield from exchange.emit(b + 1)  # conflicting ownership traffic
             # position update: conflicting accesses, SC-fence bracketed
-            yield sc_fence()
+            yield from sc_fence("publish")
             yield pos_x.store(b, bx + (ax >> 8) + 1)
             yield pos_y.store(b, by + (ay >> 8) + 1)
-            yield sc_fence()
+            yield from sc_fence("flush")
 
     instance.program = Program([thread] * n_threads, name="barnes")
     return instance

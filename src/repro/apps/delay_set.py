@@ -20,15 +20,43 @@ Two tools here:
   *critical cycle* of the conflict graph; exactly those pairs need a
   fence to restore SC.  Dekker's classic two delay pairs fall out of
   this directly.
+
+Whole-program extension (the apps-wide synthesis path): real programs
+here are Python generators, so their "program graph" is obtained by
+*concrete replay* -- :func:`record_program` drives the guest
+generators against functional memory (no simulator) and records every
+memory access and fence into a :class:`ProgramSkeleton`.  The
+skeleton's conflict graph (:func:`skeleton_graph`) uses *transitive*
+program edges, so critical cycles between non-adjacent accesses are
+found; :func:`critical_cycles` enumerates them with a bounded
+block-DFS (at most two adjacent accesses per thread, at most
+``max_threads`` threads -- the Shasha-Snir shape, enforced by
+construction), and :func:`skeleton_delay_pairs` /
+:func:`required_patterns` turn them into the insertion sites and the
+runtime-checkable ordering requirements the synthesizer and the chaos
+oracle consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 
 import networkx as nx
 
+from ..isa.instructions import (
+    Branch,
+    Cas,
+    Compute,
+    Fence,
+    FenceKind,
+    FsEnd,
+    FsStart,
+    Load,
+    Probe,
+    Store,
+    WAIT_STORES,
+)
 from ..sim.trace import TraceCollector
 
 
@@ -180,3 +208,408 @@ def fence_points(
     for (t, i), (_, _j) in delay_pairs(threads, max_cycle_len):
         points.setdefault(t, set()).add(i)
     return points
+
+
+# -------------------------------------------------------------- whole-program
+#: instruction fence kind -> synth mode lattice name
+FENCE_MODE = {
+    FenceKind.GLOBAL: "full",
+    FenceKind.CLASS: "sfence-class",
+    FenceKind.SET: "sfence-set",
+}
+
+
+def base_var(name: str) -> str:
+    """``"wsq.arr[3]"`` -> ``"wsq.arr"``: the allocation a name indexes."""
+    return name.split("[", 1)[0]
+
+
+@dataclass(frozen=True)
+class RecordedAccess:
+    """One memory access observed while replaying a guest generator."""
+
+    thread: int
+    index: int
+    var: str
+    addr: int
+    is_write: bool
+    flagged: bool
+    op: str  # "load" | "store" | "cas"
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.thread, self.index)
+
+    @property
+    def base(self) -> str:
+        return base_var(self.var)
+
+    @property
+    def kind(self) -> str:
+        return "w" if self.is_write else "r"
+
+
+@dataclass(frozen=True)
+class RecordedFence:
+    """One fence observed during replay.
+
+    ``after`` is the index of the access it follows in its thread (-1
+    when the fence leads the thread); ``name`` is the hand-written
+    placement's slot label when the guest names its fences.
+    """
+
+    thread: int
+    after: int
+    mode: str
+    waits: int
+    speculable: bool
+    name: str = ""
+
+    def covers(self, i: int, j: int) -> bool:
+        """True when the fence sits strictly between accesses i and j."""
+        return i <= self.after < j
+
+
+@dataclass
+class ProgramSkeleton:
+    """The recorded access/fence structure of one concrete execution."""
+
+    threads: list[list[RecordedAccess]]
+    fences: list[RecordedFence]
+    steps: int = 0
+
+    def thread_fences(self, thread: int) -> list[RecordedFence]:
+        return [f for f in self.fences if f.thread == thread]
+
+    def slots(self) -> dict[str, list[RecordedFence]]:
+        """Named fences grouped by slot label, in recording order."""
+        out: dict[str, list[RecordedFence]] = {}
+        for f in self.fences:
+            if f.name:
+                out.setdefault(f.name, []).append(f)
+        return out
+
+    def access(self, key: tuple[int, int]) -> RecordedAccess:
+        t, i = key
+        return self.threads[t][i]
+
+    def flagged_bases(self) -> frozenset[str]:
+        return frozenset(
+            a.base for ops in self.threads for a in ops if a.flagged
+        )
+
+
+def record_program(program, memory, schedule: str = "sequential",
+                   max_steps: int = 200_000) -> ProgramSkeleton:
+    """Concretely replay ``program`` against functional memory.
+
+    No simulator is involved: every op executes immediately and in
+    order, which yields one legal SC execution whose access sequence is
+    the program skeleton the delay-set analysis runs on.  ``schedule``
+    is ``"sequential"`` (run each thread to completion in turn -- fine
+    for programs whose threads terminate independently) or
+    ``"round-robin"`` (one op per live thread per turn -- required for
+    work-sharing programs such as ptc whose threads only terminate
+    once every thread's work is visible).
+    """
+    if schedule not in ("sequential", "round-robin"):
+        raise ValueError(f"unknown replay schedule {schedule!r}")
+    gens = program.spawn()
+    threads: list[list[RecordedAccess]] = [[] for _ in gens]
+    fences: list[RecordedFence] = []
+    steps = 0
+
+    def step(t: int, gen, send) -> tuple[bool, object]:
+        """Advance thread ``t`` one op; returns (alive, next send value)."""
+        nonlocal steps
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                f"record_program exceeded {max_steps} steps "
+                f"(schedule={schedule!r}); the program does not terminate "
+                f"under this replay schedule")
+        try:
+            op = gen.send(send)
+        except StopIteration:
+            return False, None
+        accesses = threads[t]
+        if isinstance(op, Load):
+            value = memory.read_global(op.addr)
+            accesses.append(RecordedAccess(
+                t, len(accesses), op.name or f"@{op.addr}", op.addr,
+                False, op.flagged, "load"))
+            return True, value
+        if isinstance(op, Store):
+            memory.write_global(op.addr, op.value)
+            accesses.append(RecordedAccess(
+                t, len(accesses), op.name or f"@{op.addr}", op.addr,
+                True, op.flagged, "store"))
+            return True, None
+        if isinstance(op, Cas):
+            current = memory.read_global(op.addr)
+            success = current == op.expected
+            if success:
+                memory.write_global(op.addr, op.new)
+            accesses.append(RecordedAccess(
+                t, len(accesses), op.name or f"@{op.addr}", op.addr,
+                True, op.flagged, "cas"))
+            return True, success
+        if isinstance(op, Fence):
+            fences.append(RecordedFence(
+                t, len(accesses) - 1, FENCE_MODE[op.kind], op.waits,
+                op.speculable, getattr(op, "name", "")))
+            return True, None
+        if isinstance(op, (FsStart, FsEnd, Compute, Branch, Probe)):
+            return True, None
+        raise TypeError(f"cannot replay op {op!r}")
+
+    if schedule == "sequential":
+        for t, gen in enumerate(gens):
+            alive, send = True, None
+            while alive:
+                alive, send = step(t, gen, send)
+    else:
+        live = {t: (gen, None) for t, gen in enumerate(gens)}
+        while live:
+            for t in list(live):
+                gen, send = live[t]
+                alive, send = step(t, gen, send)
+                if alive:
+                    live[t] = (gen, send)
+                else:
+                    del live[t]
+    return ProgramSkeleton(threads, fences, steps)
+
+
+def skeleton_graph(skel: ProgramSkeleton) -> nx.DiGraph:
+    """The Shasha-Snir graph of a recorded skeleton.
+
+    Unlike :func:`conflict_graph` (consecutive program edges only --
+    adequate for litmus programs whose critical cycles use adjacent
+    accesses), program edges here are *transitive*: real programs have
+    critical cycles between accesses many ops apart, and the bounded
+    cycle search below relies on one program edge reaching any later
+    access of the thread.
+    """
+    g = nx.DiGraph()
+    for ops in skel.threads:
+        for a in ops:
+            g.add_node(a.key, var=a.var, base=a.base, addr=a.addr,
+                       is_write=a.is_write, thread=a.thread,
+                       flagged=a.flagged)
+        for i, u in enumerate(ops):
+            for v in ops[i + 1:]:
+                g.add_edge(u.key, v.key, kind="program")
+    by_addr: dict[int, list[RecordedAccess]] = {}
+    for ops in skel.threads:
+        for a in ops:
+            by_addr.setdefault(a.addr, []).append(a)
+    for group in by_addr.values():
+        for a, b in combinations(group, 2):
+            if a.thread != b.thread and (a.is_write or b.is_write):
+                g.add_edge(a.key, b.key, kind="conflict")
+                g.add_edge(b.key, a.key, kind="conflict")
+    return g
+
+
+def critical_cycles(g: nx.DiGraph,
+                    max_threads: int = 3) -> list[list[tuple[int, int]]]:
+    """Enumerate the critical cycles of a skeleton graph.
+
+    A critical cycle visits at most two accesses per thread, adjacent
+    on the cycle, through at most ``max_threads`` distinct threads.
+    The search walks thread *blocks* (enter a thread over a conflict
+    edge, optionally take one transitive program step, leave over a
+    conflict edge), so the Shasha-Snir shape holds by construction and
+    the exponential :func:`networkx.simple_cycles` sweep is avoided.
+    Each cycle is discovered exactly once, anchored at its minimal
+    block-entry node.
+    """
+    conf: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for u, v, d in g.edges(data=True):
+        if d["kind"] == "conflict":
+            conf.setdefault(u, []).append(v)
+    sources: dict[int, list[tuple[int, int]]] = {}
+    for u in conf:
+        sources.setdefault(g.nodes[u]["thread"], []).append(u)
+    for lst in sources.values():
+        lst.sort()
+    seen: set[tuple[tuple[int, int], ...]] = set()
+    cycles: list[list[tuple[int, int]]] = []
+
+    def block_exits(entry):
+        """Ways to leave ``entry``'s thread: at entry, or one step on."""
+        out = []
+        if entry in conf:
+            out.append((entry, [entry]))
+        for x in sources.get(g.nodes[entry]["thread"], ()):
+            if x > entry:
+                out.append((x, [entry, x]))
+        return out
+
+    def visit(path, threads_used, start):
+        entry = path[-1]
+        for exit_node, block in block_exits(entry):
+            full = path[:-1] + block
+            for v in conf.get(exit_node, ()):
+                if v == start:
+                    if len(threads_used) >= 2:
+                        key = tuple(full)
+                        if key not in seen:
+                            seen.add(key)
+                            cycles.append(list(full))
+                    continue
+                if v < start:
+                    continue
+                tv = g.nodes[v]["thread"]
+                if tv in threads_used or len(threads_used) >= max_threads:
+                    continue
+                visit(full + [v], threads_used | {tv}, start)
+
+    starts = sorted({v for targets in conf.values() for v in targets})
+    for s in starts:
+        visit([s], {g.nodes[s]["thread"]}, s)
+    return cycles
+
+
+def skeleton_delay_pairs(
+    g: nx.DiGraph,
+    cycles: list[list[tuple[int, int]]],
+) -> set[tuple[tuple[int, int], tuple[int, int]]]:
+    """Same-thread adjacent pairs over ``cycles``, earlier access first."""
+    pairs: set[tuple[tuple[int, int], tuple[int, int]]] = set()
+    for cycle in cycles:
+        n = len(cycle)
+        for pos, node in enumerate(cycle):
+            nxt = cycle[(pos + 1) % n]
+            if node[0] == nxt[0] and node != nxt:
+                u, v = (node, nxt) if node[1] < nxt[1] else (nxt, node)
+                pairs.add((u, v))
+    return pairs
+
+
+def cycle_components(
+    cycles: list[list[tuple[int, int]]],
+) -> list[list[list[tuple[int, int]]]]:
+    """Group cycles that share at least one access (union-find)."""
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for cycle in cycles:
+        for node in cycle:
+            parent.setdefault(node, node)
+        for node in cycle[1:]:
+            union(cycle[0], node)
+    groups: dict[tuple[int, int], list[list[tuple[int, int]]]] = {}
+    for cycle in cycles:
+        groups.setdefault(find(cycle[0]), []).append(cycle)
+    return [groups[root] for root in sorted(groups)]
+
+
+# ---------------------------------------------- runtime-checkable requirements
+def required_patterns(
+    skel: ProgramSkeleton,
+    pairs: set[tuple[tuple[int, int], tuple[int, int]]],
+) -> set[tuple[str, str, str, str]]:
+    """Base-level ``(base_a, 'w', base_b, kind_b)`` ordering requirements.
+
+    Only store-first pairs over *distinct* bases survive: those are the
+    requirements a store-buffer monitor can check at runtime (an older
+    store to ``base_a`` still buffered when an access to ``base_b``
+    becomes visible).  Load-first delay pairs are enforced by fences
+    too, but their violation is not observable from the drain stream.
+    """
+    patterns: set[tuple[str, str, str, str]] = set()
+    for u, v in pairs:
+        a, b = skel.access(u), skel.access(v)
+        if a.kind != "w" or a.base == b.base:
+            continue
+        patterns.add((a.base, "w", b.base, b.kind))
+    return patterns
+
+
+def _fence_adequate(fence: RecordedFence, mode: str, kind_b: str,
+                    a_flagged: bool, b_flagged: bool) -> bool:
+    """Does this fence, run at ``mode``, order a-(store) before b?
+
+    The scoped-fence semantics this mirrors: any fence drains older
+    stores it waits on, so (w, w) is ordered even by speculable
+    fences (store-past-fence / cas-past-fence invariants); (w, r)
+    additionally needs a non-speculable fence, since a speculative
+    fence does not block younger loads from completing early.  A
+    set-scope fence only orders flagged accesses.
+    """
+    if mode == "none":
+        return False
+    if not fence.waits & WAIT_STORES:
+        return False
+    if kind_b == "r" and fence.speculable:
+        return False
+    if mode == "sfence-set" and not (a_flagged and b_flagged):
+        return False
+    return True
+
+
+def enforced_patterns(
+    skel: ProgramSkeleton,
+    patterns: set[tuple[str, str, str, str]],
+    modes: dict[str, str] | None = None,
+) -> set[tuple[str, str, str, str]]:
+    """The subset of ``patterns`` every static occurrence of which is
+    separated by an adequate fence.
+
+    An occurrence of ``(base_a, 'w', base_b, kind_b)`` is any
+    same-thread pair ``i < j`` matching the bases and kinds; the
+    pattern holds only when *every* occurrence has a fence strictly
+    between whose mode/waits/speculability/scope orders the pair (see
+    :func:`_fence_adequate`).  ``modes`` overrides the mode of named
+    fences by slot label ("none" disables the slot), which is how a
+    synthesized placement is statically checked against the floor.
+    """
+    fences_by_thread: dict[int, list[RecordedFence]] = {}
+    for f in skel.fences:
+        fences_by_thread.setdefault(f.thread, []).append(f)
+
+    def fence_mode(f: RecordedFence) -> str:
+        if modes is not None and f.name and f.name in modes:
+            return modes[f.name]
+        return f.mode
+
+    held: set[tuple[str, str, str, str]] = set()
+    for pattern in patterns:
+        base_a, _, base_b, kind_b = pattern
+        ok = True
+        for t, ops in enumerate(skel.threads):
+            if not ok:
+                break
+            fences = fences_by_thread.get(t, [])
+            firsts = [a for a in ops if a.base == base_a and a.kind == "w"]
+            seconds = [b for b in ops
+                       if b.base == base_b and b.kind == kind_b]
+            for a in firsts:
+                for b in seconds:
+                    if b.index <= a.index:
+                        continue
+                    if not any(
+                        f.covers(a.index, b.index)
+                        and _fence_adequate(f, fence_mode(f), kind_b,
+                                            a.flagged, b.flagged)
+                        for f in fences
+                    ):
+                        ok = False
+                        break
+                if not ok:
+                    break
+        if ok:
+            held.add(pattern)
+    return held

@@ -69,6 +69,7 @@ def build_ptc(
     scope: FenceKind = FenceKind.CLASS,
     seed: int = 23,
     compute_per_successor: int = 60,
+    fence_plan=None,
 ) -> PtcInstance:
     """Construct the ptc guest program."""
     if n_vertices > 63:
@@ -99,7 +100,8 @@ def build_ptc(
     # 64*n is far beyond any realistic in-flight population
     ticket_space = 64 * graph.n * max(4, n_threads)
     deques = [
-        WorkStealingDeque(env, name=f"ptc.wsq{t}", capacity=64 * graph.n, scope=scope)
+        WorkStealingDeque(env, name=f"ptc.wsq{t}", capacity=64 * graph.n,
+                          scope=scope, fence_plan=fence_plan)
         for t in range(n_threads)
     ]
     # exactly-once consumption guard: every enqueued task instance gets a

@@ -21,9 +21,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..isa.instructions import Compute, Fence, FenceKind, WAIT_BOTH
+from ..isa.instructions import Compute, FenceKind, WAIT_BOTH
 from ..isa.program import Program
-from ..runtime.harness import FlaggedExchange, ScratchSpill
+from ..runtime.harness import FencePlan, FlaggedExchange, ScratchSpill
 from ..runtime.lang import Env, SharedArray
 
 FIX = 1 << 12
@@ -62,6 +62,7 @@ def build_radiosity(
     cold_spill_every: int = 3,
     compute_per_interaction: int = 40,
     exchange_every: int = 3,
+    fence_plan=None,
 ) -> RadiosityInstance:
     """Construct the radiosity guest program."""
     rng = random.Random(seed)
@@ -94,8 +95,10 @@ def build_radiosity(
         for t in range(n_threads)
     ]
 
-    def sc_fence():
-        return Fence(kind=scope, waits=WAIT_BOTH)
+    plan = fence_plan if fence_plan is not None else FencePlan.hand()
+
+    def sc_fence(slot: str):
+        return plan.fence(slot, scope, WAIT_BOTH)
 
     def thread(tid: int):
         spill = spills[tid]
@@ -107,7 +110,8 @@ def build_radiosity(
             for p in range(tid, n_patches, n_threads)
         ]
         for p in tasks:
-            yield sc_fence()  # delay-set boundary before conflicting reads
+            # delay-set boundary before conflicting reads
+            yield from sc_fence("gather")
             gathered = 0
             base = p * interactions_per_patch
             for k in range(interactions_per_patch):
@@ -120,10 +124,10 @@ def build_radiosity(
             yield spill.store(gathered)
             yield from exchange.emit(p + 1)  # conflicting shared traffic
             # publish the new radiosity (conflicting write, SC-bracketed)
-            yield sc_fence()
+            yield from sc_fence("publish")
             old = yield radiosity.load(p)
             yield radiosity.store(p, old + (gathered >> 4) + 1)
-            yield sc_fence()
+            yield from sc_fence("flush")
 
     return RadiosityInstance(
         Program([thread] * n_threads, name="radiosity"),

@@ -57,6 +57,7 @@ from .jobs import (
     execute_job,
     job_cost,
     litmus_jobs,
+    app_synth_jobs,
     probe_jobs,
     synth_jobs,
     verify_jobs,
@@ -89,6 +90,7 @@ __all__ = [
     "job_key",
     "litmus_jobs",
     "plan_chunks",
+    "app_synth_jobs",
     "probe_jobs",
     "result_checksum",
     "run_campaign",

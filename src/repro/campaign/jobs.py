@@ -28,6 +28,10 @@ Job kinds:
   x mode lattice for the cheapest placement both oracles prove sound,
   then compare against the hand-written placement
   (:mod:`repro.synth`).
+* ``app-synth`` -- whole-program synthesis for one ``apps/`` or
+  ``algorithms/`` workload: delay-set-derived slots, kernel or
+  chaos-campaign soundness oracle, anti-vacuity mutation battery
+  (:mod:`repro.synth.programs`).
 * ``selftest`` -- engine plumbing checks (crash/hang/error on demand;
   the ``*-once`` variants fault only until their marker file exists,
   which is how the retry tests stage a transient failure).
@@ -60,6 +64,8 @@ class Job:
             return f"verify:{p['name']}[{p['mode']}]@{p['engine']}"
         if self.kind == "synth":
             return f"synth:{p['name']}"
+        if self.kind == "app-synth":
+            return f"app-synth:{p['name']}"
         return self.kind
 
 
@@ -73,6 +79,7 @@ _KIND_COST = {
     "verify": 1.0,
     "litmus": 1.0,
     "synth": 8.0,  # lattice scan: many explorations + cost probes per job
+    "app-synth": 24.0,  # chaos batteries + moderate-scale cost sweeps
     "selftest": 0.1,
 }
 
@@ -243,6 +250,47 @@ def synth_jobs(
     ]
 
 
+def app_synth_jobs(
+    names: list[str] | None = None,
+    scenarios: list[str] | None = None,
+    seeds: list[int] | None = None,
+    base_budget: int = 600_000,
+    smoke: bool = False,
+) -> list[Job]:
+    """One whole-program synthesis job per app corpus entry.
+
+    The chaos-oracle battery (scenarios x seeds) is part of the job
+    parameters so a cached payload always names the exact rejection
+    sample it was judged by; ``smoke`` shrinks the battery to one cell
+    and skips the moderate-scale cost sweeps.
+    """
+    from ..chaos.runner import SCENARIOS
+    from ..synth.programs import (
+        CHAOS_SCENARIOS,
+        CHAOS_SEEDS,
+        app_entry,
+        app_names,
+    )
+
+    names = app_names() if names is None else list(names)
+    for name in names:
+        app_entry(name)  # raises KeyError on an unknown app
+    if scenarios is None:
+        scenarios = ["drain"] if smoke else list(CHAOS_SCENARIOS)
+    for name in scenarios:
+        if name not in SCENARIOS:
+            raise KeyError(f"unknown scenario {name!r} (have {sorted(SCENARIOS)})")
+    if seeds is None:
+        seeds = [0] if smoke else list(CHAOS_SEEDS)
+    return [
+        Job("app-synth", {
+            "name": name, "scenarios": list(scenarios), "seeds": list(seeds),
+            "base_budget": base_budget, "smoke": smoke,
+        })
+        for name in names
+    ]
+
+
 def probe_jobs(
     cases: list[tuple[str, str, int]],
     base_budget: int = 400_000,
@@ -316,6 +364,21 @@ def _run_synth_job(params: dict, heartbeat=None) -> dict:
     from ..synth.report import run_synth_case
 
     return run_synth_case(params, on_progress=heartbeat)
+
+
+def _run_app_synth_job(params: dict, heartbeat=None) -> dict:
+    from ..synth.programs import run_app_synth_case
+
+    scenarios = tuple(params.get("scenarios") or ("drain",))
+    seeds = tuple(params.get("seeds") or (0,))
+    return run_app_synth_case(
+        params["name"],
+        scenarios=scenarios,
+        seeds=seeds,
+        base_budget=params.get("base_budget", 600_000),
+        measure_costs=not params.get("smoke", False),
+        on_progress=heartbeat,
+    )
 
 
 def _run_probe_job(params: dict, heartbeat=None) -> dict:
@@ -402,6 +465,7 @@ def _run_selftest_job(params: dict, heartbeat=None) -> dict:
 
 
 _RUNNERS = {
+    "app-synth": _run_app_synth_job,
     "chaos": _run_chaos_job,
     "figure": _run_figure_job,
     "litmus": _run_litmus_job,

@@ -280,3 +280,220 @@ class OrderingChecker:
         # wrong-path bookkeeping (FSS') is authoritative across a squash
         st.scopes = list(scopes)
         st.overflow = overflow
+
+
+class _PairCoreState:
+    """Per-core in-flight tables for the delay-pair checker."""
+
+    __slots__ = ("outstanding", "loads", "cas_seqs")
+
+    def __init__(self) -> None:
+        self.outstanding: dict[int, str] = {}  # store seq -> base name
+        self.loads: dict[int, str] = {}        # load seq -> base name
+        self.cas_seqs: set[int] = set()
+
+
+class DelayPairChecker:
+    """Checks delay-set ordering requirements from the raw event stream.
+
+    The whole-program synthesizer derives, per app, the set of
+    base-level ordering *patterns* ``(base_a, 'w', base_b, kind_b)``
+    whose every static occurrence the hand-written fences separate
+    (:func:`repro.apps.delay_set.required_patterns` /
+    ``enforced_patterns``).  This monitor enforces them dynamically: a
+    violation is an older store to ``base_a`` still buffered (not yet
+    globally visible) at the moment an access to ``base_b`` of the
+    required kind becomes visible (store drain, CAS dispatch) or binds
+    its value (load completion).
+
+    Only store-first patterns are checkable this way, and ``(w, r)``
+    patterns are only derived from non-speculable fences (a speculative
+    fence does not block younger loads), so a fence-correct run never
+    trips this checker -- which is what makes it a soundness oracle for
+    synthesized placements under chaos schedules.
+
+    ``addr_base`` maps a word address to its allocation's base name;
+    build it from :meth:`repro.runtime.lang.Env.space` regions via
+    :func:`address_base_map`.
+    """
+
+    MAX_RECORDED = 200
+
+    def __init__(self, patterns, addr_base) -> None:
+        self.ww_required: dict[str, set[str]] = {}
+        self.wr_required: dict[str, set[str]] = {}
+        for base_a, kind_a, base_b, kind_b in patterns:
+            if kind_a != "w":
+                raise ValueError(
+                    f"only store-first patterns are runtime-checkable: "
+                    f"{(base_a, kind_a, base_b, kind_b)!r}")
+            table = self.ww_required if kind_b == "w" else self.wr_required
+            table.setdefault(base_b, set()).add(base_a)
+        self._first_bases = set()
+        for bases in self.ww_required.values():
+            self._first_bases |= bases
+        for bases in self.wr_required.values():
+            self._first_bases |= bases
+        self._addr_base = addr_base
+        self._cores: dict[int, _PairCoreState] = {}
+        self.violations: list[InvariantViolation] = []
+        #: distinct ``(base_a, 'w', base_b, kind_b)`` patterns seen
+        #: violated -- the whole-program synthesizer calibrates its
+        #: monitor spec by running the hand placement and discarding
+        #: whatever it trips (see ``repro.synth.programs``)
+        self.violated: set[tuple[str, str, str, str]] = set()
+        self.violation_count = 0
+        self.events_seen = 0
+        self.checks = 0
+
+    def _core(self, core: int) -> _PairCoreState:
+        st = self._cores.get(core)
+        if st is None:
+            st = self._cores[core] = _PairCoreState()
+        return st
+
+    def _flag(self, rule: str, core: int, cycle: int, detail: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.MAX_RECORDED:
+            self.violations.append(InvariantViolation(rule, core, cycle, detail))
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def assert_ok(self) -> None:
+        if self.ok:
+            return
+        shown = "\n".join(v.render() for v in self.violations[:20])
+        more = self.violation_count - min(self.violation_count, 20)
+        raise OrderingViolationError(
+            f"{self.violation_count} delay-pair violation(s)\n{shown}"
+            + (f"\n... and {more} more" if more else "")
+        )
+
+    def report(self) -> dict:
+        return {
+            "events": self.events_seen,
+            "checks": self.checks,
+            "violations": self.violation_count,
+        }
+
+    def _check_visible(self, st, core, cycle, seq, base_b, what) -> None:
+        required = self.ww_required.get(base_b)
+        if not required:
+            return
+        self.checks += 1
+        for s, base_a in st.outstanding.items():
+            if s < seq and base_a in required:
+                self.violated.add((base_a, "w", base_b, "w"))
+                self._flag(
+                    "delay-pair-ww", core, cycle,
+                    f"{what} of {base_b} (seq={seq}) became visible while "
+                    f"older store to {base_a} (seq={s}) is still buffered; "
+                    f"required order {base_a} -> {base_b}",
+                )
+
+    # ------------------------------------------------------- monitor protocol
+    def on_mem_dispatch(self, core, cycle, seq, op, addr, mask, flagged) -> None:
+        self.events_seen += 1
+        base = self._addr_base(addr)
+        if base is None:
+            return
+        st = self._core(core)
+        if op == "load":
+            if base in self.wr_required:
+                st.loads[seq] = base
+            return
+        if op == "cas":
+            # a CAS publishes at dispatch: it is a visibility event and
+            # never sits in the store buffer behind the checkable window
+            self._check_visible(st, core, cycle, seq, base, "cas")
+            st.cas_seqs.add(seq)
+            return
+        if base in self._first_bases or base in self.ww_required:
+            st.outstanding[seq] = base
+
+    def on_mem_complete(self, core, cycle, seq, is_load) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if is_load:
+            base_b = st.loads.pop(seq, None)
+            if base_b is None:
+                return
+            required = self.wr_required[base_b]
+            self.checks += 1
+            for s, base_a in st.outstanding.items():
+                if s < seq and base_a in required:
+                    self.violated.add((base_a, "w", base_b, "r"))
+                    self._flag(
+                        "delay-pair-wr", core, cycle,
+                        f"load of {base_b} (seq={seq}) completed while older "
+                        f"store to {base_a} (seq={s}) is still buffered; "
+                        f"required order {base_a} -> {base_b}",
+                    )
+            return
+        # completion without drain (e.g. a CAS): never became visible as
+        # a plain buffered store, just retire the bookkeeping
+        st.outstanding.pop(seq, None)
+        st.cas_seqs.discard(seq)
+
+    def on_store_drain(self, core, cycle, seq) -> None:
+        self.events_seen += 1
+        st = self._core(core)
+        if seq in st.cas_seqs:
+            st.cas_seqs.discard(seq)
+            return
+        base_b = st.outstanding.pop(seq, None)
+        if base_b is not None:
+            self._check_visible(st, core, cycle, seq, base_b, "store")
+
+    def on_fence_pass(self, core, cycle, kind, waits, scope, seq) -> None:
+        self.events_seen += 1
+
+    def on_fence_open(self, core, cycle, fid, kind, waits, scope, seq) -> None:
+        self.events_seen += 1
+
+    def on_fence_complete(self, core, cycle, fid) -> None:
+        self.events_seen += 1
+
+    def on_scope(self, core, cycle, action, cid, entry) -> None:
+        self.events_seen += 1
+
+    def on_squash(self, core, cycle, scopes, overflow) -> None:
+        self.events_seen += 1
+
+
+def address_base_map(space):
+    """An ``addr -> base name`` lookup over an allocator's regions.
+
+    Region names are exactly the base names the delay-set recorder
+    derives (``"wsq.TAIL"``, ``"wsq.wsq"``, ...), so the runtime checker
+    and the static analysis speak the same vocabulary.  Lookups memoise
+    per address over a sorted-region bisection.
+    """
+    import bisect
+
+    regions = sorted(
+        (base, base + length, name)
+        for name, (base, length) in space.regions().items()
+    )
+    starts = [r[0] for r in regions]
+    memo: dict[int, str | None] = {}
+
+    def lookup(addr: int) -> str | None:
+        hit = memo.get(addr, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        i = bisect.bisect_right(starts, addr) - 1
+        name = None
+        if i >= 0:
+            base, end, rname = regions[i]
+            if addr < end:
+                name = rname
+        memo[addr] = name
+        return name
+
+    return lookup
+
+
+_MISSING = object()

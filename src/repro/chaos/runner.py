@@ -35,7 +35,7 @@ from ..isa.instructions import FenceKind
 from ..runtime.lang import Env
 from ..sim.config import SimConfig
 from .faults import ChaosEngine, FaultPlan
-from .invariants import OrderingChecker
+from .invariants import DelayPairChecker, OrderingChecker, address_base_map
 from .supervisor import run_supervised
 
 
@@ -139,6 +139,11 @@ class ChaosReport:
     violations: int = 0
     injected: dict = field(default_factory=dict)
     detail: str = ""
+    #: distinct delay patterns the DelayPairChecker saw violated, as
+    #: JSON-pure [base_a, kind_a, base_b, kind_b] lists so cached and
+    #: live payloads compare equal (plan cases only; empty when no
+    #: patterns were monitored)
+    pair_violated: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -205,6 +210,95 @@ def run_chaos_case(
     if not checker.ok:
         report.status = "violations"
         report.detail = "\n".join(v.render() for v in checker.violations[:10])
+        return report
+    try:
+        state["handle"].check()
+    except AssertionError as exc:
+        report.status = "check-failed"
+        report.detail = str(exc)
+    return report
+
+
+def run_plan_case(
+    builder,
+    scenario: str,
+    seed: int,
+    patterns=None,
+    label: str = "app",
+    base_budget: int = 400_000,
+    escalations: int = 3,
+    on_attempt=None,
+    dense_loop: bool = False,
+) -> ChaosReport:
+    """Run an arbitrary guest builder under one chaos scenario.
+
+    The generalized :func:`run_chaos_case`: instead of a named
+    ``ALGORITHMS`` preset, ``builder(env, emit_branches)`` constructs
+    the workload handle -- which is how the whole-program synthesizer
+    drives the real apps with swapped-in
+    :class:`~repro.runtime.harness.FencePlan` placements.  When
+    ``patterns`` (delay-set ordering requirements) are given, a
+    :class:`~repro.chaos.invariants.DelayPairChecker` shadows every
+    core alongside the ordering checker; the case is judged by the
+    supervisor, both checkers, and the handle's own ``check()``.
+    """
+    scen = SCENARIOS[scenario]
+    state: dict = {}
+
+    def build():
+        cfg = SimConfig(
+            n_cores=4, retire_log_len=16, dense_loop=dense_loop, **scen.config
+        )
+        env = Env(cfg)
+        handle = builder(env, scen.emit_branches)
+        sim = env.simulator(handle.program)
+        engine = ChaosEngine(scen.plan.with_(seed=seed)).install(sim)
+        checker = OrderingChecker(cfg)
+        pair_checker = None
+        monitor = checker
+        if patterns:
+            pair_checker = DelayPairChecker(patterns, address_base_map(env.space))
+            from ..sim.trace import MonitorFanout
+
+            monitor = MonitorFanout(checker, pair_checker)
+        for core in sim.cores:
+            core.monitor = monitor
+        state.update(handle=handle, engine=engine, checker=checker,
+                     pair_checker=pair_checker)
+        return sim
+
+    outcome = run_supervised(
+        build, base_budget=base_budget, escalations=escalations,
+        raise_on_failure=False, on_attempt=on_attempt,
+    )
+    checker: OrderingChecker = state["checker"]
+    pair_checker = state["pair_checker"]
+    pair_violations = pair_checker.violation_count if pair_checker else 0
+    report = ChaosReport(
+        algo=label,
+        scenario=scenario,
+        seed=seed,
+        scope="plan",
+        status="ok",
+        attempts=len(outcome.attempts),
+        events=checker.events_seen,
+        fences_checked=checker.fences_checked,
+        violations=checker.violation_count + pair_violations,
+        injected=state["engine"].summary(),
+    )
+    if pair_checker is not None:
+        report.pair_violated = sorted(list(p) for p in pair_checker.violated)
+    if outcome.failure is not None:
+        report.status = outcome.failure.kind.value
+        report.detail = str(outcome.failure)
+        return report
+    report.cycles = outcome.result.cycles
+    if not checker.ok or (pair_checker is not None and not pair_checker.ok):
+        report.status = "violations"
+        lines = [v.render() for v in checker.violations[:5]]
+        if pair_checker is not None:
+            lines += [v.render() for v in pair_checker.violations[:5]]
+        report.detail = "\n".join(lines)
         return report
     try:
         state["handle"].check()

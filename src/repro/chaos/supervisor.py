@@ -18,6 +18,10 @@ Failure classification:
   zero forward progress, so no budget will finish the run.
 * **budget** -- the escalation ladder ran out while the run was still
   retiring instructions; likely just slow, rerun with a bigger base.
+* **guest-crash** -- the guest program itself raised (e.g. a stolen
+  garbage value indexing a table after a fence-broken publish).
+  Deterministic; for the synthesizer's mutation battery this is prime
+  kill evidence, not a harness fault.
 
 Every classified failure carries the last run's
 :class:`~repro.sim.diagnostics.SimDiagnostic` plus the per-attempt
@@ -37,6 +41,7 @@ class FailureKind(enum.Enum):
     DEADLOCK = "deadlock"
     LIVELOCK = "livelock"
     BUDGET = "budget"
+    GUEST = "guest-crash"
 
 
 @dataclass(frozen=True)
@@ -151,6 +156,14 @@ def run_supervised(
                 break
             prev_instructions = insns
             budget *= factor
+        except Exception as exc:  # guest code raised mid-run
+            record(Attempt(budget, "guest-crash", -1, -1))
+            outcome.failure = ChaosFailure(
+                FailureKind.GUEST,
+                f"guest program raised {type(exc).__name__}: {exc}",
+                attempts=tuple(attempts),
+            )
+            break
         else:
             record(Attempt(
                 budget, "ok", result.cycles,

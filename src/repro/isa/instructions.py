@@ -106,6 +106,10 @@ class Fence(Op):
     kind: FenceKind = FenceKind.GLOBAL
     waits: int = WAIT_BOTH
     speculable: bool = True
+    #: optional insertion-slot label ("put.publish", ...) used by the
+    #: whole-program synthesizer to identify hand-written placements;
+    #: ignored by the simulator.
+    name: str = ""
 
 
 @dataclass(slots=True)

@@ -26,7 +26,7 @@ shrinks (exactly the paper's explanation of Figure 12).
 
 from __future__ import annotations
 
-from ..isa.instructions import Branch, Compute
+from ..isa.instructions import Branch, Compute, Fence, FenceKind, WAIT_BOTH
 from .lang import Env, SharedArray
 
 
@@ -50,6 +50,64 @@ def supervised_run(build_sim, base_budget: int = 200_000, escalations: int = 3,
     return run_supervised(build_sim, base_budget=base_budget,
                           escalations=escalations, factor=factor,
                           raise_on_failure=raise_on_failure)
+
+#: synth mode lattice name -> instruction fence kind
+MODE_KIND = {
+    "full": FenceKind.GLOBAL,
+    "sfence-class": FenceKind.CLASS,
+    "sfence-set": FenceKind.SET,
+}
+
+
+class FencePlan:
+    """A per-slot fence-mode assignment for a guest program.
+
+    The lock-free algorithms and apps name each hand-written fence
+    *slot* ("put.publish", "gather", ...).  A plan maps slot names to
+    synth lattice modes (``none``/``sfence-set``/``sfence-class``/
+    ``full``); slots absent from the map fall back to ``default`` --
+    ``"hand"`` keeps the structure's own scope choice, ``"none"``
+    elides the fence (the old ``use_fences=False``).  This is how the
+    whole-program synthesizer swaps placements into the real guests
+    without touching their code.
+    """
+
+    def __init__(self, modes: dict[str, str] | None = None,
+                 default: str = "hand"):
+        self.modes = dict(modes or {})
+        self.default = default
+
+    @classmethod
+    def hand(cls) -> "FencePlan":
+        """Every slot keeps its hand-written mode."""
+        return cls({}, default="hand")
+
+    @classmethod
+    def none(cls) -> "FencePlan":
+        """Every slot elided: the unfenced baseline."""
+        return cls({}, default="none")
+
+    def mode(self, slot: str, hand_kind: FenceKind) -> FenceKind | None:
+        mode = self.modes.get(slot, self.default)
+        if mode == "hand":
+            return hand_kind
+        if mode == "none":
+            return None
+        return MODE_KIND[mode]
+
+    def fence(self, slot: str, hand_kind: FenceKind,
+              waits: int = WAIT_BOTH, speculable: bool = True):
+        """The ops for one slot: ``()`` or a single named fence.
+
+        Call sites splice it with ``yield from``, so an elided slot
+        costs nothing and emits nothing.
+        """
+        kind = self.mode(slot, hand_kind)
+        if kind is None:
+            return ()
+        return (Fence(kind=kind, waits=waits, speculable=speculable,
+                      name=slot),)
+
 
 #: distinct synthetic branch pcs handed out to PrivateWork instances
 _next_branch_pc = [0x100]

@@ -31,32 +31,59 @@ program with its hand-written placement; :mod:`~repro.synth.report`
 runs the comparison as campaign ``synth`` jobs and emits
 ``synth-report.json`` plus the synthesized-vs-hand-written table of
 ``python -m repro synth``.
+
+:mod:`~repro.synth.programs` scales the same recipe to whole programs:
+insertion sites and the reduced mode lattice come from the delay-set
+analysis of a concrete recording of each ``apps/``/``algorithms/``
+workload, distillable cycle signatures are proven by the DPOR +
+axiomatic kernel oracles, and full-scale apps are policed by the
+chaos-campaign oracle (seeded fault schedules + the delay-pair runtime
+checker, with rejection-sampling confidence calibrated against the
+mutation battery); ``python -m repro synth --apps`` emits
+``app-synth-report.json``.
 """
 
 from .corpus import SYNTH_CORPUS, synth_entry
+from .programs import APP_CORPUS, app_entry, app_names, run_app_synth_case
 from .report import (
+    APP_REPORT_PATH,
+    REPORT_PATH,
+    assemble_app_synth_report,
     assemble_synth_report,
+    format_app_synth_failures,
+    format_app_synth_report,
     format_synth_failures,
     format_synth_report,
     run_synth_case,
+    write_app_synth_report,
     write_synth_report,
 )
 from .search import SynthesisError, SynthesisResult, synthesize
 from .sites import MODES, FenceSite, apply_placement, fence_sites
 
 __all__ = [
+    "APP_CORPUS",
+    "APP_REPORT_PATH",
     "MODES",
+    "REPORT_PATH",
     "FenceSite",
     "SYNTH_CORPUS",
     "SynthesisError",
     "SynthesisResult",
+    "app_entry",
+    "app_names",
     "apply_placement",
+    "assemble_app_synth_report",
     "assemble_synth_report",
     "fence_sites",
+    "format_app_synth_failures",
+    "format_app_synth_report",
     "format_synth_failures",
     "format_synth_report",
+    "run_app_synth_case",
     "run_synth_case",
     "synth_entry",
     "synthesize",
+    "write_app_synth_report",
     "write_synth_report",
 ]

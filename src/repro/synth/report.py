@@ -293,3 +293,142 @@ def write_synth_report(report: dict, path: str = REPORT_PATH) -> None:
     with open(path, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+# ----------------------------------------------------- whole-program report
+APP_REPORT_PATH = "app-synth-report.json"
+
+
+def assemble_app_synth_report(outcomes, smoke: bool = False) -> dict:
+    """Fold campaign ``app-synth`` job outcomes into the apps report.
+
+    Deterministic for the same reason as :func:`assemble_synth_report`;
+    the report is ``ok`` iff every job ran, every placement was proven
+    sound by its designated oracle, no app synthesized more fences than
+    its hand-written placement, and the mutation battery killed every
+    seeded mutant.
+    """
+    cases: dict[str, dict] = {}
+    engine_failures = []
+    rejections = []
+    for outcome in outcomes:
+        p = outcome.job.params
+        if not outcome.ok:
+            engine_failures.append({
+                "name": p["name"], "status": outcome.status,
+                "error": outcome.error,
+            })
+            continue
+        r = outcome.result
+        cases[r["app"]] = r
+        if not r["ok"]:
+            rejections.append({
+                "name": r["app"],
+                "oracle": r["oracle"],
+                "sound": r["soundness"]["sound"],
+                "hand_failures": r["soundness"]["hand"]["failures"],
+                "synth_failures": r["soundness"]["synthesized"]["failures"],
+                "fences": r["fences"],
+                "survivors": sorted(
+                    key for key, m in r["mutation"]["battery"].items()
+                    if not m["killed"]),
+            })
+    totals = {
+        "hand_fences": sum(c["fences"]["hand"] for c in cases.values()),
+        "synth_fences": sum(
+            c["fences"]["synthesized"] for c in cases.values()),
+        "mutants": sum(c["mutation"]["mutants"] for c in cases.values()),
+        "killed": sum(c["mutation"]["killed"] for c in cases.values()),
+        "oracle_runs": sum(
+            c["soundness"]["hand"]["runs"]
+            + c["soundness"]["synthesized"]["runs"]
+            for c in cases.values()),
+    }
+    return {
+        "smoke": smoke,
+        "cases": cases,
+        "totals": totals,
+        "engine_failures": engine_failures,
+        "rejections": rejections,
+        "ok": not (engine_failures or rejections),
+    }
+
+
+def _stall_cell(cost: dict | None) -> str:
+    if cost is None:
+        return "-"
+    hand = cost["hand_stall"] if cost["hand_stall"] is not None else "?"
+    synth = cost["synth_stall"] if cost["synth_stall"] is not None else "?"
+    return f"{hand} -> {synth}"
+
+
+def format_app_synth_report(report: dict) -> str:
+    """One row per app: oracle, fences, modes, stall, battery, confidence."""
+    rows = []
+    for name, c in report["cases"].items():
+        synth_mix = _mode_mix(
+            [m for m in c["synthesized"].values() if m != "none"])
+        rows.append((
+            name,
+            c["oracle"],
+            f"{c['fences']['hand']} -> {c['fences']['synthesized']}",
+            _mix_cell(synth_mix),
+            _stall_cell(c["cost"]),
+            f"{c['mutation']['killed']}/{c['mutation']['mutants']}",
+            f"{c['soundness']['confidence']:.4f}",
+        ))
+    t = report["totals"]
+    rows.append((
+        "TOTAL", "",
+        f"{t['hand_fences']} -> {t['synth_fences']}", "", "",
+        f"{t['killed']}/{t['mutants']}", "",
+    ))
+    title = "whole-program fence synthesis -- apps and algorithms"
+    if report["smoke"]:
+        title += " (smoke)"
+    return format_table(
+        ["app", "oracle", "fences h->s", "synth modes", "stall h->s",
+         "mutants killed", "confidence"],
+        rows, title=title,
+    )
+
+
+def format_app_synth_failures(report: dict) -> list[str]:
+    """Gating failure lines, counterexamples named run by run."""
+    lines = []
+    for r in report["rejections"]:
+        for f in r["hand_failures"]:
+            lines.append(
+                f"HAND-WRITTEN REJECTED {r['name']}: chaos oracle "
+                f"counterexample scenario={f['scenario']} seed={f['seed']} "
+                f"status={f['status']}: {f['detail']}"
+            )
+        for f in r["synth_failures"]:
+            lines.append(
+                f"SYNTHESIS REJECTED {r['name']}: chaos oracle "
+                f"counterexample scenario={f['scenario']} seed={f['seed']} "
+                f"status={f['status']}: {f['detail']}"
+            )
+        if r["survivors"]:
+            lines.append(
+                f"MUTATION SURVIVORS {r['name']}: the battery failed to "
+                f"kill {', '.join(r['survivors'])} -- the oracle cannot "
+                f"see the fences it is policing"
+            )
+        if r["fences"]["synthesized"] > r["fences"]["hand"]:
+            lines.append(
+                f"FENCE REGRESSION {r['name']}: synthesized "
+                f"{r['fences']['synthesized']} fences vs hand-written "
+                f"{r['fences']['hand']}"
+            )
+    for f in report["engine_failures"]:
+        lines.append(
+            f"ENGINE FAILURE app-synth:{f['name']}: {f['status']}\n{f['error']}"
+        )
+    return lines
+
+
+def write_app_synth_report(report: dict, path: str = APP_REPORT_PATH) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -151,29 +151,34 @@ def synthesize(
     forbidden: set[tuple] | None = None,
     max_measured: int = 128,
     on_progress=None,
+    sites: list[FenceSite] | None = None,
 ) -> SynthesisResult:
     """Synthesize the cheapest sound fence placement for ``test``.
 
     ``test`` may carry fences -- they are stripped first; the spec
     comes from its ``exists`` clause unless an explicit ``forbidden``
     outcome set is given.  ``modes`` restricts the per-site lattice
-    (it must include ``none`` and at least one global-scope mode).
-    ``on_progress`` (when given) is invoked after every simulator
-    measurement -- campaign jobs feed their heartbeat through it.
+    (it must include at least one global-scope mode; a *reduced*
+    lattice without ``none`` -- the whole-program path, where every
+    kept slot must hold at least some fence -- searches strengths
+    only, while the unfenced program still serves as the cost
+    baseline).  ``sites`` restricts the insertion sites (default: the
+    canonical enumeration over ``test``); the whole-program path
+    passes delay-set-derived sites here.  ``on_progress`` (when given)
+    is invoked after every simulator measurement -- campaign jobs feed
+    their heartbeat through it.
     """
     offsets = list(PROBE_OFFSETS if offsets is None else offsets)
     for mode in modes:
         if mode not in MODES:
             raise KeyError(f"unknown fence mode {mode!r} (have {MODES})")
-    if "none" not in modes:
-        raise SynthesisError("the mode lattice must include 'none'")
     strongest = [m for m in ("full", "sfence-class") if m in modes]
     if not strongest:
         raise SynthesisError(
             "the mode lattice must include a global-scope mode")
 
     stripped = strip_test(test)
-    sites = fence_sites(stripped)
+    sites = fence_sites(stripped) if sites is None else list(sites)
     oracles = _Oracles(stripped, sites)
     none_assign = ("none",) * len(sites)
     allowed_none = oracles.allowed(none_assign)

@@ -366,3 +366,125 @@ def test_synth_rejects_unknown_test(capsys):
 def test_synth_rejects_unknown_mode(capsys):
     assert main(["synth", "--synth-modes", "mega", "--no-cache"]) == 2
     assert "unknown fence mode" in capsys.readouterr().err
+
+
+# ------------------------------------------------------------- synth --apps
+def _fake_app_payload(ok=True, hand_failures=(), mutation_survivor=False):
+    """A minimal but shape-complete run_app_synth_case payload."""
+    battery = {
+        "put.publish:delete": {
+            "kind": "delete", "slot": "put.publish",
+            "killed": not mutation_survivor, "runs": 2,
+            "kills": 0 if mutation_survivor else 2,
+            "evidence": [] if mutation_survivor else [
+                {"scenario": "drain", "seed": 0, "status": "violations",
+                 "detail": "[delay-pair-ww] reordered publish"}],
+        },
+    }
+    failures = list(hand_failures)
+    return {
+        "ok": ok, "app": "chase-lev", "oracle": "chaos",
+        "schedule": "sequential", "note": "",
+        "recording": {"accesses": 8, "fences": 2, "steps": 20},
+        "analysis": {"critical_cycles": 1, "delay_pairs": 1,
+                     "components": 1, "patterns": [], "hand_enforced": []},
+        "monitor": {"candidates": 0, "monitored": 0, "calibrated_out": []},
+        "slots": {}, "synthesized": {"put.publish": "sfence-set"},
+        "scope": "set", "kernels": None,
+        "fences": {"hand": 2, "synthesized": 1},
+        "soundness": {
+            "method": "chaos", "sound": not failures,
+            "hand": {"runs": 2, "failures": failures, "ok": not failures},
+            "synthesized": {"runs": 2, "failures": [], "ok": True},
+            "confidence": 0.0 if failures else 1.0,
+        },
+        "mutation": {"battery": battery, "mutants": 1,
+                     "killed": 0 if mutation_survivor else 1,
+                     "kill_rate": 0.0 if mutation_survivor else 1.0,
+                     "p_floor": 0.0 if mutation_survivor else 1.0},
+        "cost": None,
+    }
+
+
+def test_synth_apps_command_smoke(tmp_path, capsys):
+    out_path = tmp_path / "app-synth-report.json"
+    assert main(["synth", "--apps", "--smoke", "--no-cache", "--parallel", "0",
+                 "--synth-tests", "chase-lev",
+                 "--app-synth-out", str(out_path)]) == 0
+    captured = capsys.readouterr()
+    assert "whole-program fence synthesis" in captured.out
+    assert "(smoke)" in captured.out
+    assert "proven sound by their designated oracles" in captured.err
+    report = json.loads(out_path.read_text())
+    assert report["ok"] is True
+    assert report["smoke"] is True
+    assert sorted(report["cases"]) == ["chase-lev"]
+    case = report["cases"]["chase-lev"]
+    assert case["soundness"]["sound"] is True
+    assert all(m["killed"] for m in case["mutation"]["battery"].values())
+
+
+def test_synth_apps_rejects_unknown_app(capsys):
+    assert main(["synth", "--apps", "--synth-tests", "nope",
+                 "--no-cache"]) == 2
+    assert "unknown app synth target" in capsys.readouterr().err
+
+
+def test_synth_apps_hand_rejection_names_the_counterexample(
+        monkeypatch, tmp_path, capsys):
+    """A rejected hand placement exits non-zero and prints the exact
+    (scenario, seed) chaos counterexample that condemned it."""
+    import repro.synth.programs as programs_mod
+
+    payload = _fake_app_payload(ok=False, hand_failures=[
+        {"scenario": "drain", "seed": 1, "status": "violations",
+         "detail": "[delay-pair-ww] store became visible early"}])
+    monkeypatch.setattr(programs_mod, "run_app_synth_case",
+                        lambda name, **kw: payload)
+    out_path = tmp_path / "app-synth-report.json"
+    assert main(["synth", "--apps", "--no-cache", "--parallel", "0",
+                 "--synth-tests", "chase-lev",
+                 "--app-synth-out", str(out_path)]) == 1
+    err = capsys.readouterr().err
+    assert "HAND-WRITTEN REJECTED chase-lev" in err
+    assert "scenario=drain seed=1 status=violations" in err
+    assert "FAIL -- see report" in err
+    assert json.loads(out_path.read_text())["ok"] is False
+
+
+def test_synth_apps_mutation_survivor_fails_the_run(
+        monkeypatch, tmp_path, capsys):
+    """A battery survivor is an anti-vacuity failure: the oracle cannot
+    see the fences it polices, so the run must not pass."""
+    import repro.synth.programs as programs_mod
+
+    payload = _fake_app_payload(ok=False, mutation_survivor=True)
+    monkeypatch.setattr(programs_mod, "run_app_synth_case",
+                        lambda name, **kw: payload)
+    assert main(["synth", "--apps", "--no-cache", "--parallel", "0",
+                 "--synth-tests", "chase-lev",
+                 "--app-synth-out", str(tmp_path / "r.json")]) == 1
+    err = capsys.readouterr().err
+    assert "MUTATION SURVIVORS chase-lev" in err
+    assert "put.publish:delete" in err
+
+
+def test_synth_apps_oracle_disagreement_aborts(monkeypatch, tmp_path, capsys):
+    """An oracle disagreement (static floor accepts, chaos rejects) is
+    an engine failure, never a silently-dropped case."""
+    import repro.synth.programs as programs_mod
+    from repro.synth.search import SynthesisError
+
+    def boom(name, **kw):
+        raise SynthesisError(
+            f"{name}: oracle disagreement: the static delay-set floor "
+            f"accepts the synthesized placement but chaos run "
+            f"scenario=drain seed=0 reports violations")
+
+    monkeypatch.setattr(programs_mod, "run_app_synth_case", boom)
+    assert main(["synth", "--apps", "--no-cache", "--parallel", "0",
+                 "--retries", "0", "--synth-tests", "chase-lev",
+                 "--app-synth-out", str(tmp_path / "r.json")]) == 1
+    err = capsys.readouterr().err
+    assert "ENGINE FAILURE app-synth:chase-lev" in err
+    assert "oracle disagreement" in err

@@ -195,9 +195,17 @@ def test_lattice_validation():
     with pytest.raises(KeyError):
         _synth(SB, modes=("none", "mega"))
     with pytest.raises(SynthesisError):
-        _synth(SB, modes=("full",))  # no 'none'
-    with pytest.raises(SynthesisError):
         _synth(SB, modes=("none", "sfence-set"))  # no global-scope mode
+
+
+def test_reduced_lattice_without_none_searches_strengths_only():
+    """The whole-program path passes a lattice with no ``none``: every
+    site keeps at least some fence, and the search still lands on the
+    cheapest sound strength assignment."""
+    result = _synth(SB, modes=("full",))
+    assert set(result.assignment) == {"full"}
+    assert result.fence_count == len(result.assignment)
+    assert result.counterexamples == []
 
 
 def test_unenforceable_spec_raises():
