@@ -61,7 +61,13 @@ figure commands are thin wrappers over the same cell drivers the
 pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
 ``--dense-loop`` runs any command on the per-cycle reference engine
 instead of the event-driven scheduler — an escape hatch that changes
-wall-clock time and nothing else.
+wall-clock time and nothing else.  ``--mem-backend`` picks the
+coherence backend timing model (``mesi`` invalidation-based directory
+coherence, the default, or ``sisd`` self-invalidation/self-downgrade);
+``verify`` accepts a comma-separated list and fans the soundness matrix
+out over every named backend, and the dedicated ``figbackend`` figure
+sweeps the S-Fence / full-fence / SiSd three-way comparison and writes
+``backend-compare-report.json``.
 """
 
 from __future__ import annotations
@@ -107,6 +113,37 @@ def _resolve_parallel(ns) -> None:
     ns.parallel_explicit = ns.parallel is not None
     if ns.parallel is None or ns.parallel == "auto":
         ns.parallel = auto_parallel()
+
+
+def _parse_backends(ns) -> list[str] | None:
+    """The ``--mem-backend`` value as a validated list (None on error)."""
+    from .sim.config import MEM_BACKENDS
+
+    backends = [b.strip() for b in ns.mem_backend.split(",") if b.strip()]
+    if not backends:
+        backends = ["mesi"]
+    for backend in backends:
+        if backend not in MEM_BACKENDS:
+            print(f"{ns.command}: unknown memory backend {backend!r} "
+                  f"(have {MEM_BACKENDS})", file=sys.stderr)
+            return None
+    return backends
+
+
+def _single_backend(ns) -> str | None:
+    """One backend for single-sweep commands (None on error).
+
+    Only ``verify`` fans out over a backend list; everywhere else a
+    comma-separated ``--mem-backend`` is an error, not a silent pick.
+    """
+    backends = _parse_backends(ns)
+    if backends is None:
+        return None
+    if len(backends) > 1:
+        print(f"{ns.command}: --mem-backend takes a single backend here "
+              f"(only verify sweeps a comma-separated list)", file=sys.stderr)
+        return None
+    return backends[0]
 
 
 def _make_cache(ns):
@@ -171,9 +208,19 @@ def _run_jobs(jobs, ns, label: str):
 def cmd_figure(figure: str, ns) -> int:
     from .campaign import assemble_figure, figure_jobs
 
-    jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop)
+    backend = _single_backend(ns)
+    if backend is None:
+        return 2
+    jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop,
+                       mem_backend=backend)
     result = _run_jobs(jobs, ns, figure)
     print(assemble_figure(figure, jobs, result.results()))
+    if figure == "figbackend":
+        from .campaign import backend_compare_report, write_backend_compare_report
+
+        report = backend_compare_report(jobs, result.results())
+        write_backend_compare_report(report, ns.backend_out)
+        print(f"report written to {ns.backend_out}", file=sys.stderr)
     for outcome in result.failures:
         print(f"\nFAIL {outcome.job.label()}: {outcome.status}\n{outcome.error}",
               file=sys.stderr)
@@ -197,7 +244,8 @@ def cmd_hwcost(ns) -> int:
     return 0
 
 
-def cmd_litmus(path: str, model_name: str, dense_loop: bool = False) -> int:
+def cmd_litmus(path: str, model_name: str, dense_loop: bool = False,
+               mem_backend: str = "mesi") -> int:
     from .litmus.dsl import LitmusParseError, parse_litmus, run_litmus
 
     try:
@@ -210,7 +258,8 @@ def cmd_litmus(path: str, model_name: str, dense_loop: bool = False) -> int:
         # statement parsing is partly lazy (thread bodies are parsed as
         # the guest generators execute), so run under the same guard
         test = parse_litmus(source)
-        run = run_litmus(test, MemoryModel(model_name), dense_loop=dense_loop)
+        run = run_litmus(test, MemoryModel(model_name), dense_loop=dense_loop,
+                         mem_backend=mem_backend)
     except LitmusParseError as exc:
         print(f"litmus: {path}: {exc}", file=sys.stderr)
         return 2
@@ -309,6 +358,9 @@ def cmd_chaos(ns) -> int:
     algos = ns.algos.split(",") if ns.algos else None
     scenarios = ns.scenarios.split(",") if ns.scenarios else None
     n_seeds, truncated = _resolve_chaos_seeds(ns)
+    backend = _single_backend(ns)
+    if backend is None:
+        return 2
 
     try:
         if ns.parallel > 0:
@@ -317,7 +369,7 @@ def cmd_chaos(ns) -> int:
             jobs = chaos_jobs(
                 algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                 seed_base=ns.seed_base, base_budget=ns.budget,
-                dense_loop=ns.dense_loop,
+                dense_loop=ns.dense_loop, mem_backend=backend,
             )
             result = _run_jobs(jobs, ns, "chaos")
             reports = _chaos_reports_from_outcomes(result.outcomes)
@@ -325,7 +377,7 @@ def cmd_chaos(ns) -> int:
             reports = sweep(
                 algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                 seed_base=ns.seed_base, base_budget=ns.budget,
-                dense_loop=ns.dense_loop,
+                dense_loop=ns.dense_loop, mem_backend=backend,
             )
     except KeyError as exc:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
@@ -346,9 +398,13 @@ def cmd_verify(ns) -> int:
 
     modes = ns.verify_modes.split(",") if ns.verify_modes else None
     engines = ns.engines.split(",") if ns.engines else None
+    backends = _parse_backends(ns)
+    if backends is None:
+        return 2
     try:
         jobs = verify_jobs(modes=modes, engines=engines,
-                           seeds=ns.verify_seeds, smoke=ns.smoke)
+                           seeds=ns.verify_seeds, smoke=ns.smoke,
+                           backends=backends)
     except KeyError as exc:
         print(f"verify: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -382,6 +438,16 @@ def cmd_synth_apps(ns) -> int:
         write_app_synth_report,
     )
 
+    backend = _single_backend(ns)
+    if backend is None:
+        return 2
+    if backend != "mesi":
+        # the whole-program path is proven by chaos-oracle campaigns and
+        # distilled kernels whose golden artifacts are mesi-timed; a
+        # backend sweep there is future work, not a silent mesi run
+        print("synth --apps: the whole-program path supports only "
+              "--mem-backend mesi", file=sys.stderr)
+        return 2
     names = ns.synth_tests.split(",") if ns.synth_tests else None
     seeds = list(range(ns.app_runs)) if ns.app_runs else None
     try:
@@ -420,10 +486,14 @@ def cmd_synth(ns) -> int:
 
     if ns.synth_apps:
         return cmd_synth_apps(ns)
+    backend = _single_backend(ns)
+    if backend is None:
+        return 2
     names = ns.synth_tests.split(",") if ns.synth_tests else None
     modes = ns.synth_modes.split(",") if ns.synth_modes else None
     try:
-        jobs = synth_jobs(names=names, modes=modes, smoke=ns.smoke)
+        jobs = synth_jobs(names=names, modes=modes, smoke=ns.smoke,
+                          mem_backend=backend)
     except KeyError as exc:
         print(f"synth: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -498,11 +568,15 @@ def cmd_perf(ns) -> int:
     if ns.campaign:
         return cmd_perf_campaign(ns)
 
+    backend = _single_backend(ns)
+    if backend is None:
+        return 2
     workloads = ns.workloads.split(",") if ns.workloads else None
     try:
         report = run_perf(
             workloads=workloads, smoke=ns.smoke, min_speedup=ns.min_speedup,
             progress=lambda line: print(line, file=sys.stderr),
+            mem_backend=backend,
         )
     except KeyError as exc:
         print(f"perf: {exc.args[0]}", file=sys.stderr)
@@ -592,6 +666,9 @@ def cmd_campaign(ns) -> int:
         litmus_jobs,
     )
 
+    backend = _single_backend(ns)
+    if backend is None:
+        return 2
     run_chaos = ns.chaos or not (ns.figures or ns.litmus)
     figures = []
     if ns.figures:
@@ -610,7 +687,7 @@ def cmd_campaign(ns) -> int:
         try:
             jobs = chaos_jobs(algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                               seed_base=ns.seed_base, base_budget=ns.budget,
-                              dense_loop=ns.dense_loop)
+                              dense_loop=ns.dense_loop, mem_backend=backend)
         except KeyError as exc:
             print(f"campaign: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -619,14 +696,25 @@ def cmd_campaign(ns) -> int:
         status |= _print_chaos_summary(reports, n_seeds, ns.seed_base, truncated)
 
     for figure in figures:
-        jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop)
+        jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop,
+                           mem_backend=backend)
         result = _run_jobs(jobs, ns, f"campaign/{figure}")
         print(assemble_figure(figure, jobs, result.results()))
+        if figure == "figbackend" and result.ok:
+            from .campaign import (
+                backend_compare_report,
+                write_backend_compare_report,
+            )
+
+            report = backend_compare_report(jobs, result.results())
+            write_backend_compare_report(report, ns.backend_out)
+            print(f"report written to {ns.backend_out}", file=sys.stderr)
         if not result.ok:
             status |= 1
 
     if ns.litmus:
-        jobs = litmus_jobs(model=ns.model, dense_loop=ns.dense_loop)
+        jobs = litmus_jobs(model=ns.model, dense_loop=ns.dense_loop,
+                           mem_backend=backend)
         result = _run_jobs(jobs, ns, "campaign/litmus")
         rows = []
         mismatches = []
@@ -657,8 +745,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "hwcost",
-                 "litmus", "chaos", "campaign", "perf", "verify", "synth"],
+        choices=["fig12", "fig13", "fig14", "fig15", "fig16", "figbackend",
+                 "hwcost", "litmus", "chaos", "campaign", "perf", "verify",
+                 "synth"],
     )
     parser.add_argument("args", nargs="*", help="litmus: <file>")
     parser.add_argument("--scale", type=float, default=1.0, help="workload scale factor")
@@ -667,6 +756,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="run simulations on the per-cycle reference engine "
                              "instead of the event-driven fast path (identical "
                              "results, slower)")
+    parser.add_argument("--mem-backend", default="mesi",
+                        help="coherence backend timing model (mesi/sisd) "
+                             "[mesi]; verify accepts a comma-separated list "
+                             "and sweeps the matrix under each")
 
     engine_group = parser.add_argument_group("campaign engine options")
     engine_group.add_argument("--parallel", type=_parallel_arg, default=None,
@@ -723,7 +816,12 @@ def main(argv: list[str] | None = None) -> int:
                                      "when no set is selected)")
     campaign_group.add_argument("--figures", default="",
                                 help="campaign: comma-separated figures "
-                                     "(fig12..fig16) or 'all'")
+                                     "(fig12..fig16, figbackend) or 'all'")
+    campaign_group.add_argument("--backend-out",
+                                default="backend-compare-report.json",
+                                metavar="FILE",
+                                help="figbackend: three-way comparison report "
+                                     "path [backend-compare-report.json]")
     campaign_group.add_argument("--litmus", action="store_true",
                                 help="campaign: include the litmus corpus")
 
@@ -795,7 +893,11 @@ def main(argv: list[str] | None = None) -> int:
     if ns.command == "litmus":
         if not ns.args:
             parser.error("litmus requires a file argument")
-        return cmd_litmus(ns.args[0], ns.model, dense_loop=ns.dense_loop)
+        backend = _single_backend(ns)
+        if backend is None:
+            return 2
+        return cmd_litmus(ns.args[0], ns.model, dense_loop=ns.dense_loop,
+                          mem_backend=backend)
     if ns.command == "chaos":
         return cmd_chaos(ns)
     if ns.command == "campaign":

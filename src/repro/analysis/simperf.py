@@ -49,12 +49,12 @@ class Workload:
     name: str
     description: str
 
-    def run(self, dense_loop: bool, smoke: bool):  # pragma: no cover - dispatch
+    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):  # pragma: no cover - dispatch
         raise NotImplementedError
 
 
 class _LitmusWorkload(Workload):
-    def run(self, dense_loop: bool, smoke: bool):
+    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):
         from ..litmus.corpus import CORPUS
         from ..litmus.dsl import parse_litmus, run_litmus
 
@@ -63,7 +63,8 @@ class _LitmusWorkload(Workload):
         fingerprint = []
         for entry in CORPUS:
             test = parse_litmus(entry.source)
-            run = run_litmus(test, offsets=offsets, dense_loop=dense_loop)
+            run = run_litmus(test, offsets=offsets, dense_loop=dense_loop,
+                             mem_backend=mem_backend)
             cycles += run.total_cycles
             fingerprint.append(
                 (entry.name, sorted(run.outcomes), run.condition_observed)
@@ -75,14 +76,15 @@ class _LitmusWorkload(Workload):
 class _Fig15Workload(Workload):
     mem_latency: int = 500
 
-    def run(self, dense_loop: bool, smoke: bool):
+    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):
         from ..analysis.speedup import measure
         from ..campaign.figures import _app_builders
         from ..isa.instructions import FenceKind
 
         scale = 0.25 if smoke else 1.0
         builder, _native = _app_builders(scale)["radiosity"]
-        cfg = SimConfig(mem_latency=self.mem_latency, dense_loop=dense_loop)
+        cfg = SimConfig(mem_latency=self.mem_latency, dense_loop=dense_loop,
+                        mem_backend=mem_backend)
         point = measure(
             lambda env: builder(env, FenceKind.GLOBAL), cfg, label=self.name
         )
@@ -90,12 +92,12 @@ class _Fig15Workload(Workload):
 
 
 class _CilkFibWorkload(Workload):
-    def run(self, dense_loop: bool, smoke: bool):
+    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):
         from ..analysis.speedup import measure
         from ..apps.cilk_fib import build_cilk_fib
 
         n = 8 if smoke else 11
-        cfg = SimConfig(dense_loop=dense_loop)
+        cfg = SimConfig(dense_loop=dense_loop, mem_backend=mem_backend)
         point = measure(
             lambda env: build_cilk_fib(env, n=n), cfg, label="cilk_fib"
         )
@@ -121,12 +123,14 @@ WORKLOADS: dict[str, Workload] = {
 }
 
 
-def _timed(workload: Workload, dense_loop: bool, smoke: bool):
+def _timed(workload: Workload, dense_loop: bool, smoke: bool,
+           mem_backend: str = "mesi"):
     from ..runtime.lang import reset_cids
 
     reset_cids()
     t0 = time.perf_counter()
-    cycles, fingerprint = workload.run(dense_loop=dense_loop, smoke=smoke)
+    cycles, fingerprint = workload.run(dense_loop=dense_loop, smoke=smoke,
+                                       mem_backend=mem_backend)
     wall = time.perf_counter() - t0
     return wall, cycles, fingerprint
 
@@ -136,6 +140,7 @@ def run_perf(
     smoke: bool = False,
     min_speedup: float | None = None,
     progress=None,
+    mem_backend: str = "mesi",
 ) -> dict:
     """Time every requested workload dense vs fast; return the report.
 
@@ -148,15 +153,16 @@ def run_perf(
     for name in names:
         if name not in WORKLOADS:
             raise KeyError(f"unknown perf workload {name!r} (have {sorted(WORKLOADS)})")
-    report: dict = {"smoke": smoke, "workloads": {}, "ok": True}
+    report: dict = {"smoke": smoke, "mem_backend": mem_backend,
+                    "workloads": {}, "ok": True}
     for name in names:
         w = WORKLOADS[name]
         if progress is not None:
             progress(f"[perf] {name}: dense loop ...")
-        dense_wall, dense_cycles, dense_fp = _timed(w, True, smoke)
+        dense_wall, dense_cycles, dense_fp = _timed(w, True, smoke, mem_backend)
         if progress is not None:
             progress(f"[perf] {name}: fast path ...")
-        fast_wall, fast_cycles, fast_fp = _timed(w, False, smoke)
+        fast_wall, fast_cycles, fast_fp = _timed(w, False, smoke, mem_backend)
         identical = dense_fp == fast_fp and dense_cycles == fast_cycles
         entry = {
             "description": w.description,

@@ -50,7 +50,15 @@ from .resilience import (
     TRANSIENT_STATUSES,
     run_resilience_differential,
 )
-from .figures import FIGURES, assemble_figure, figure_jobs, run_figure_cell
+from .figures import (
+    BACKEND_REPORT_PATH,
+    FIGURES,
+    assemble_figure,
+    backend_compare_report,
+    figure_jobs,
+    run_figure_cell,
+    write_backend_compare_report,
+)
 from .jobs import (
     Job,
     chaos_jobs,
@@ -64,6 +72,7 @@ from .jobs import (
 )
 
 __all__ = [
+    "BACKEND_REPORT_PATH",
     "CampaignResult",
     "DEFAULT_JOB_TIMEOUT",
     "DegradationLadder",
@@ -82,6 +91,7 @@ __all__ = [
     "TRANSIENT_STATUSES",
     "assemble_figure",
     "auto_parallel",
+    "backend_compare_report",
     "chaos_jobs",
     "code_fingerprint",
     "execute_job",
@@ -101,4 +111,5 @@ __all__ = [
     "set_process_fingerprint",
     "synth_jobs",
     "verify_jobs",
+    "write_backend_compare_report",
 ]

@@ -23,7 +23,7 @@ from ..runtime.lang import Env
 from ..sim.config import SimConfig
 from .jobs import Job
 
-FIGURES = ("fig12", "fig13", "fig14", "fig15", "fig16")
+FIGURES = ("fig12", "fig13", "fig14", "fig15", "fig16", "figbackend")
 
 #: the parameter each sweep figure varies, and the values it takes
 _SWEEPS = {
@@ -37,6 +37,16 @@ _FIG13_CONFIGS = (
     ("S", None, False),       # None -> the app's native scoped kind
     ("T+", "global", True),
     ("S+", None, True),
+)
+
+#: the three-way coherence comparison (label, fence scope, backend):
+#: the paper's S-Fence scoping and the traditional full fence both run
+#: on invalidation-based coherence, against the SiSd rival design that
+#: needs no invalidation traffic but pays SI/SD work at every sync point
+_BACKEND_CONFIGS = (
+    ("S-Fence", None, "mesi"),       # None -> the app's native scoped kind
+    ("full-fence", "global", "mesi"),
+    ("SiSd", None, "sisd"),
 )
 
 
@@ -89,9 +99,29 @@ def _fig14_builders(scale: float):
 
 
 # ---------------------------------------------------------------- enumeration
-def figure_jobs(figure: str, scale: float = 1.0, dense_loop: bool = False) -> list[Job]:
-    """All cell jobs of one figure, in serial loop order."""
-    common = {"figure": figure, "scale": scale, "dense_loop": dense_loop}
+def figure_jobs(
+    figure: str,
+    scale: float = 1.0,
+    dense_loop: bool = False,
+    mem_backend: str = "mesi",
+) -> list[Job]:
+    """All cell jobs of one figure, in serial loop order.
+
+    ``mem_backend`` is the coherence backend every cell of a fig12-16
+    table runs on -- part of each job's parameters, hence of its
+    result-cache key.  ``figbackend`` ignores it: that figure's whole
+    point is a per-cell backend axis (:data:`_BACKEND_CONFIGS`).
+    """
+    common = {"figure": figure, "scale": scale, "dense_loop": dense_loop,
+              "mem_backend": mem_backend}
+    if figure == "figbackend":
+        common.pop("mem_backend")
+        return [
+            Job("figure", {**common, "app": app, "label": label,
+                           "scope": scope, "backend": backend})
+            for app in _app_builders(scale)
+            for label, scope, backend in _BACKEND_CONFIGS
+        ]
     if figure == "fig12":
         return [
             Job("figure", {**common, "bench": bench, "level": level,
@@ -128,7 +158,7 @@ def figure_jobs(figure: str, scale: float = 1.0, dense_loop: bool = False) -> li
 #: relative chunk-cost base per figure kind (fig13 apps run 4 configs of
 #: full applications; fig12 workload cells are small algorithm loops)
 _FIGURE_COST = {"fig12": 3.0, "fig13": 14.0, "fig14": 8.0,
-                "fig15": 10.0, "fig16": 10.0}
+                "fig15": 10.0, "fig16": 10.0, "figbackend": 12.0}
 
 
 def cell_cost(params: dict) -> float:
@@ -147,9 +177,22 @@ def run_figure_cell(params: dict) -> dict:
     figure = params["figure"]
     scale = params["scale"]
     dense = params.get("dense_loop", False)
+    backend = params.get("mem_backend", "mesi")
+    if figure == "figbackend":
+        builder, native = _app_builders(scale)[params["app"]]
+        scope = _resolve_scope(params["scope"], native)
+        point = measure(
+            lambda env: builder(env, scope),
+            SimConfig(mem_backend=params["backend"], dense_loop=dense),
+            label=params["label"],
+        )
+        return {"cycles": point.cycles,
+                "fence_stall_cycles": point.fence_stall_cycles,
+                "fence_stall_fraction": point.fence_stall_fraction}
     if figure == "fig12":
         build = _fig12_builders(scale)[params["bench"]]
-        env = Env(SimConfig(scoped_fences=params["scoped"], dense_loop=dense))
+        env = Env(SimConfig(scoped_fences=params["scoped"], dense_loop=dense,
+                            mem_backend=backend))
         handle = build(env, params["level"])
         res = env.run(handle.program)
         handle.check()
@@ -159,7 +202,8 @@ def run_figure_cell(params: dict) -> dict:
         scope = _resolve_scope(params["scope"], native)
         point = measure(
             lambda env: builder(env, scope),
-            SimConfig(in_window_speculation=params["spec"], dense_loop=dense),
+            SimConfig(in_window_speculation=params["spec"], dense_loop=dense,
+                      mem_backend=backend),
             label=params["label"],
         )
         return {"cycles": point.cycles,
@@ -168,12 +212,14 @@ def run_figure_cell(params: dict) -> dict:
     if figure == "fig14":
         build = _fig14_builders(scale)[params["bench"]]
         point = measure(lambda env: build(env, FenceKind(params["scope"])),
-                        SimConfig(dense_loop=dense), label=params["scope"])
+                        SimConfig(dense_loop=dense, mem_backend=backend),
+                        label=params["scope"])
         return {"cycles": point.cycles}
     if figure in _SWEEPS:
         builder, native = _app_builders(scale)[params["app"]]
         scope = _resolve_scope(params["scope"], native)
-        cfg = SimConfig(**{params["param"]: params["value"], "dense_loop": dense})
+        cfg = SimConfig(**{params["param"]: params["value"],
+                           "dense_loop": dense, "mem_backend": backend})
         point = measure(lambda env: builder(env, scope), cfg,
                         label=params["scope"] or "scoped")
         return {"cycles": point.cycles}
@@ -187,7 +233,7 @@ def _cell_map(jobs: list[Job], results: list[dict | None]) -> dict[tuple, dict |
     for job, result in zip(jobs, results):
         key = tuple(sorted(
             (k, v) for k, v in job.params.items()
-            if k not in ("figure", "scale", "dense_loop")
+            if k not in ("figure", "scale", "dense_loop", "mem_backend")
         ))
         out[key] = result
     return out
@@ -205,6 +251,32 @@ def assemble_figure(figure: str, jobs: list[Job], results: list[dict | None]) ->
     """Fold cell results into the figure's table (missing cells -> n/a)."""
     scale = jobs[0].params["scale"] if jobs else 1.0
     cells = _cell_map(jobs, results)
+    if figure == "figbackend":
+        rows = []
+        for app in _app_builders(scale):
+            by_label = {}
+            for label, scope, backend in _BACKEND_CONFIGS:
+                cell = _get(cells, app=app, label=label, scope=scope,
+                            backend=backend)
+                by_label[label] = cell
+            sfence = by_label.get("S-Fence")
+            row = [app]
+            for label, _scope, _backend in _BACKEND_CONFIGS:
+                cell = by_label.get(label)
+                row.append(cell["cycles"] if cell else "n/a")
+            row.append(_fmt_ratio(ratio(
+                by_label.get("full-fence") and by_label["full-fence"]["cycles"],
+                sfence and sfence["cycles"])))
+            row.append(_fmt_ratio(ratio(
+                by_label.get("SiSd") and by_label["SiSd"]["cycles"],
+                sfence and sfence["cycles"])))
+            rows.append(tuple(row))
+        return format_table(
+            ["app", "S-Fence", "full-fence", "SiSd",
+             "S-Fence speedup vs full", "S-Fence speedup vs SiSd"],
+            rows,
+            title="Backend comparison -- S-Fence vs full fence vs SiSd",
+        )
     if figure == "fig12":
         rows = []
         for bench in _fig12_builders(scale):
@@ -272,3 +344,63 @@ def _point_from_cell(label: str, cell: dict):
         fence_stall_cycles=cell["fence_stall_cycles"],
         fence_stall_fraction=cell["fence_stall_fraction"],
     )
+
+
+# ---------------------------------------------- backend comparison report
+BACKEND_REPORT_PATH = "backend-compare-report.json"
+
+
+def backend_compare_report(jobs: list[Job], results: list[dict | None]) -> dict:
+    """Machine-readable three-way comparison from ``figbackend`` cells.
+
+    The committed artifact (:data:`BACKEND_REPORT_PATH`): per app, the
+    raw cycles/stalls of every config plus the two headline ratios
+    (full-fence / S-Fence and SiSd / S-Fence -- values above 1 mean
+    S-Fence is faster).  Pure function of the cell results, so a warm
+    cache reproduces it byte-identically.
+    """
+    scale = jobs[0].params["scale"] if jobs else 1.0
+    dense = bool(jobs[0].params.get("dense_loop", False)) if jobs else False
+    cells = _cell_map(jobs, results)
+    apps: dict[str, dict] = {}
+    for app in _app_builders(scale):
+        entry: dict = {"configs": {}}
+        for label, scope, backend in _BACKEND_CONFIGS:
+            cell = _get(cells, app=app, label=label, scope=scope,
+                        backend=backend)
+            entry["configs"][label] = cell and {
+                "backend": backend,
+                "cycles": cell["cycles"],
+                "fence_stall_cycles": cell["fence_stall_cycles"],
+                "fence_stall_fraction": cell["fence_stall_fraction"],
+            }
+        sfence = entry["configs"].get("S-Fence")
+        full = entry["configs"].get("full-fence")
+        sisd = entry["configs"].get("SiSd")
+        entry["sfence_speedup_vs_full"] = ratio(
+            full and full["cycles"], sfence and sfence["cycles"])
+        entry["sfence_speedup_vs_sisd"] = ratio(
+            sisd and sisd["cycles"], sfence and sfence["cycles"])
+        apps[app] = entry
+    return {
+        "figure": "figbackend",
+        "scale": scale,
+        "dense_loop": dense,
+        "configs": [
+            {"label": label, "scope": scope or "native", "backend": backend}
+            for label, scope, backend in _BACKEND_CONFIGS
+        ],
+        "apps": apps,
+        "complete": all(
+            c is not None for e in apps.values() for c in e["configs"].values()
+        ),
+    }
+
+
+def write_backend_compare_report(report: dict,
+                                 path: str = BACKEND_REPORT_PATH) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -61,7 +61,10 @@ class Job:
         if self.kind == "litmus":
             return f"litmus:{p['name']}"
         if self.kind == "verify":
-            return f"verify:{p['name']}[{p['mode']}]@{p['engine']}"
+            eng = p["engine"]
+            if p.get("backend", "mesi") != "mesi":
+                eng = f"{eng}@{p['backend']}"
+            return f"verify:{p['name']}[{p['mode']}]@{eng}"
         if self.kind == "synth":
             return f"synth:{p['name']}"
         if self.kind == "app-synth":
@@ -141,6 +144,7 @@ def chaos_jobs(
     base_budget: int = 400_000,
     escalations: int = 3,
     dense_loop: bool = False,
+    mem_backend: str = "mesi",
 ) -> list[Job]:
     """The chaos sweep cross product, in the serial sweep's exact order."""
     from ..chaos.runner import ALGORITHMS, SCENARIOS
@@ -157,7 +161,7 @@ def chaos_jobs(
         Job("chaos", {
             "algo": algo, "scenario": scenario, "seed": seed_base + s,
             "base_budget": base_budget, "escalations": escalations,
-            "dense_loop": dense_loop,
+            "dense_loop": dense_loop, "mem_backend": mem_backend,
         })
         for scenario in scenarios
         for algo in algos
@@ -169,6 +173,7 @@ def litmus_jobs(
     model: str = "rmo",
     offsets: list[int] | None = None,
     dense_loop: bool = False,
+    mem_backend: str = "mesi",
 ) -> list[Job]:
     """One job per litmus-corpus entry."""
     from ..litmus.corpus import CORPUS
@@ -178,7 +183,7 @@ def litmus_jobs(
         Job("litmus", {
             "name": entry.name, "source": entry.source, "model": model,
             "offsets": list(offsets), "expect_observable": entry.observable_rmo,
-            "dense_loop": dense_loop,
+            "dense_loop": dense_loop, "mem_backend": mem_backend,
         })
         for entry in CORPUS
     ]
@@ -189,30 +194,43 @@ def verify_jobs(
     engines: list[str] | None = None,
     seeds: int | None = None,
     smoke: bool = False,
+    backends: list[str] | None = None,
 ) -> list[Job]:
-    """The verification matrix: corpus x fence mode x engine."""
+    """The verification matrix: corpus x fence mode x engine x backend.
+
+    The coherence backend is an explicit job parameter (default
+    ``mesi``), so it participates in the result-cache content hash:
+    switching ``--mem-backend`` can never serve a payload swept on a
+    different backend.
+    """
     from ..litmus.corpus import CORPUS
-    from ..verify.modes import FENCE_MODES
+    from ..verify.modes import BACKENDS, FENCE_MODES
     from ..verify.runner import DEFAULT_SEEDS, ENGINES
 
     modes = list(FENCE_MODES) if modes is None else list(modes)
     engines = list(ENGINES) if engines is None else list(engines)
+    backends = ["mesi"] if backends is None else list(backends)
     for mode in modes:
         if mode not in FENCE_MODES:
             raise KeyError(f"unknown fence mode {mode!r} (have {list(FENCE_MODES)})")
     for engine in engines:
         if engine not in ENGINES:
             raise KeyError(f"unknown engine {engine!r} (have {list(ENGINES)})")
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise KeyError(f"unknown backend {backend!r} (have {list(BACKENDS)})")
     if seeds is None:
         seeds = 1 if smoke else DEFAULT_SEEDS
     return [
         Job("verify", {
             "name": entry.name, "source": entry.source, "mode": mode,
             "engine": engine, "seeds": seeds, "smoke": smoke,
+            "backend": backend,
         })
         for entry in CORPUS
         for mode in modes
         for engine in engines
+        for backend in backends
     ]
 
 
@@ -221,6 +239,7 @@ def synth_jobs(
     modes: list[str] | None = None,
     offsets: list[int] | None = None,
     smoke: bool = False,
+    mem_backend: str = "mesi",
 ) -> list[Job]:
     """One fence-synthesis job per synthesis-corpus entry.
 
@@ -244,7 +263,7 @@ def synth_jobs(
     return [
         Job("synth", {
             "name": name, "modes": list(modes), "offsets": list(offsets),
-            "smoke": smoke,
+            "smoke": smoke, "mem_backend": mem_backend,
         })
         for name in names
     ]
@@ -295,11 +314,13 @@ def probe_jobs(
     cases: list[tuple[str, str, int]],
     base_budget: int = 400_000,
     dense_loop: bool = False,
+    mem_backend: str = "mesi",
 ) -> list[Job]:
     """Determinism probes over (algo, scenario, seed) cases."""
     return [
         Job("probe", {"algo": a, "scenario": sc, "seed": s,
-                      "base_budget": base_budget, "dense_loop": dense_loop})
+                      "base_budget": base_budget, "dense_loop": dense_loop,
+                      "mem_backend": mem_backend})
         for a, sc, s in cases
     ]
 
@@ -314,6 +335,7 @@ def _run_chaos_job(params: dict, heartbeat=None) -> dict:
         escalations=params.get("escalations", 3),
         on_attempt=None if heartbeat is None else (lambda _attempt: heartbeat()),
         dense_loop=params.get("dense_loop", False),
+        mem_backend=params.get("mem_backend", "mesi"),
     )
     return asdict(report)
 
@@ -337,6 +359,7 @@ def _run_litmus_job(params: dict, heartbeat=None) -> dict:
     run = run_litmus(
         test, MemoryModel(params["model"]), list(params["offsets"]),
         dense_loop=params.get("dense_loop", False),
+        mem_backend=params.get("mem_backend", "mesi"),
     )
     expected = params["expect_observable"]
     return {
@@ -407,7 +430,8 @@ def _run_probe_job(params: dict, heartbeat=None) -> dict:
     def build():
         cfg = SimConfig(
             n_cores=4, retire_log_len=16,
-            dense_loop=params.get("dense_loop", False), **scen.config,
+            dense_loop=params.get("dense_loop", False),
+            mem_backend=params.get("mem_backend", "mesi"), **scen.config,
         )
         env = Env(cfg)
         handle = build_algo(env, scope, scen.emit_branches)

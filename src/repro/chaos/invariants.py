@@ -92,6 +92,7 @@ class OrderingChecker:
         self.violation_count = 0
         self.events_seen = 0
         self.fences_checked = 0
+        self.coherence_syncs = 0
 
     # ------------------------------------------------------------------ helpers
     def _core(self, core: int) -> _CoreState:
@@ -125,6 +126,7 @@ class OrderingChecker:
             "events": self.events_seen,
             "fences_checked": self.fences_checked,
             "violations": self.violation_count,
+            "coherence_syncs": self.coherence_syncs,
         }
 
     # ------------------------------------------------------- monitor protocol
@@ -280,6 +282,47 @@ class OrderingChecker:
         # wrong-path bookkeeping (FSS') is authoritative across a squash
         st.scopes = list(scopes)
         st.overflow = overflow
+
+    def on_coherence_sync(self, core, cycle, kind, invalidated, downgraded) -> None:
+        """A backend sync point (SiSd self-invalidation/self-downgrade).
+
+        The mesi backend keeps caches coherent continuously and must
+        never report a per-fence sync; seeing one under a mesi config is
+        a backend-dispatch bug.  Under SiSd the event is audited for
+        shape (known kind, non-negative line counts) and counted so
+        sweep tables can report sync activity.
+        """
+        self.events_seen += 1
+        self.coherence_syncs += 1
+        if self.config.mem_backend == "mesi":
+            self._flag(
+                "backend-sync", core, cycle,
+                f"coherence sync ({kind}) reported under the mesi backend, "
+                f"whose sync points must be free",
+            )
+        if kind not in ("acquire", "release", "full"):
+            self._flag(
+                "backend-sync", core, cycle,
+                f"coherence sync with unknown kind {kind!r}",
+            )
+        if invalidated < 0 or downgraded < 0:
+            self._flag(
+                "backend-sync", core, cycle,
+                f"coherence sync reported negative line counts "
+                f"(invalidated={invalidated}, downgraded={downgraded})",
+            )
+        if kind == "acquire" and downgraded:
+            self._flag(
+                "backend-sync", core, cycle,
+                f"acquire-only sync self-downgraded {downgraded} line(s); "
+                f"downgrades require a release-like sync point",
+            )
+        if kind == "release" and invalidated:
+            self._flag(
+                "backend-sync", core, cycle,
+                f"release-only sync self-invalidated {invalidated} line(s); "
+                f"invalidations require an acquire-like sync point",
+            )
 
 
 class _PairCoreState:
@@ -460,6 +503,9 @@ class DelayPairChecker:
         self.events_seen += 1
 
     def on_squash(self, core, cycle, scopes, overflow) -> None:
+        self.events_seen += 1
+
+    def on_coherence_sync(self, core, cycle, kind, invalidated, downgraded) -> None:
         self.events_seen += 1
 
 

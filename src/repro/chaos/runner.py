@@ -158,6 +158,7 @@ def run_chaos_case(
     escalations: int = 3,
     on_attempt=None,
     dense_loop: bool = False,
+    mem_backend: str = "mesi",
 ) -> ChaosReport:
     """Run one (algorithm, scenario, seed) case under supervision.
 
@@ -173,7 +174,8 @@ def run_chaos_case(
 
     def build():
         cfg = SimConfig(
-            n_cores=4, retire_log_len=16, dense_loop=dense_loop, **scen.config
+            n_cores=4, retire_log_len=16, dense_loop=dense_loop,
+            mem_backend=mem_backend, **scen.config
         )
         env = Env(cfg)
         handle = build_algo(env, scope, scen.emit_branches)
@@ -229,6 +231,7 @@ def run_plan_case(
     escalations: int = 3,
     on_attempt=None,
     dense_loop: bool = False,
+    mem_backend: str = "mesi",
 ) -> ChaosReport:
     """Run an arbitrary guest builder under one chaos scenario.
 
@@ -247,7 +250,8 @@ def run_plan_case(
 
     def build():
         cfg = SimConfig(
-            n_cores=4, retire_log_len=16, dense_loop=dense_loop, **scen.config
+            n_cores=4, retire_log_len=16, dense_loop=dense_loop,
+            mem_backend=mem_backend, **scen.config
         )
         env = Env(cfg)
         handle = builder(env, scen.emit_branches)
@@ -317,6 +321,7 @@ def sweep(
     escalations: int = 3,
     progress=None,
     dense_loop: bool = False,
+    mem_backend: str = "mesi",
 ) -> list[ChaosReport]:
     """Run the full cross product; returns one report per case."""
     algos = list(ALGORITHMS) if algos is None else list(algos)
@@ -334,7 +339,7 @@ def sweep(
                 rep = run_chaos_case(
                     algo, scenario, seed_base + s,
                     base_budget=base_budget, escalations=escalations,
-                    dense_loop=dense_loop,
+                    dense_loop=dense_loop, mem_backend=mem_backend,
                 )
                 reports.append(rep)
                 if progress is not None:

@@ -50,7 +50,7 @@ from ..isa.instructions import (
     WAIT_LOADS,
     WAIT_STORES,
 )
-from ..mem.hierarchy import MemoryHierarchy
+from ..mem.backend import CoherenceBackend
 from ..mem.memory import SharedMemory
 from ..sim.config import MemoryModel, SimConfig
 from ..sim.stats import CoreStats
@@ -82,7 +82,7 @@ class Core:
         core_id: int,
         config: SimConfig,
         memory: SharedMemory,
-        hierarchy: MemoryHierarchy,
+        hierarchy: CoherenceBackend,
         stats: CoreStats,
     ) -> None:
         self.core_id = core_id
@@ -165,7 +165,7 @@ class Core:
         Wake-up sources, each reporting an exact cycle:
 
         * the completion event heap (ROB completions scheduled from the
-          memory hierarchy's :meth:`~repro.mem.hierarchy.MemoryHierarchy.
+          coherence backend's :meth:`~repro.mem.backend.CoherenceBackend.
           completion_cycle`, branch resolutions, compute latencies, and
           store-buffer drains),
         * the store buffer's own earliest in-flight drain
@@ -364,6 +364,7 @@ class Core:
             fe.done = True
             if self.monitor is not None:
                 self.monitor.on_fence_complete(self.core_id, cycle, grp[3])
+            self._coherence_sync(cycle, grp[4], fe.waits)
             self._release_fence_holds(fe)
             progress = True
         return progress
@@ -377,6 +378,27 @@ class Core:
                     self.tracker.store_retired(sbe.fsb_mask)
                 del self._spec_fence_groups[i]
                 return
+
+    def _coherence_sync(self, cycle: int, kind: str, waits: int) -> None:
+        """A fence's ordering condition held: run the backend sync point.
+
+        Invalidation-based backends (mesi) return ``None`` -- sync
+        points are architecturally free there, and this path must stay
+        byte-identical to the pre-multi-backend core.  SiSd returns a
+        :class:`~repro.mem.backend.SyncOutcome`: its self-downgrade
+        latency blocks younger dispatch (an LLC write-through round
+        trip) and the sync is reported to the monitor stream so the
+        ordering checker can audit backend behaviour.
+        """
+        sync = self.hierarchy.fence(self.core_id, kind, waits, self.stats)
+        if sync is None:
+            return
+        if sync.latency > 0:
+            self._blocked_until = max(self._blocked_until, cycle + sync.latency)
+        if self.monitor is not None:
+            self.monitor.on_coherence_sync(
+                self.core_id, cycle, sync.kind, sync.invalidated, sync.downgraded
+            )
 
     def _youngest_open_fence(self) -> RobEntry | None:
         """The most recent speculatively issued, not-yet-complete fence.
@@ -576,7 +598,7 @@ class Core:
                 countdown = tracker.pending_for_scope(entry.scope_entry, waits)
                 self._next_fence_id += 1
                 self._spec_fence_groups.append(
-                    [entry, [], countdown, self._next_fence_id]
+                    [entry, [], countdown, self._next_fence_id, op.kind.value]
                 )
                 if self.monitor is not None:
                     self.monitor.on_fence_open(
@@ -599,6 +621,7 @@ class Core:
                     self.core_id, cycle, op.kind.value, waits,
                     tracker.resolve_fence_scope(op.kind), self._mem_seq,
                 )
+            self._coherence_sync(cycle, op.kind.value, waits)
             entry = RobEntry(K_FENCE, cycle)
             entry.done = True
             self.rob.push(entry)
@@ -651,6 +674,9 @@ class Core:
             self.rob.push(entry)
             if cfg.cas_fence:
                 self._blocking_entry = entry  # later ops wait for the atomic
+                # an x86-style locked RMW is a full sync point for the
+                # coherence backend too (free under mesi)
+                self._coherence_sync(cycle, FenceKind.GLOBAL.value, WAIT_BOTH)
             self._last_result = success
             stats.cas_ops += 1
             return True

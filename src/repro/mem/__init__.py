@@ -1,8 +1,20 @@
-"""Memory substrate: functional memory, caches, coherence, hierarchy."""
+"""Memory substrate: functional memory, caches, coherence backends."""
 
+from .backend import BACKEND_INTERFACE, CoherenceBackend, SyncOutcome, create_backend
 from .cache import Cache
 from .coherence import Directory
 from .hierarchy import MemoryHierarchy
 from .memory import SharedMemory
+from .sisd import SiSdHierarchy
 
-__all__ = ["Cache", "Directory", "MemoryHierarchy", "SharedMemory"]
+__all__ = [
+    "BACKEND_INTERFACE",
+    "Cache",
+    "CoherenceBackend",
+    "Directory",
+    "MemoryHierarchy",
+    "SharedMemory",
+    "SiSdHierarchy",
+    "SyncOutcome",
+    "create_backend",
+]

@@ -1,5 +1,6 @@
-"""Two-level cache hierarchy latency model (Table III).
+"""Two-level MESI-style cache hierarchy latency model (Table III).
 
+The default (``mesi``) :class:`~repro.mem.backend.CoherenceBackend`:
 ``access`` resolves one memory access to a latency in cycles and
 updates cache/coherence state:
 
@@ -10,18 +11,27 @@ updates cache/coherence state:
 * write upgrade (hit but peers share the line)     -> ``l2_latency``
 
 L2 is inclusive of the L1s: an L2 eviction back-invalidates every L1.
+
+Fence sync points are free here (:meth:`MemoryHierarchy.fence` returns
+``None``): invalidation-based coherence keeps every cache coherent
+continuously, so a fence is purely a core-side ordering matter -- the
+property that keeps this backend bit-for-bit identical to the
+pre-multi-backend simulator.
 """
 
 from __future__ import annotations
 
 from ..sim.config import SimConfig
 from ..sim.stats import CoreStats
+from .backend import CoherenceBackend
 from .cache import Cache
 from .coherence import Directory
 
 
-class MemoryHierarchy:
+class MemoryHierarchy(CoherenceBackend):
     """Private L1s + shared L2 + DRAM, with an MSI-style directory."""
+
+    name = "mesi"
 
     def __init__(self, config: SimConfig) -> None:
         self.config = config
@@ -69,6 +79,16 @@ class MemoryHierarchy:
         needs to be polled for readiness.
         """
         return now + self.access(core, addr, is_write, stats)
+
+    def fence(self, core: int, kind: str, waits: int, stats: CoreStats) -> None:
+        """Sync points are free under invalidation-based coherence.
+
+        Returning ``None`` (not a zero-cost :class:`~repro.mem.backend.
+        SyncOutcome`) tells the core to emit no monitor event and charge
+        nothing, so the mesi path stays byte-identical to the simulator
+        before the backend interface existed.
+        """
+        return None
 
     def _access(self, core: int, addr: int, is_write: bool, stats: CoreStats) -> int:
         cfg = self.config
@@ -163,3 +183,7 @@ class MemoryHierarchy:
 
     def resident_in_l2(self, addr: int) -> bool:
         return self.l2.contains(self.line_of(addr))
+
+    def backend_stats(self) -> dict:
+        """MESI keeps no per-sync counters; per-access ones live in CoreStats."""
+        return {}

@@ -19,6 +19,14 @@ import enum
 from dataclasses import dataclass, field, replace
 
 
+#: coherence backends the simulator can run on (see repro.mem.backend).
+#: ``mesi`` is the default invalidation-based hierarchy the paper
+#: assumes; ``sisd`` is the self-invalidation/self-downgrade rival
+#: design (Abdulla et al., "Mending Fences with Self-Invalidation and
+#: Self-Downgrade").
+MEM_BACKENDS = ("mesi", "sisd")
+
+
 class MemoryModel(enum.Enum):
     """Supported relaxed consistency models.
 
@@ -90,6 +98,12 @@ class SimConfig:
     cache_to_cache_latency: int = 10  # dirty line supplied by a peer L1
 
     # --- Behavioural switches ------------------------------------------------
+    # coherence backend the hierarchy factory instantiates (MEM_BACKENDS):
+    # the timing side of every memory access and fence sync point.
+    # Functional values always come from SharedMemory + store buffers,
+    # so the backend choice changes timing (and therefore which relaxed
+    # interleavings a sweep reaches), never what a program may compute.
+    mem_backend: str = "mesi"
     memory_model: MemoryModel = MemoryModel.RMO
     scoped_fences: bool = True    # False: every S-Fence degrades to GLOBAL
     in_window_speculation: bool = False  # Gharachorloo-style speculation
@@ -131,6 +145,10 @@ class SimConfig:
             raise ValueError("fsb_entries must be >= 2 (one is reserved for set scope)")
         if self.line_bytes % self.word_bytes != 0:
             raise ValueError("line_bytes must be a multiple of word_bytes")
+        if self.mem_backend not in MEM_BACKENDS:
+            raise ValueError(
+                f"unknown mem_backend {self.mem_backend!r} (have {MEM_BACKENDS})"
+            )
         for name in ("l1_kb", "l1_assoc", "l2_kb", "l2_assoc"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")

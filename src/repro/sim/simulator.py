@@ -41,7 +41,7 @@ from heapq import heappop, heappush
 
 from ..cpu.core import Core
 from ..isa.program import Program
-from ..mem.hierarchy import MemoryHierarchy
+from ..mem.backend import create_backend
 from ..mem.memory import SharedMemory
 from .config import SimConfig
 from .diagnostics import SimDiagnostic, capture
@@ -112,7 +112,7 @@ class Simulator:
         )
         if self.memory.n_cores != config.n_cores:
             raise ValueError("shared memory core count does not match config")
-        self.hierarchy = MemoryHierarchy(config)
+        self.hierarchy = create_backend(config)
         self.core_stats = [CoreStats(core_id=c) for c in range(config.n_cores)]
         self.cores = [
             Core(c, config, self.memory, self.hierarchy, self.core_stats[c])

@@ -35,6 +35,7 @@ EV_FENCE_COMPLETE = "fence_complete"
 EV_FENCE_PASS = "fence_pass"      # blocking fence whose condition held
 EV_SCOPE = "scope"                # fs_start / fs_end
 EV_SQUASH = "squash"              # branch mispredict restored FSS from FSS'
+EV_COHERENCE_SYNC = "coherence_sync"  # backend sync point (SiSd SI/SD)
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,8 @@ class OrderEvent:
     scope              op ("start"/"end"), cid, scope (FSB entry or
                        ScopeTracker.OVERFLOWED / .UNMATCHED)
     squash             scopes (post-restore FSS), overflow
+    coherence_sync     op ("acquire"/"release"/"full"), invalidated,
+                       downgraded (SiSd self-invalidate/self-downgrade)
     =================  ===============================================
     """
 
@@ -96,6 +99,8 @@ class OrderEvent:
     cid: int = -1
     scopes: tuple[int, ...] = ()
     overflow: int = 0
+    invalidated: int = 0
+    downgraded: int = 0
 
 
 class OrderEventLog:
@@ -146,6 +151,10 @@ class OrderEventLog:
         self._push(OrderEvent(EV_SQUASH, core, cycle, scopes=tuple(scopes),
                               overflow=overflow))
 
+    def on_coherence_sync(self, core, cycle, kind, invalidated, downgraded) -> None:
+        self._push(OrderEvent(EV_COHERENCE_SYNC, core, cycle, op=kind,
+                              invalidated=invalidated, downgraded=downgraded))
+
     # -- consumption ------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.events)
@@ -177,6 +186,9 @@ def dispatch_event(monitor, ev: OrderEvent) -> None:
         monitor.on_scope(ev.core, ev.cycle, ev.op, ev.cid, ev.scope)
     elif k == EV_SQUASH:
         monitor.on_squash(ev.core, ev.cycle, ev.scopes, ev.overflow)
+    elif k == EV_COHERENCE_SYNC:
+        monitor.on_coherence_sync(ev.core, ev.cycle, ev.op, ev.invalidated,
+                                  ev.downgraded)
     else:  # pragma: no cover - defensive
         raise ValueError(f"unknown OrderEvent kind {k!r}")
 

@@ -50,15 +50,23 @@ def variant_key(test: LitmusTest) -> tuple:
     )
 
 
-def placement_cycles(variant: LitmusTest, offsets: list[int]) -> int:
-    """Total simulated cycles of one variant over the offset grid."""
+def placement_cycles(
+    variant: LitmusTest, offsets: list[int], mem_backend: str = "mesi"
+) -> int:
+    """Total simulated cycles of one variant over the offset grid.
+
+    The coherence backend is part of the memo key: cost is a timing
+    quantity, and the same placement stalls differently when every sync
+    point pays SI/SD work instead of riding free on invalidations.
+    """
     from ..campaign.jobs import warm_slot
 
     memo = warm_slot("synth-cycles")
-    key = (variant_key(variant), tuple(offsets))
+    key = (variant_key(variant), tuple(offsets), mem_backend)
     cycles = memo.get(key)
     if cycles is None:
-        run = run_litmus(variant, MemoryModel.RMO, list(offsets))
+        run = run_litmus(variant, MemoryModel.RMO, list(offsets),
+                         mem_backend=mem_backend)
         cycles = memo[key] = run.total_cycles
     return cycles
 
@@ -70,6 +78,7 @@ def site_estimates(
     baseline_cycles: int,
     modes: tuple[str, ...] = MODES,
     on_probe=None,
+    mem_backend: str = "mesi",
 ) -> dict[tuple[int, str], int]:
     """Solo stall estimate for every (site index, non-none mode).
 
@@ -87,7 +96,7 @@ def site_estimates(
                 mode if j == i else "none" for j in range(len(sites))
             )
             variant = apply_placement(stripped, sites, assignment)
-            cycles = placement_cycles(variant, offsets)
+            cycles = placement_cycles(variant, offsets, mem_backend)
             estimates[(i, mode)] = max(0, cycles - baseline_cycles)
             if on_probe is not None:
                 on_probe()

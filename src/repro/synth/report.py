@@ -76,6 +76,7 @@ def evaluate_handwritten(
     forbidden: list[tuple],
     offsets: list[int],
     on_progress=None,
+    mem_backend: str = "mesi",
 ) -> dict:
     """Measure and oracle-check one hand-written placement.
 
@@ -88,8 +89,8 @@ def evaluate_handwritten(
                             dict(hand.init), effective_flags(hand),
                             hand.condition)
     baseline = strip_test(normalized)
-    baseline_cycles = placement_cycles(baseline, offsets)
-    cycles = placement_cycles(normalized, offsets)
+    baseline_cycles = placement_cycles(baseline, offsets, mem_backend)
+    cycles = placement_cycles(normalized, offsets, mem_backend)
     if on_progress is not None:
         on_progress()
 
@@ -147,11 +148,12 @@ def run_synth_case(params: dict, on_progress=None) -> dict:
         SMOKE_PROBE_OFFSETS if params.get("smoke") else PROBE_OFFSETS))
 
     test = parse_litmus(entry.source)
+    mem_backend = params.get("mem_backend", "mesi")
     result = synthesize(test, modes=modes, offsets=offsets,
-                        on_progress=on_progress)
+                        on_progress=on_progress, mem_backend=mem_backend)
     hand = evaluate_handwritten(
         parse_litmus(entry.handwritten), result.forbidden, offsets,
-        on_progress=on_progress,
+        on_progress=on_progress, mem_backend=mem_backend,
     )
     synthesized = _result_payload(result)
     return {

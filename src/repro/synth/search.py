@@ -152,6 +152,7 @@ def synthesize(
     max_measured: int = 128,
     on_progress=None,
     sites: list[FenceSite] | None = None,
+    mem_backend: str = "mesi",
 ) -> SynthesisResult:
     """Synthesize the cheapest sound fence placement for ``test``.
 
@@ -191,7 +192,7 @@ def synthesize(
 
     def measure(assignment: tuple[str, ...]) -> int:
         variant = apply_placement(stripped, sites, assignment)
-        cycles = placement_cycles(variant, offsets)
+        cycles = placement_cycles(variant, offsets, mem_backend)
         if on_progress is not None:
             on_progress()
         return cycles
@@ -233,7 +234,7 @@ def synthesize(
         )
     result.estimates = site_estimates(
         stripped, sites, offsets, baseline_cycles, modes=tuple(modes),
-        on_probe=on_progress,
+        on_probe=on_progress, mem_backend=mem_backend,
     )
     best_assign = full_assign
     best_cycles = measure(full_assign)

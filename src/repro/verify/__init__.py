@@ -14,12 +14,13 @@ Three layers (see ``docs/architecture.md`` §10):
 """
 
 from .explorer import Exploration, explore_allowed_outcomes
-from .modes import FENCE_MODES, apply_fence_mode
+from .modes import BACKENDS, FENCE_MODES, apply_fence_mode
 from .runner import (
     DEFAULT_SEEDS,
     ENGINES,
     REPORT_PATH,
     assemble_verify_report,
+    engine_key,
     format_verify_failures,
     format_verify_report,
     seed_offsets,
@@ -28,6 +29,7 @@ from .runner import (
 )
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_SEEDS",
     "ENGINES",
     "Exploration",
@@ -35,6 +37,7 @@ __all__ = [
     "REPORT_PATH",
     "apply_fence_mode",
     "assemble_verify_report",
+    "engine_key",
     "explore_allowed_outcomes",
     "format_verify_failures",
     "format_verify_report",

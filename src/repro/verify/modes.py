@@ -33,9 +33,20 @@ give the simulator sweep its schedule diversity.
 from __future__ import annotations
 
 from ..litmus.dsl import LitmusTest, litmus_variables, stmt_kind
+from ..sim.config import MEM_BACKENDS
 
 #: the verification matrix, in report order
 FENCE_MODES = ("orig", "none", "full", "sfence-class", "sfence-set")
+
+#: coherence-backend axis of the verification matrix (report order).
+#: Every fence mode x engine cell can run on every backend; ``mesi`` is
+#: the default and its cells keep their historical report keys, while
+#: other backends report under ``<engine>@<backend>`` columns.  A
+#: backend is *sound* when observed stays within the same DPOR/reference
+#: allowed sets -- the backend never appears in the allowed-set
+#: computation, only in the simulator sweep, because coherence backends
+#: are timing-only by contract (repro.mem.backend).
+BACKENDS = MEM_BACKENDS
 
 _MODE_FENCE = {
     "none": None,

@@ -44,10 +44,20 @@ from ..litmus.dsl import (
 )
 from ..sim.config import MemoryModel
 from .explorer import explore_allowed_outcomes
-from .modes import FENCE_MODES, apply_fence_mode
+from .modes import BACKENDS, FENCE_MODES, apply_fence_mode
 
 #: simulator engines every case is verified on
 ENGINES = ("event", "dense")
+
+
+def engine_key(engine: str, backend: str) -> str:
+    """Report column key for one (engine, coherence backend) cell.
+
+    ``mesi`` cells keep the plain engine name -- the schema (and the
+    committed report) predates the backend axis -- while other backends
+    report under ``<engine>@<backend>``.
+    """
+    return engine if backend == "mesi" else f"{engine}@{backend}"
 
 #: seed-0 timing-offset grid (the corpus sweep's grid); later seeds
 #: draw randomised grids of the same size
@@ -105,14 +115,18 @@ def verify_case(params: dict) -> dict:
     allowed = exploration.outcomes
 
     dense = params["engine"] == "dense"
+    backend = params.get("backend", "mesi")
     smoke = bool(params.get("smoke", False))
     observed: set[tuple] = set()
     registers: list[str] = exploration.registers
+    # the offset grids stay keyed on (test, mode, seed) only: every
+    # backend sweeps identical schedules, so coverage differences can
+    # only come from backend timing, never from a different sample
     for seed in range(params.get("seeds", DEFAULT_SEEDS)):
         run = run_litmus(
             variant, MemoryModel.RMO,
             seed_offsets(test.name, params["mode"], seed, smoke),
-            dense_loop=dense,
+            dense_loop=dense, mem_backend=backend,
         )
         observed |= run.outcomes
         registers = run.register_names
@@ -127,6 +141,7 @@ def verify_case(params: dict) -> dict:
         "name": test.name,
         "mode": params["mode"],
         "engine": params["engine"],
+        "backend": backend,
         "registers": registers,
         "allowed": sorted(list(o) for o in allowed),
         "observed": sorted(list(o) for o in observed),
@@ -158,15 +173,23 @@ def assemble_verify_report(outcomes, seeds: int, smoke: bool) -> dict:
     engine_failures = []
     soundness_violations = []
     reference_mismatches = []
-    engines = [e for e in ENGINES
-               if any(o.job.params["engine"] == e for o in outcomes)]
+    present = {
+        engine_key(o.job.params["engine"], o.job.params.get("backend", "mesi"))
+        for o in outcomes
+    }
+    engines = [k for k in (engine_key(e, b) for b in BACKENDS for e in ENGINES)
+               if k in present]
+    backends = [b for b in BACKENDS
+                if any(o.job.params.get("backend", "mesi") == b
+                       for o in outcomes)]
     modes = [m for m in FENCE_MODES
              if any(o.job.params["mode"] == m for o in outcomes)]
     for outcome in outcomes:
         p = outcome.job.params
+        cell_key = engine_key(p["engine"], p.get("backend", "mesi"))
         if not outcome.ok:
             engine_failures.append({
-                "name": p["name"], "mode": p["mode"], "engine": p["engine"],
+                "name": p["name"], "mode": p["mode"], "engine": cell_key,
                 "status": outcome.status, "error": outcome.error,
             })
             continue
@@ -181,7 +204,7 @@ def assemble_verify_report(outcomes, seeds: int, smoke: bool) -> dict:
                 "engines": {},
             })
         )
-        mode_slot["engines"][r["engine"]] = {
+        mode_slot["engines"][cell_key] = {
             "observed": r["observed"],
             "unreached": r["unreached"],
             "coverage": r["coverage"],
@@ -192,7 +215,7 @@ def assemble_verify_report(outcomes, seeds: int, smoke: bool) -> dict:
         }
         if not r["sound"]:
             soundness_violations.append({
-                "name": r["name"], "mode": r["mode"], "engine": r["engine"],
+                "name": r["name"], "mode": r["mode"], "engine": cell_key,
                 "registers": r["registers"], "violations": r["violations"],
             })
         if not r["reference_match"]:
@@ -205,6 +228,7 @@ def assemble_verify_report(outcomes, seeds: int, smoke: bool) -> dict:
         "seeds": seeds,
         "smoke": smoke,
         "engines": engines,
+        "backends": backends,
         "modes": modes,
         "tests": tests,
         "engine_failures": engine_failures,

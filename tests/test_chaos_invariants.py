@@ -209,7 +209,9 @@ def test_assert_ok_raises_with_details():
     c.on_mem_complete(0, 5, 9, True)
     with pytest.raises(OrderingViolationError, match="stream-sanity"):
         c.assert_ok()
-    assert c.report() == {"events": 1, "fences_checked": 0, "violations": 1}
+    assert c.report() == {
+        "events": 1, "fences_checked": 0, "violations": 1, "coherence_syncs": 0,
+    }
 
 
 def test_violation_recording_is_bounded():

@@ -7,10 +7,10 @@ model in :mod:`repro.core.semantics`.  The reference is deliberately
 weaker than the simulator, so ``observed ⊆ allowed`` must hold for
 *every* program; any excess outcome is a fence-semantics bug.
 
-The sweep is a deterministic pytest matrix over **fence modes x
-seeds**, so a failure names its exact cell (e.g.
-``test_simulator_outcomes_within_reference[scoped-3]``) and that one
-cell reruns in isolation:
+The sweep is a deterministic pytest matrix over **fence modes x seeds
+x coherence backends**, so a failure names its exact cell (e.g.
+``test_simulator_outcomes_within_reference[scoped-3-sisd]``) and that
+one cell reruns in isolation:
 
 * ``plain``  -- traditional fences only (``fence``/``.ss``/``.ll``);
 * ``scoped`` -- S-Fence set fences only, over ``flag``-ged variables;
@@ -25,6 +25,11 @@ exact:
 * at most four memory operations per thread, so the allowed set is
   enumerated exhaustively rather than sampled.
 
+Every program runs under each coherence backend (MESI and SiSd):
+backends are timing models, so a backend that leaked stale values into
+register outcomes would surface here as an outcome outside the
+reference allowed set.
+
 The base seed is pinned (``LITMUS_FUZZ_SEED``, default 0) so CI runs
 are reproducible; bump the env var locally to explore fresh programs.
 """
@@ -38,7 +43,7 @@ import pytest
 
 from repro.core.semantics import reference_allowed_outcomes
 from repro.litmus.dsl import abstract_threads, parse_litmus, run_litmus
-from repro.sim.config import MemoryModel
+from repro.sim.config import MEM_BACKENDS, MemoryModel
 
 SEED_BASE = int(os.environ.get("LITMUS_FUZZ_SEED", "0"))
 N_PROGRAMS_PER_MODE = 6
@@ -123,20 +128,23 @@ def _fuzz_seeds(mode: str) -> list[int]:
     return seeds
 
 
-_MATRIX = [(mode, seed) for mode in FUZZ_MODES for seed in _fuzz_seeds(mode)]
+_MATRIX = [(mode, seed, backend)
+           for mode in FUZZ_MODES
+           for seed in _fuzz_seeds(mode)
+           for backend in MEM_BACKENDS]
 
 
-@pytest.mark.parametrize("mode,seed", _MATRIX,
-                         ids=[f"{m}-{s}" for m, s in _MATRIX])
-def test_simulator_outcomes_within_reference(mode, seed):
+@pytest.mark.parametrize("mode,seed,backend", _MATRIX,
+                         ids=[f"{m}-{s}-{b}" for m, s, b in _MATRIX])
+def test_simulator_outcomes_within_reference(mode, seed, backend):
     source = generate_program(seed, mode)
     test = parse_litmus(source)
     allowed = reference_allowed_outcomes(abstract_threads(test), dict(test.init))
-    run = run_litmus(test, MemoryModel.RMO, OFFSETS)
+    run = run_litmus(test, MemoryModel.RMO, OFFSETS, mem_backend=backend)
     extra = run.outcomes - allowed
     assert not extra, (
         f"simulator observed outcomes outside the reference allowed set\n"
-        f"fence mode {mode}, seed {seed}; program:\n{source}\n"
+        f"fence mode {mode}, seed {seed}, backend {backend}; program:\n{source}\n"
         f"registers: {run.register_names}\n"
         f"extra outcomes: {sorted(extra)}\n"
         f"allowed: {sorted(allowed)}"
