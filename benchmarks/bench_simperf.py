@@ -1,11 +1,13 @@
-"""Simulator perf regression: event-driven fast path vs dense loop.
+"""Simulator perf regression: the three execution engines head to head.
 
 Not a paper figure -- this benchmark guards the simulator itself.  It
-times the :mod:`repro.analysis.simperf` workloads under both execution
-engines, reports wall time / simulated-cycles-per-second / speedup, and
-fails if the fast path regresses below 2x on the high-memory-latency
-workload (where event skipping has the most to win) or if the two
-engines' results ever diverge.
+times the :mod:`repro.analysis.simperf` workloads under the dense
+reference loop, the event-driven fast path and the trace-compiled
+engine, reports wall time / simulated-cycles-per-second / speedups, and
+fails if the event engine regresses below 2x over the dense loop on the
+high-memory-latency workload (where event skipping has the most to
+win), if the trace-compiled engine fails to beat the event engine by
+1.5x there, or if any engine's results ever diverge.
 
 ``REPRO_SCALE`` < 1 maps to the harness's smoke sizing, same as the CI
 ``perf-smoke`` job (``python -m repro perf --smoke``).
@@ -17,27 +19,36 @@ from repro.analysis.report import format_table
 from repro.analysis.simperf import GATE_WORKLOAD, run_perf
 
 MIN_GATE_SPEEDUP = 2.0
+MIN_COMPILE_RATIO = 1.5
 
 
 def test_fastpath_perf_regression(benchmark, report):
-    perf = run_perf(smoke=SCALE < 1.0, min_speedup=MIN_GATE_SPEEDUP)
+    perf = run_perf(smoke=SCALE < 1.0, min_speedup=MIN_GATE_SPEEDUP,
+                    min_compile_ratio=MIN_COMPILE_RATIO)
 
     rows = [
-        (name, w["sim_cycles"], w["dense_wall_s"], w["fast_wall_s"],
-         f"{w['speedup']}x", "yes" if w["identical"] else "DIVERGED")
+        (name, w["sim_cycles"], w["dense_wall_s"], w["event_wall_s"],
+         w["compiled_wall_s"], f"{w['event_speedup']}x",
+         f"{w['compiled_speedup']}x", f"{w['compile_ratio']}x",
+         "yes" if w["identical"] else "DIVERGED")
         for name, w in perf["workloads"].items()
     ]
     report(format_table(
-        ["workload", "sim cycles", "dense s", "fast s", "speedup", "identical"],
+        ["workload", "sim cycles", "dense s", "event s", "compiled s",
+         "event x", "compiled x", "vs event", "identical"],
         rows,
-        title="simulator perf -- dense loop vs event-driven fast path",
+        title="simulator perf -- dense loop vs event vs trace-compiled",
     ))
 
     for name, w in perf["workloads"].items():
-        assert w["identical"], f"{name}: dense and fast-path results diverged"
+        assert w["identical"], f"{name}: engine results diverged"
     gate = perf["workloads"][GATE_WORKLOAD]
-    assert gate["speedup"] >= MIN_GATE_SPEEDUP, (
-        f"{GATE_WORKLOAD}: fast path only {gate['speedup']}x over dense "
-        f"(required >= {MIN_GATE_SPEEDUP}x)"
+    assert gate["event_speedup"] >= MIN_GATE_SPEEDUP, (
+        f"{GATE_WORKLOAD}: event engine only {gate['event_speedup']}x over "
+        f"dense (required >= {MIN_GATE_SPEEDUP}x)"
+    )
+    assert gate["compile_ratio"] >= MIN_COMPILE_RATIO, (
+        f"{GATE_WORKLOAD}: compiled engine only {gate['compile_ratio']}x "
+        f"over event (required >= {MIN_COMPILE_RATIO}x)"
     )
     assert perf["ok"]

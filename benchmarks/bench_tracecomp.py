@@ -1,0 +1,86 @@
+"""Trace-compiler micro-benchmark: block admission vs per-op interpretation.
+
+Not a paper figure -- this isolates the mechanism the ``perf`` gate
+measures end-to-end.  A synthetic straight-line guest (10k ops of
+line-strided loads/stores/short computes, no fences, no cut points) is
+the trace compiler's best case: the whole program compiles to a
+handful of memoised blocks, so the compiled engine's per-op cost is a
+tuple index + batched bookkeeping while the event engine pays the full
+generator-pull + ``_dispatch_one`` case analysis per op.
+
+The assertion is deliberately loose (compiled must not be *slower*):
+the headline ratio with a real workload mix and a CI-calibrated bound
+lives in ``bench_simperf.py`` / the ``perf`` command; this bench
+reports the mechanism's isolated ceiling and guards the cycle-identity
+of the two engines on the synthetic program.
+"""
+
+import time
+
+from conftest import SCALE
+
+from repro.analysis.report import format_table
+from repro.isa.instructions import Compute, Load, Store
+from repro.isa.program import ops_program
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.sim.tracecomp import compile_ops, memo_stats
+
+N_OPS = max(600, int(10_000 * SCALE))
+LINE = 8  # words per line at the default config
+REPS = 3
+
+
+def _straight_line_ops(n: int):
+    """n ops with no cut point: load/store/compute over a strided array."""
+    ops = []
+    base = 4096
+    i = 0
+    while len(ops) < n:
+        addr = base + (i % 64) * LINE
+        ops.append(Load(addr))
+        ops.append(Store(addr, i))
+        ops.append(Compute(1 + (i % 3)))
+        i += 1
+    return ops[:n]
+
+
+def _run(trace_compile: bool):
+    cfg = SimConfig(n_cores=1, trace_compile=trace_compile)
+    sim = Simulator(cfg, ops_program([_straight_line_ops(N_OPS)]))
+    t0 = time.perf_counter()
+    res = sim.run(max_cycles=50_000_000)
+    return time.perf_counter() - t0, res.cycles
+
+
+def test_block_admission_vs_interpretation(benchmark, report):
+    units = compile_ops(_straight_line_ops(N_OPS))
+    # one straight-line run -> one block (memoised process-wide)
+    assert len(units) == 1 and units[0].n == N_OPS
+
+    walls = {"event": [], "compiled": []}
+    cycles = {}
+    for _ in range(REPS):
+        for engine, tc in (("event", False), ("compiled", True)):
+            wall, cyc = _run(tc)
+            walls[engine].append(wall)
+            cycles.setdefault(engine, cyc)
+
+    assert cycles["event"] == cycles["compiled"]
+    event_s = min(walls["event"])
+    compiled_s = min(walls["compiled"])
+    ratio = event_s / compiled_s if compiled_s else float("inf")
+    memo = memo_stats()
+
+    report(format_table(
+        ["ops", "sim cycles", "event s", "compiled s", "ratio",
+         "memo blocks"],
+        [(N_OPS, cycles["event"], round(event_s, 4), round(compiled_s, 4),
+          f"{ratio:.2f}x", memo["blocks"])],
+        title="trace compiler -- block admission vs per-op interpretation",
+    ))
+
+    assert ratio >= 1.0, (
+        f"compiled engine slower than interpretation on its best case "
+        f"({ratio:.2f}x)"
+    )

@@ -20,10 +20,15 @@ Commands:
   campaign (worker kills, stalls, cache corruption, a torn manifest)
   that must converge to the byte-identical outcome fingerprint of a
   fault-free sweep (see :mod:`repro.campaign.resilience`).
-* ``perf`` — time representative workloads under the dense reference
-  loop vs the event-driven fast path and write ``BENCH_simperf.json``
-  (see :mod:`repro.analysis.simperf`); exits non-zero if the fast-path
-  speedup on the high-latency workload falls below ``--min-speedup``.
+* ``perf`` — time representative workloads under all three execution
+  engines (dense reference loop, event-driven fast path, and the
+  trace-compiled engine) and write ``BENCH_simperf.json`` (see
+  :mod:`repro.analysis.simperf`); exits non-zero if the event-engine
+  speedup on the high-latency workload falls below ``--min-speedup``,
+  if the trace-compiled engine fails to beat the event engine by
+  ``--min-compile-ratio``, or if any engine's result fingerprint
+  diverges.  ``--mem-backend mesi,sisd`` records a column set per
+  coherence backend.
   With ``--campaign``, instead race the persistent worker pool against
   the legacy ``--fork-per-job`` pool over whole sweeps and write
   ``BENCH_campaign.json`` (see :mod:`repro.analysis.campthru`); exits
@@ -60,8 +65,11 @@ any table — only how fast it appears.  The
 figure commands are thin wrappers over the same cell drivers the
 pytest-benchmark targets use; ``--scale`` shrinks or grows workloads.
 ``--dense-loop`` runs any command on the per-cycle reference engine
-instead of the event-driven scheduler — an escape hatch that changes
-wall-clock time and nothing else.  ``--mem-backend`` picks the
+instead of the event-driven scheduler, and ``--no-trace-compile``
+disables batch block admission so every op is interpreted — escape
+hatches that change wall-clock time and nothing else (the compile flag
+does participate in campaign cache keys, so toggling it re-runs cells
+cold).  ``--mem-backend`` picks the
 coherence backend timing model (``mesi`` invalidation-based directory
 coherence, the default, or ``sisd`` self-invalidation/self-downgrade);
 ``verify`` accepts a comma-separated list and fans the soundness matrix
@@ -212,7 +220,7 @@ def cmd_figure(figure: str, ns) -> int:
     if backend is None:
         return 2
     jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop,
-                       mem_backend=backend)
+                       mem_backend=backend, trace_compile=ns.trace_compile)
     result = _run_jobs(jobs, ns, figure)
     print(assemble_figure(figure, jobs, result.results()))
     if figure == "figbackend":
@@ -245,7 +253,7 @@ def cmd_hwcost(ns) -> int:
 
 
 def cmd_litmus(path: str, model_name: str, dense_loop: bool = False,
-               mem_backend: str = "mesi") -> int:
+               mem_backend: str = "mesi", trace_compile: bool = True) -> int:
     from .litmus.dsl import LitmusParseError, parse_litmus, run_litmus
 
     try:
@@ -259,7 +267,7 @@ def cmd_litmus(path: str, model_name: str, dense_loop: bool = False,
         # the guest generators execute), so run under the same guard
         test = parse_litmus(source)
         run = run_litmus(test, MemoryModel(model_name), dense_loop=dense_loop,
-                         mem_backend=mem_backend)
+                         mem_backend=mem_backend, trace_compile=trace_compile)
     except LitmusParseError as exc:
         print(f"litmus: {path}: {exc}", file=sys.stderr)
         return 2
@@ -370,6 +378,7 @@ def cmd_chaos(ns) -> int:
                 algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                 seed_base=ns.seed_base, base_budget=ns.budget,
                 dense_loop=ns.dense_loop, mem_backend=backend,
+                trace_compile=ns.trace_compile,
             )
             result = _run_jobs(jobs, ns, "chaos")
             reports = _chaos_reports_from_outcomes(result.outcomes)
@@ -378,6 +387,7 @@ def cmd_chaos(ns) -> int:
                 algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                 seed_base=ns.seed_base, base_budget=ns.budget,
                 dense_loop=ns.dense_loop, mem_backend=backend,
+                trace_compile=ns.trace_compile,
             )
     except KeyError as exc:
         print(f"chaos: {exc.args[0]}", file=sys.stderr)
@@ -404,7 +414,8 @@ def cmd_verify(ns) -> int:
     try:
         jobs = verify_jobs(modes=modes, engines=engines,
                            seeds=ns.verify_seeds, smoke=ns.smoke,
-                           backends=backends)
+                           backends=backends,
+                           trace_compile=ns.trace_compile)
     except KeyError as exc:
         print(f"verify: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -563,42 +574,63 @@ def cmd_perf_campaign(ns) -> int:
 
 
 def cmd_perf(ns) -> int:
-    from .analysis.simperf import run_perf, write_report
+    from .analysis.simperf import divergent_cells, run_perf, write_report
 
     if ns.campaign:
         return cmd_perf_campaign(ns)
 
-    backend = _single_backend(ns)
-    if backend is None:
+    backends = _parse_backends(ns)
+    if backends is None:
         return 2
     workloads = ns.workloads.split(",") if ns.workloads else None
     try:
         report = run_perf(
             workloads=workloads, smoke=ns.smoke, min_speedup=ns.min_speedup,
+            min_compile_ratio=ns.min_compile_ratio,
             progress=lambda line: print(line, file=sys.stderr),
-            mem_backend=backend,
+            mem_backends=backends, reps=ns.perf_reps,
         )
     except KeyError as exc:
         print(f"perf: {exc.args[0]}", file=sys.stderr)
         return 2
     write_report(report, ns.perf_out)
     rows = [
-        (name, w["sim_cycles"], w["dense_wall_s"], w["fast_wall_s"],
-         f"{w['speedup']}x" if w["speedup"] is not None else "n/a",
-         "yes" if w["identical"] else "DIVERGED")
+        (f"{name}[{backend}]" if len(backends) > 1 else name,
+         cell["sim_cycles"], cell["dense_wall_s"], cell["event_wall_s"],
+         cell["compiled_wall_s"],
+         f"{cell['event_speedup']}x" if cell["event_speedup"] is not None else "n/a",
+         f"{cell['compiled_speedup']}x" if cell["compiled_speedup"] is not None else "n/a",
+         f"{cell['compile_ratio']}x" if cell["compile_ratio"] is not None else "n/a",
+         "yes" if cell["identical"] else "DIVERGED")
         for name, w in report["workloads"].items()
+        for backend, cell in w["backends"].items()
     ]
     print(format_table(
-        ["workload", "sim cycles", "dense s", "fast s", "speedup", "identical"],
-        rows, title="simulator perf -- dense loop vs event-driven fast path",
+        ["workload", "sim cycles", "dense s", "event s", "compiled s",
+         "event x", "compiled x", "vs event", "identical"],
+        rows, title="simulator perf -- dense loop vs event vs trace-compiled",
     ))
     print(f"report written to {ns.perf_out}", file=sys.stderr)
     gate = report.get("gate")
-    if gate and not gate.get("passed", True):
-        print(f"perf: FAIL -- {gate['workload']} speedup {gate['speedup']}x "
-              f"< required {gate['min_speedup']}x", file=sys.stderr)
-    if not all(w["identical"] for w in report["workloads"].values()):
-        print("perf: FAIL -- dense and fast-path results diverged", file=sys.stderr)
+    if gate and not gate.get("passed", True) and not gate.get("skipped"):
+        if gate.get("min_speedup") is not None and (
+                gate["speedup"] is None
+                or gate["speedup"] < gate["min_speedup"]):
+            print(f"perf: FAIL -- {gate['workload']} event speedup "
+                  f"{gate['speedup']}x < required {gate['min_speedup']}x",
+                  file=sys.stderr)
+        if gate.get("min_compile_ratio") is not None and (
+                gate["compile_ratio"] is None
+                or gate["compile_ratio"] < gate["min_compile_ratio"]):
+            print(f"perf: FAIL -- {gate['workload']} compiled/event ratio "
+                  f"{gate['compile_ratio']}x < required "
+                  f"{gate['min_compile_ratio']}x", file=sys.stderr)
+    diverged = divergent_cells(report)
+    if diverged:
+        print("perf: FAIL -- identical cross-check failed: "
+              + ", ".join(diverged), file=sys.stderr)
+    for name in report.get("failures", ()):
+        print(f"perf: FAIL -- workload gate failed: {name}", file=sys.stderr)
     return 0 if report["ok"] else 1
 
 
@@ -687,7 +719,8 @@ def cmd_campaign(ns) -> int:
         try:
             jobs = chaos_jobs(algos=algos, scenarios=scenarios, n_seeds=n_seeds,
                               seed_base=ns.seed_base, base_budget=ns.budget,
-                              dense_loop=ns.dense_loop, mem_backend=backend)
+                              dense_loop=ns.dense_loop, mem_backend=backend,
+                              trace_compile=ns.trace_compile)
         except KeyError as exc:
             print(f"campaign: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -697,7 +730,7 @@ def cmd_campaign(ns) -> int:
 
     for figure in figures:
         jobs = figure_jobs(figure, ns.scale, dense_loop=ns.dense_loop,
-                           mem_backend=backend)
+                           mem_backend=backend, trace_compile=ns.trace_compile)
         result = _run_jobs(jobs, ns, f"campaign/{figure}")
         print(assemble_figure(figure, jobs, result.results()))
         if figure == "figbackend" and result.ok:
@@ -714,7 +747,8 @@ def cmd_campaign(ns) -> int:
 
     if ns.litmus:
         jobs = litmus_jobs(model=ns.model, dense_loop=ns.dense_loop,
-                           mem_backend=backend)
+                           mem_backend=backend,
+                           trace_compile=ns.trace_compile)
         result = _run_jobs(jobs, ns, "campaign/litmus")
         rows = []
         mismatches = []
@@ -758,8 +792,18 @@ def main(argv: list[str] | None = None) -> int:
                              "results, slower)")
     parser.add_argument("--mem-backend", default="mesi",
                         help="coherence backend timing model (mesi/sisd) "
-                             "[mesi]; verify accepts a comma-separated list "
-                             "and sweeps the matrix under each")
+                             "[mesi]; verify and perf accept a "
+                             "comma-separated list and sweep each")
+    parser.add_argument("--trace-compile", dest="trace_compile",
+                        action="store_true", default=True,
+                        help="run the event engine with trace compilation "
+                             "(straight-line op runs admitted as compiled "
+                             "blocks; identical results, faster) [default]")
+    parser.add_argument("--no-trace-compile", dest="trace_compile",
+                        action="store_false",
+                        help="disable trace compilation: interpret every op "
+                             "on the event engine (escape hatch; identical "
+                             "results)")
 
     engine_group = parser.add_argument_group("campaign engine options")
     engine_group.add_argument("--parallel", type=_parallel_arg, default=None,
@@ -869,8 +913,16 @@ def main(argv: list[str] | None = None) -> int:
                             metavar="FILE",
                             help="perf: report path [BENCH_simperf.json]")
     perf_group.add_argument("--min-speedup", type=float, default=2.0,
-                            help="perf: fail if the fig15-hot fast-path speedup "
-                                 "is below this [2.0]; --smoke uses the same gate")
+                            help="perf: fail if the fig15-hot event-engine "
+                                 "speedup over the dense loop is below this "
+                                 "[2.0]; --smoke uses the same gate")
+    perf_group.add_argument("--min-compile-ratio", type=float, default=1.5,
+                            help="perf: fail if the fig15-hot trace-compiled "
+                                 "speedup over the event engine is below this "
+                                 "[1.5]")
+    perf_group.add_argument("--perf-reps", type=int, default=3, metavar="N",
+                            help="perf: timed repetitions per fast engine; "
+                                 "the minimum wall is reported [3]")
     perf_group.add_argument("--workloads", default="",
                             help="perf: comma-separated workload subset "
                                  "(litmus,fig15-hot,cilk_fib)")
@@ -897,7 +949,7 @@ def main(argv: list[str] | None = None) -> int:
         if backend is None:
             return 2
         return cmd_litmus(ns.args[0], ns.model, dense_loop=ns.dense_loop,
-                          mem_backend=backend)
+                          mem_backend=backend, trace_compile=ns.trace_compile)
     if ns.command == "chaos":
         return cmd_chaos(ns)
     if ns.command == "campaign":

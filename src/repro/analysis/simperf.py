@@ -1,16 +1,18 @@
-"""Perf-regression harness: dense reference loop vs event-driven fast path.
+"""Perf-regression harness: the three execution engines head to head.
 
-Times representative workloads under both execution engines and reports
-wall time, simulated cycles per second and the fast-path speedup for
-each -- the numbers that guard the event scheduler against performance
-regressions (the equivalence *tests* guard it against correctness
-regressions; this module additionally cross-checks a result fingerprint
-per workload so a perf run that silently diverged is flagged).
+Times representative workloads under the dense reference loop, the
+event-driven fast path (``trace_compile=False``) and the trace-compiled
+engine (the default mode) and reports wall time, simulated cycles per
+second and the speedups between them -- the numbers that guard both
+fast engines against performance regressions (the equivalence *tests*
+guard them against correctness regressions; this module additionally
+cross-checks a result fingerprint per workload/engine/backend so a perf
+run that silently diverged is flagged and named in the exit status).
 
 Workloads:
 
 * ``litmus``    -- the litmus corpus over a small offset grid: many
-  short runs, scheduler-overhead bound (the fast path's worst case).
+  short runs, scheduler-overhead bound (the fast engines' worst case).
 * ``fig15-500`` -- the Figure 15 high-memory-latency cell exactly as
   the figure runs it (radiosity under a traditional global fence at
   500-cycle memory).  At 500 cycles much of the latency still overlaps
@@ -18,16 +20,25 @@ Workloads:
 * ``fig15-hot`` -- the same cell with the figure's memory-latency axis
   pushed to 2000 cycles, deep into the stall-dominated regime Figure
   15's trend points at: the dense loop's cost grows linearly with the
-  latency while the fast path's stays flat, which is the property the
-  CI gate checks (the headline speedup).  (barnes, the figure's other
-  latency-sensitive app, is busy-polling-bound on this simulator --
-  some core makes progress on most cycles -- so it measures scheduler
-  overhead, not skipping.)
+  latency while the fast engines' stays flat, which is the property
+  the CI gate checks (the headline speedups).  (barnes, the figure's
+  other latency-sensitive app, is busy-polling-bound on this simulator
+  -- some core makes progress on most cycles -- so it measures
+  scheduler overhead, not skipping.)
 * ``cilk_fib``  -- fork-join work stealing across 8 cores: mixed
   compute/steal phases, in between the other two.
 
+Timing protocol: the dense loop is timed once (it is the slow column
+and only serves as the common baseline); the event and compiled
+engines are timed ``reps`` times in interleaved pairs and the *minimum*
+wall per engine is reported.  A single-shot ratio of two sub-second
+walls is hostage to scheduler noise; min-of-N of each side is the
+standard estimator of the noise floor and is what the compile-ratio
+gate is judged on.
+
 ``python -m repro perf`` drives this module and writes
-``BENCH_simperf.json``; ``--smoke`` shrinks every workload for CI.
+``BENCH_simperf.json``; ``--smoke`` shrinks every workload for CI, and
+``--mem-backend mesi,sisd`` adds a per-backend column set per workload.
 """
 
 from __future__ import annotations
@@ -36,10 +47,20 @@ import json
 import time
 from dataclasses import dataclass
 
-from ..sim.config import SimConfig
+from ..sim.config import MEM_BACKENDS, SimConfig
 
-#: headline workload the CI perf gate applies its minimum speedup to
+#: headline workload the CI perf gates apply their minimums to
 GATE_WORKLOAD = "fig15-hot"
+
+#: timed repetitions per fast engine (min wall wins)
+DEFAULT_REPS = 3
+
+#: engine name -> SimConfig flags
+ENGINES = {
+    "dense": {"dense_loop": True},
+    "event": {"dense_loop": False, "trace_compile": False},
+    "compiled": {"dense_loop": False, "trace_compile": True},
+}
 
 
 @dataclass(frozen=True)
@@ -49,12 +70,15 @@ class Workload:
     name: str
     description: str
 
-    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):  # pragma: no cover - dispatch
+    def run(self, smoke: bool, dense_loop: bool = False,
+            trace_compile: bool = True,
+            mem_backend: str = "mesi"):  # pragma: no cover - dispatch
         raise NotImplementedError
 
 
 class _LitmusWorkload(Workload):
-    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):
+    def run(self, smoke: bool, dense_loop: bool = False,
+            trace_compile: bool = True, mem_backend: str = "mesi"):
         from ..litmus.corpus import CORPUS
         from ..litmus.dsl import parse_litmus, run_litmus
 
@@ -64,6 +88,7 @@ class _LitmusWorkload(Workload):
         for entry in CORPUS:
             test = parse_litmus(entry.source)
             run = run_litmus(test, offsets=offsets, dense_loop=dense_loop,
+                             trace_compile=trace_compile,
                              mem_backend=mem_backend)
             cycles += run.total_cycles
             fingerprint.append(
@@ -76,7 +101,8 @@ class _LitmusWorkload(Workload):
 class _Fig15Workload(Workload):
     mem_latency: int = 500
 
-    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):
+    def run(self, smoke: bool, dense_loop: bool = False,
+            trace_compile: bool = True, mem_backend: str = "mesi"):
         from ..analysis.speedup import measure
         from ..campaign.figures import _app_builders
         from ..isa.instructions import FenceKind
@@ -84,7 +110,7 @@ class _Fig15Workload(Workload):
         scale = 0.25 if smoke else 1.0
         builder, _native = _app_builders(scale)["radiosity"]
         cfg = SimConfig(mem_latency=self.mem_latency, dense_loop=dense_loop,
-                        mem_backend=mem_backend)
+                        trace_compile=trace_compile, mem_backend=mem_backend)
         point = measure(
             lambda env: builder(env, FenceKind.GLOBAL), cfg, label=self.name
         )
@@ -92,12 +118,14 @@ class _Fig15Workload(Workload):
 
 
 class _CilkFibWorkload(Workload):
-    def run(self, dense_loop: bool, smoke: bool, mem_backend: str = "mesi"):
+    def run(self, smoke: bool, dense_loop: bool = False,
+            trace_compile: bool = True, mem_backend: str = "mesi"):
         from ..analysis.speedup import measure
         from ..apps.cilk_fib import build_cilk_fib
 
         n = 8 if smoke else 11
-        cfg = SimConfig(dense_loop=dense_loop, mem_backend=mem_backend)
+        cfg = SimConfig(dense_loop=dense_loop, trace_compile=trace_compile,
+                        mem_backend=mem_backend)
         point = measure(
             lambda env: build_cilk_fib(env, n=n), cfg, label="cilk_fib"
         )
@@ -123,85 +151,151 @@ WORKLOADS: dict[str, Workload] = {
 }
 
 
-def _timed(workload: Workload, dense_loop: bool, smoke: bool,
-           mem_backend: str = "mesi"):
+def _timed(workload: Workload, engine: str, smoke: bool, mem_backend: str):
     from ..runtime.lang import reset_cids
 
     reset_cids()
     t0 = time.perf_counter()
-    cycles, fingerprint = workload.run(dense_loop=dense_loop, smoke=smoke,
-                                       mem_backend=mem_backend)
+    cycles, fingerprint = workload.run(smoke=smoke, mem_backend=mem_backend,
+                                       **ENGINES[engine])
     wall = time.perf_counter() - t0
     return wall, cycles, fingerprint
+
+
+def _measure_backend(w: Workload, smoke: bool, mem_backend: str, reps: int,
+                     progress=None) -> dict:
+    """One (workload, backend) cell: dense once, fast engines min-of-reps."""
+    dense_wall, dense_cycles, dense_fp = _timed(w, "dense", smoke, mem_backend)
+    walls = {"event": [], "compiled": []}
+    fps = {}
+    cycles = {}
+    # interleaved rep pairs so OS-level noise drifts hit both engines
+    for _ in range(max(1, reps)):
+        for engine in ("event", "compiled"):
+            wall, cyc, fp = _timed(w, engine, smoke, mem_backend)
+            walls[engine].append(wall)
+            fps.setdefault(engine, fp)
+            cycles.setdefault(engine, cyc)
+    event_wall = min(walls["event"])
+    compiled_wall = min(walls["compiled"])
+    identical = all(
+        fps[e] == dense_fp and cycles[e] == dense_cycles
+        for e in ("event", "compiled")
+    )
+    cell = {
+        "sim_cycles": dense_cycles,
+        "dense_wall_s": round(dense_wall, 4),
+        "event_wall_s": round(event_wall, 4),
+        "compiled_wall_s": round(compiled_wall, 4),
+        "dense_cycles_per_s": round(dense_cycles / dense_wall) if dense_wall else None,
+        "event_cycles_per_s": round(dense_cycles / event_wall) if event_wall else None,
+        "compiled_cycles_per_s": round(dense_cycles / compiled_wall) if compiled_wall else None,
+        "event_speedup": round(dense_wall / event_wall, 2) if event_wall else None,
+        "compiled_speedup": round(dense_wall / compiled_wall, 2) if compiled_wall else None,
+        "compile_ratio": round(event_wall / compiled_wall, 2) if compiled_wall else None,
+        "identical": identical,
+    }
+    if progress is not None:
+        progress(
+            f"[perf] {w.name}[{mem_backend}]: dense {cell['dense_wall_s']}s, "
+            f"event {cell['event_wall_s']}s ({cell['event_speedup']}x), "
+            f"compiled {cell['compiled_wall_s']}s "
+            f"({cell['compiled_speedup']}x dense, "
+            f"{cell['compile_ratio']}x event)"
+            + ("" if identical else "  ** RESULTS DIVERGED **")
+        )
+    return cell
 
 
 def run_perf(
     workloads: list[str] | None = None,
     smoke: bool = False,
     min_speedup: float | None = None,
+    min_compile_ratio: float | None = None,
     progress=None,
-    mem_backend: str = "mesi",
+    mem_backends: list[str] | tuple[str, ...] | str = ("mesi",),
+    reps: int = DEFAULT_REPS,
 ) -> dict:
-    """Time every requested workload dense vs fast; return the report.
+    """Time every requested workload under all three engines.
 
-    The report is JSON-ready.  ``ok`` is False if any workload's
-    dense/fast fingerprints diverge (a correctness failure surfacing in
-    the perf harness) or if the :data:`GATE_WORKLOAD` speedup falls
-    below ``min_speedup``.
+    The report is JSON-ready.  Each workload carries a per-backend
+    column set plus its own ``gate`` verdict: the ``identical``
+    cross-check applies to every workload, and the :data:`GATE_WORKLOAD`
+    additionally enforces ``min_speedup`` (event vs dense) and
+    ``min_compile_ratio`` (compiled vs event) on the primary backend.
+    ``ok`` is False -- and ``failures`` names every offender -- if any
+    per-workload gate fails.
     """
     names = list(WORKLOADS) if workloads is None else list(workloads)
     for name in names:
         if name not in WORKLOADS:
             raise KeyError(f"unknown perf workload {name!r} (have {sorted(WORKLOADS)})")
-    report: dict = {"smoke": smoke, "mem_backend": mem_backend,
-                    "workloads": {}, "ok": True}
+    if isinstance(mem_backends, str):
+        mem_backends = [b.strip() for b in mem_backends.split(",") if b.strip()]
+    backends = list(mem_backends) or ["mesi"]
+    for b in backends:
+        if b not in MEM_BACKENDS:
+            raise KeyError(f"unknown mem backend {b!r} (have {list(MEM_BACKENDS)})")
+    primary = backends[0]
+
+    report: dict = {"smoke": smoke, "reps": reps, "mem_backends": backends,
+                    "workloads": {}, "failures": [], "ok": True}
     for name in names:
         w = WORKLOADS[name]
-        if progress is not None:
-            progress(f"[perf] {name}: dense loop ...")
-        dense_wall, dense_cycles, dense_fp = _timed(w, True, smoke, mem_backend)
-        if progress is not None:
-            progress(f"[perf] {name}: fast path ...")
-        fast_wall, fast_cycles, fast_fp = _timed(w, False, smoke, mem_backend)
-        identical = dense_fp == fast_fp and dense_cycles == fast_cycles
-        entry = {
-            "description": w.description,
-            "sim_cycles": fast_cycles,
-            "dense_wall_s": round(dense_wall, 4),
-            "fast_wall_s": round(fast_wall, 4),
-            "dense_cycles_per_s": round(dense_cycles / dense_wall) if dense_wall else None,
-            "fast_cycles_per_s": round(fast_cycles / fast_wall) if fast_wall else None,
-            "speedup": round(dense_wall / fast_wall, 2) if fast_wall else None,
-            "identical": identical,
-        }
+        cells = {}
+        for backend in backends:
+            if progress is not None:
+                progress(f"[perf] {name}[{backend}] ...")
+            cells[backend] = _measure_backend(w, smoke, backend, reps,
+                                              progress)
+        entry = {"description": w.description, "backends": cells}
+        # primary-backend columns flattened for table/CI consumers
+        entry.update(cells[primary])
+        gate = {"identical": all(c["identical"] for c in cells.values())}
+        gate["passed"] = gate["identical"]
+        if name == GATE_WORKLOAD:
+            if min_speedup is not None:
+                gate["min_speedup"] = min_speedup
+                gate["speedup"] = entry["event_speedup"]
+                gate["passed"] = gate["passed"] and bool(
+                    entry["event_speedup"] is not None
+                    and entry["event_speedup"] >= min_speedup
+                )
+            if min_compile_ratio is not None:
+                gate["min_compile_ratio"] = min_compile_ratio
+                gate["compile_ratio"] = entry["compile_ratio"]
+                gate["passed"] = gate["passed"] and bool(
+                    entry["compile_ratio"] is not None
+                    and entry["compile_ratio"] >= min_compile_ratio
+                )
+        entry["gate"] = gate
         report["workloads"][name] = entry
-        if not identical:
+        if not gate["passed"]:
+            report["failures"].append(name)
             report["ok"] = False
-        if progress is not None:
-            progress(
-                f"[perf] {name}: {entry['speedup']}x "
-                f"({entry['dense_wall_s']}s dense -> {entry['fast_wall_s']}s fast, "
-                f"{fast_cycles} cycles)"
-                + ("" if identical else "  ** RESULTS DIVERGED **")
-            )
-    if min_speedup is not None:
-        gate = report["workloads"].get(GATE_WORKLOAD)
-        if gate is None:
-            # gate workload not in the requested subset: record that the
-            # gate did not run rather than failing a partial sweep
+
+    # headline gate summary (kept for CI log one-liners): records a skip
+    # when the gate workload was not part of the requested subset
+    if min_speedup is not None or min_compile_ratio is not None:
+        gate_entry = report["workloads"].get(GATE_WORKLOAD)
+        if gate_entry is None:
             report["gate"] = {"workload": GATE_WORKLOAD,
-                              "min_speedup": min_speedup, "skipped": True}
+                              "min_speedup": min_speedup,
+                              "min_compile_ratio": min_compile_ratio,
+                              "skipped": True}
         else:
-            report["gate"] = {
-                "workload": GATE_WORKLOAD,
-                "min_speedup": min_speedup,
-                "speedup": gate["speedup"],
-                "passed": bool(gate["speedup"] is not None
-                               and gate["speedup"] >= min_speedup),
-            }
-            if not report["gate"]["passed"]:
-                report["ok"] = False
+            report["gate"] = dict(gate_entry["gate"], workload=GATE_WORKLOAD)
     return report
+
+
+def divergent_cells(report: dict) -> list[str]:
+    """Every ``workload[backend]`` whose identical cross-check failed."""
+    out = []
+    for name, entry in report["workloads"].items():
+        for backend, cell in entry["backends"].items():
+            if not cell["identical"]:
+                out.append(f"{name}[{backend}]")
+    return out
 
 
 def write_report(report: dict, path: str) -> None:

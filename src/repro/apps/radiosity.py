@@ -100,6 +100,11 @@ def build_radiosity(
     def sc_fence(slot: str):
         return plan.fence(slot, scope, WAIT_BOTH)
 
+    # one op per distinct latency: ops are immutable, so the same
+    # Compute can be yielded every interaction (same idiom as the
+    # SharedArray load memo)
+    form_factor = Compute(compute_per_interaction)
+
     def thread(tid: int):
         spill = spills[tid]
         exchange = exchanges[tid]
@@ -119,7 +124,7 @@ def build_radiosity(
                 f = yield factor.load(base + k)
                 rq = yield radiosity.load(q)  # flagged: conflicting read
                 gathered += (rq * f) >> 10
-                yield Compute(compute_per_interaction)  # form-factor arithmetic
+                yield form_factor  # form-factor arithmetic
             # spill intermediate gather results to private scratch
             yield spill.store(gathered)
             yield from exchange.emit(p + 1)  # conflicting shared traffic

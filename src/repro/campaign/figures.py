@@ -104,6 +104,7 @@ def figure_jobs(
     scale: float = 1.0,
     dense_loop: bool = False,
     mem_backend: str = "mesi",
+    trace_compile: bool = True,
 ) -> list[Job]:
     """All cell jobs of one figure, in serial loop order.
 
@@ -113,7 +114,7 @@ def figure_jobs(
     point is a per-cell backend axis (:data:`_BACKEND_CONFIGS`).
     """
     common = {"figure": figure, "scale": scale, "dense_loop": dense_loop,
-              "mem_backend": mem_backend}
+              "mem_backend": mem_backend, "trace_compile": trace_compile}
     if figure == "figbackend":
         common.pop("mem_backend")
         return [
@@ -177,13 +178,15 @@ def run_figure_cell(params: dict) -> dict:
     figure = params["figure"]
     scale = params["scale"]
     dense = params.get("dense_loop", False)
+    tc = params.get("trace_compile", True)
     backend = params.get("mem_backend", "mesi")
     if figure == "figbackend":
         builder, native = _app_builders(scale)[params["app"]]
         scope = _resolve_scope(params["scope"], native)
         point = measure(
             lambda env: builder(env, scope),
-            SimConfig(mem_backend=params["backend"], dense_loop=dense),
+            SimConfig(mem_backend=params["backend"], dense_loop=dense,
+                      trace_compile=tc),
             label=params["label"],
         )
         return {"cycles": point.cycles,
@@ -192,7 +195,7 @@ def run_figure_cell(params: dict) -> dict:
     if figure == "fig12":
         build = _fig12_builders(scale)[params["bench"]]
         env = Env(SimConfig(scoped_fences=params["scoped"], dense_loop=dense,
-                            mem_backend=backend))
+                            mem_backend=backend, trace_compile=tc))
         handle = build(env, params["level"])
         res = env.run(handle.program)
         handle.check()
@@ -203,7 +206,7 @@ def run_figure_cell(params: dict) -> dict:
         point = measure(
             lambda env: builder(env, scope),
             SimConfig(in_window_speculation=params["spec"], dense_loop=dense,
-                      mem_backend=backend),
+                      mem_backend=backend, trace_compile=tc),
             label=params["label"],
         )
         return {"cycles": point.cycles,
@@ -212,14 +215,16 @@ def run_figure_cell(params: dict) -> dict:
     if figure == "fig14":
         build = _fig14_builders(scale)[params["bench"]]
         point = measure(lambda env: build(env, FenceKind(params["scope"])),
-                        SimConfig(dense_loop=dense, mem_backend=backend),
+                        SimConfig(dense_loop=dense, mem_backend=backend,
+                                  trace_compile=tc),
                         label=params["scope"])
         return {"cycles": point.cycles}
     if figure in _SWEEPS:
         builder, native = _app_builders(scale)[params["app"]]
         scope = _resolve_scope(params["scope"], native)
         cfg = SimConfig(**{params["param"]: params["value"],
-                           "dense_loop": dense, "mem_backend": backend})
+                           "dense_loop": dense, "mem_backend": backend,
+                           "trace_compile": tc})
         point = measure(lambda env: builder(env, scope), cfg,
                         label=params["scope"] or "scoped")
         return {"cycles": point.cycles}
@@ -233,7 +238,8 @@ def _cell_map(jobs: list[Job], results: list[dict | None]) -> dict[tuple, dict |
     for job, result in zip(jobs, results):
         key = tuple(sorted(
             (k, v) for k, v in job.params.items()
-            if k not in ("figure", "scale", "dense_loop", "mem_backend")
+            if k not in ("figure", "scale", "dense_loop", "mem_backend",
+                         "trace_compile")
         ))
         out[key] = result
     return out
@@ -361,6 +367,7 @@ def backend_compare_report(jobs: list[Job], results: list[dict | None]) -> dict:
     """
     scale = jobs[0].params["scale"] if jobs else 1.0
     dense = bool(jobs[0].params.get("dense_loop", False)) if jobs else False
+    tc = bool(jobs[0].params.get("trace_compile", True)) if jobs else True
     cells = _cell_map(jobs, results)
     apps: dict[str, dict] = {}
     for app in _app_builders(scale):
@@ -386,6 +393,7 @@ def backend_compare_report(jobs: list[Job], results: list[dict | None]) -> dict:
         "figure": "figbackend",
         "scale": scale,
         "dense_loop": dense,
+        "trace_compile": tc,
         "configs": [
             {"label": label, "scope": scope or "native", "backend": backend}
             for label, scope, backend in _BACKEND_CONFIGS

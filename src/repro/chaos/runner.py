@@ -159,6 +159,7 @@ def run_chaos_case(
     on_attempt=None,
     dense_loop: bool = False,
     mem_backend: str = "mesi",
+    trace_compile: bool = True,
 ) -> ChaosReport:
     """Run one (algorithm, scenario, seed) case under supervision.
 
@@ -175,7 +176,8 @@ def run_chaos_case(
     def build():
         cfg = SimConfig(
             n_cores=4, retire_log_len=16, dense_loop=dense_loop,
-            mem_backend=mem_backend, **scen.config
+            mem_backend=mem_backend, trace_compile=trace_compile,
+            **scen.config
         )
         env = Env(cfg)
         handle = build_algo(env, scope, scen.emit_branches)
@@ -232,6 +234,7 @@ def run_plan_case(
     on_attempt=None,
     dense_loop: bool = False,
     mem_backend: str = "mesi",
+    trace_compile: bool = True,
 ) -> ChaosReport:
     """Run an arbitrary guest builder under one chaos scenario.
 
@@ -251,7 +254,8 @@ def run_plan_case(
     def build():
         cfg = SimConfig(
             n_cores=4, retire_log_len=16, dense_loop=dense_loop,
-            mem_backend=mem_backend, **scen.config
+            mem_backend=mem_backend, trace_compile=trace_compile,
+            **scen.config
         )
         env = Env(cfg)
         handle = builder(env, scen.emit_branches)
@@ -322,6 +326,7 @@ def sweep(
     progress=None,
     dense_loop: bool = False,
     mem_backend: str = "mesi",
+    trace_compile: bool = True,
 ) -> list[ChaosReport]:
     """Run the full cross product; returns one report per case."""
     algos = list(ALGORITHMS) if algos is None else list(algos)
@@ -340,6 +345,7 @@ def sweep(
                     algo, scenario, seed_base + s,
                     base_budget=base_budget, escalations=escalations,
                     dense_loop=dense_loop, mem_backend=mem_backend,
+                    trace_compile=trace_compile,
                 )
                 reports.append(rep)
                 if progress is not None:

@@ -33,6 +33,14 @@ class Program:
 
     thread_fns: list[Callable[[int], Generator[Op, object, object]]]
     name: str = "program"
+    #: per-thread op lists when the instruction stream is static (set by
+    #: :func:`ops_program`); the trace compiler
+    #: (:mod:`repro.sim.tracecomp`) compiles these into admission blocks.
+    #: ``None`` marks a dynamic program whose control flow may depend on
+    #: loaded values -- those always stream op-by-op.
+    static_thread_ops: list[list[Op]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_threads(self) -> int:
@@ -57,4 +65,8 @@ def ops_program(per_thread_ops: Iterable[Iterable[Op]], name: str = "ops") -> Pr
                 yield op
         return fn
 
-    return Program([make_fn(ops) for ops in materialized], name=name)
+    return Program(
+        [make_fn(ops) for ops in materialized],
+        name=name,
+        static_thread_ops=materialized,
+    )

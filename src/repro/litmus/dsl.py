@@ -322,6 +322,7 @@ def run_litmus(
     n_cores: int | None = None,
     dense_loop: bool = False,
     mem_backend: str = "mesi",
+    trace_compile: bool = True,
 ) -> LitmusRun:
     """Explore timing offsets; evaluate the ``exists`` condition."""
     offsets = offsets or DEFAULT_OFFSETS
@@ -333,7 +334,7 @@ def run_litmus(
         for d1 in offsets:
             env = Env(SimConfig(
                 n_cores=cores, memory_model=model, dense_loop=dense_loop,
-                mem_backend=mem_backend,
+                mem_backend=mem_backend, trace_compile=trace_compile,
             ))
             program, registers = build_program(test, env, [d0, d1])
             res = env.run(program, max_cycles=2_000_000)

@@ -39,9 +39,11 @@ class Cache:
         if si is None:
             return False
         ways = self._sets[si]
-        # move to MRU position (small lists: O(assoc))
-        ways.remove(line)
-        ways.append(line)
+        # move to MRU position (small lists: O(assoc)); already-MRU hits
+        # (common for repeated same-line access) skip the list shuffle
+        if ways[-1] != line:
+            ways.remove(line)
+            ways.append(line)
         return True
 
     def fill(self, line: int) -> int | None:
@@ -49,9 +51,27 @@ class Cache:
         si = self._set_of(line)
         ways = self._sets[si]
         if line in self._where:
-            ways.remove(line)
-            ways.append(line)
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)
             return None
+        victim = None
+        if len(ways) >= self.assoc:
+            victim = ways.pop(0)
+            del self._where[victim]
+        ways.append(line)
+        self._where[line] = si
+        return victim
+
+    def fill_absent(self, line: int) -> int | None:
+        """:meth:`fill` for a line the caller just saw miss.
+
+        Skips the residency re-check ``fill`` does; only valid when the
+        line is known absent (a ``touch`` on it just returned False and
+        nothing evicted in between).
+        """
+        si = line % self.n_sets
+        ways = self._sets[si]
         victim = None
         if len(ways) >= self.assoc:
             victim = ways.pop(0)

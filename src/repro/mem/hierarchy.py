@@ -46,6 +46,11 @@ class MemoryHierarchy(CoherenceBackend):
         ]
         self.l2 = Cache(config.l2_lines, config.l2_assoc, name="l2")
         self.directory = Directory()
+        # latency constants hoisted out of the per-access config chase
+        self._l1_lat = config.l1_latency
+        self._l2_lat = config.l2_latency
+        self._c2c_lat = config.cache_to_cache_latency
+        self._mem_lat = config.mem_latency
         # optional fault-injection hook (chaos harness): called as
         # ``fault(core, addr, is_write, latency) -> latency`` after the
         # architectural latency is resolved.  Injected latency may only
@@ -79,6 +84,69 @@ class MemoryHierarchy(CoherenceBackend):
         needs to be polled for readiness.
         """
         return now + self.access(core, addr, is_write, stats)
+
+    def load_timed(self, core: int, addr: int, stats: CoreStats) -> tuple[bool, int]:
+        """``(was_resident_in_l1, latency)`` for one read, in one walk.
+
+        Exactly ``(resident_in_l1(), access())``: the L1 ``touch``
+        doubles as the residency probe (it reports the pre-access hit
+        state and never fills), so the compiled dispatch lane's
+        resident-then-access pair collapses into a single set lookup.
+        """
+        line = (addr >> self._line_shift if self._line_shift is not None
+                else addr // self._words_per_line)
+        if self.l1[core].touch(line):
+            stats.l1_hits += 1
+            supplier = self.directory.on_read(core, line)
+            latency = self._l2_lat if supplier is not None else self._l1_lat
+            fault = self.fault
+            if fault is not None:
+                latency = max(1, fault(core, addr, False, latency))
+            return True, latency
+
+        stats.l1_misses += 1
+        directory = self.directory
+        supplier = directory.on_read(core, line)
+        peer_dirty = supplier is not None
+        l2 = self.l2
+        in_l2 = l2.touch(line)
+        if in_l2 or peer_dirty:
+            stats.l2_hits += 1
+            latency = self._l2_lat + (self._c2c_lat if peer_dirty else 0)
+        else:
+            stats.l2_misses += 1
+            latency = self._mem_lat
+        # _fill, with the touch results reused: the L1 insert is for a
+        # line that just missed, and the L2 insert is a no-op whenever
+        # the touch above already hit (it only refreshed recency)
+        victim = self.l1[core].fill_absent(line)
+        if victim is not None:
+            directory.on_l1_evict(core, victim)
+        if not in_l2:
+            l2_victim = l2.fill_absent(line)
+            if l2_victim is not None and l2_victim != line:
+                for c, cache in enumerate(self.l1):
+                    if cache.invalidate(l2_victim):
+                        directory.on_l1_evict(c, l2_victim)
+        fault = self.fault
+        if fault is not None:
+            latency = max(1, fault(core, addr, False, latency))
+        return False, latency
+
+    def access_batch(
+        self, core: int, addrs, is_write: bool, stats: CoreStats
+    ) -> list[tuple[bool, int]]:
+        """Batch timing query (architecture §16) as one fused walk.
+
+        Sequential semantics per the base contract -- each access
+        observes the cache state its predecessors left -- but reads
+        resolve through :meth:`load_timed`, halving the per-op lookup
+        work the generic resident-then-access loop would do.
+        """
+        if is_write:
+            return super().access_batch(core, addrs, is_write, stats)
+        load_timed = self.load_timed
+        return [load_timed(core, a, stats) for a in addrs]
 
     def fence(self, core: int, kind: str, waits: int, stats: CoreStats) -> None:
         """Sync points are free under invalidation-based coherence.

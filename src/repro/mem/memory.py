@@ -100,6 +100,17 @@ class SharedMemory:
         """True if ``core`` has a buffered (undrained) store to ``addr``."""
         return bool(self._pending[core].get(addr))
 
+    def pending_map(self, core: int):
+        """``core``'s live pending-store map (addr -> value FIFO).
+
+        A stable dict the compiled dispatch path hoists once per call:
+        forwarding checks become one ``in`` test and buffered stores
+        one ``append``, with exactly :meth:`has_pending` /
+        :meth:`buffer_store` semantics.  Callers must not mutate it
+        beyond appending through ``buffer_store``'s contract.
+        """
+        return self._pending[core]
+
     def pending_count(self, core: int) -> int:
         """Number of buffered (unpublished) stores for ``core``."""
         return sum(len(v) for v in self._pending[core].values())

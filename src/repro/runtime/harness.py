@@ -76,6 +76,10 @@ class FencePlan:
                  default: str = "hand"):
         self.modes = dict(modes or {})
         self.default = default
+        # fence ops are immutable once built (the simulator keys on
+        # RobEntry state, never op identity), so each slot's tuple is
+        # built once and replayed -- guests call fence() per iteration
+        self._fence_memo: dict[tuple, tuple] = {}
 
     @classmethod
     def hand(cls) -> "FencePlan":
@@ -102,11 +106,15 @@ class FencePlan:
         Call sites splice it with ``yield from``, so an elided slot
         costs nothing and emits nothing.
         """
-        kind = self.mode(slot, hand_kind)
-        if kind is None:
-            return ()
-        return (Fence(kind=kind, waits=waits, speculable=speculable,
+        key = (slot, hand_kind, waits, speculable)
+        ops = self._fence_memo.get(key)
+        if ops is None:
+            kind = self.mode(slot, hand_kind)
+            ops = () if kind is None else (
+                Fence(kind=kind, waits=waits, speculable=speculable,
                       name=slot),)
+            self._fence_memo[key] = ops
+        return ops
 
 
 #: distinct synthetic branch pcs handed out to PrivateWork instances

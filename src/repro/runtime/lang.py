@@ -20,6 +20,13 @@ guest instruction streams:
   (GLOBAL / CLASS / SET), so one implementation serves the traditional
   baseline, class scope, and set scope (Figure 14 compares the latter
   two).
+* :func:`block` (and the :meth:`SharedArray.load_block` /
+  :meth:`SharedArray.store_block` conveniences) marks a straight-line
+  run of result-free ops as one
+  :class:`~repro.sim.tracecomp.BlockHint`, the block-boundary marker
+  the trace-compiled engine batch-admits.  Semantically a hint is
+  exactly the per-op sequence on every engine; it only changes
+  wall-clock time.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from ..isa.instructions import (
 from ..mem.memory import SharedMemory
 from ..sim.config import SimConfig
 from ..sim.simulator import Simulator, SimResult
+from ..sim.tracecomp import BlockHint
 from ..isa.program import Program
 from .address_space import AddressSpace
 
@@ -74,6 +82,26 @@ def reset_cids() -> None:
     _cid_registry.clear()
 
 
+def block(ops) -> BlockHint:
+    """Mark a straight-line run of ops as one yieldable batch.
+
+    ``yield block([...])`` is the guest-level block-boundary marker:
+    it promises the guest will not consume any of the wrapped ops'
+    results (the hint's yield sends back ``None``), which is what lets
+    the trace-compiled engine admit the run through the fused batch
+    path.  On the dense and event engines the hint expands to the
+    identical per-op stream -- results, timing and instrumentation are
+    byte-for-byte the same either way.
+
+    Ops whose values steer guest control flow (a load feeding a
+    branch, a CAS whose success is checked) must stay outside the
+    block.  Cut-point ops (fences, scope delimiters, flagged
+    accesses) *may* appear -- they simply segment the hint into
+    several compiled blocks with interpreted ops in between.
+    """
+    return BlockHint(ops)
+
+
 def scoped_method(fn):
     """Wrap a generator method in ``fs_start``/``fs_end`` delimiters."""
 
@@ -100,17 +128,22 @@ def scoped_method(fn):
 class SharedVar:
     """A single shared word with symbolic name."""
 
-    __slots__ = ("addr", "name", "flagged", "_memory")
+    __slots__ = ("addr", "name", "flagged", "_memory", "_load_op")
 
     def __init__(self, addr: int, name: str, flagged: bool, memory: SharedMemory) -> None:
         self.addr = addr
         self.name = name
         self.flagged = flagged
         self._memory = memory
+        # ops are immutable once built (the simulator keys everything on
+        # addr/name and per-dispatch RobEntries, never op identity), so
+        # hot guest loops reuse one Load object instead of allocating
+        # per access
+        self._load_op = Load(addr, flagged=flagged, name=name)
 
     # guest ops --------------------------------------------------------------
     def load(self) -> Load:
-        return Load(self.addr, flagged=self.flagged, name=self.name)
+        return self._load_op
 
     def store(self, value: int) -> Store:
         return Store(self.addr, value, flagged=self.flagged, name=self.name)
@@ -140,7 +173,8 @@ class SharedArray:
     the miss behaviour of paper-sized data sets at simulable sizes.
     """
 
-    __slots__ = ("base", "length", "name", "flagged", "stride", "_memory")
+    __slots__ = ("base", "length", "name", "flagged", "stride", "_memory",
+                 "_op_names", "_load_ops")
 
     def __init__(
         self,
@@ -157,6 +191,13 @@ class SharedArray:
         self.flagged = flagged
         self.stride = stride
         self._memory = memory
+        # op memos: hot guest loops hit the same indices over and over,
+        # so the "name[index]" strings ops carry (load-bearing for the
+        # delay-set analyzer's allocation grouping) and the plain Load
+        # objects themselves (immutable once built; the simulator never
+        # keys on op identity) are built once per index, not per access
+        self._op_names: dict[int, str] = {}
+        self._load_ops: dict[int, Load] = {}
 
     def _check(self, index: int) -> int:
         if not 0 <= index < self.length:
@@ -167,19 +208,51 @@ class SharedArray:
         return self._check(index)
 
     # guest ops --------------------------------------------------------------
+    def _op_name(self, index: int) -> str:
+        name = self._op_names.get(index)
+        if name is None:
+            name = f"{self.name}[{index}]"
+            self._op_names[index] = name
+        return name
+
     def load(self, index: int, serialize: bool = False) -> Load:
-        return Load(
-            self._check(index),
-            flagged=self.flagged,
-            serialize=serialize,
-            name=f"{self.name}[{index}]",
-        )
+        if serialize:
+            return Load(
+                self._check(index),
+                flagged=self.flagged,
+                serialize=True,
+                name=self._op_name(index),
+            )
+        op = self._load_ops.get(index)
+        if op is None:
+            op = Load(
+                self._check(index),
+                flagged=self.flagged,
+                name=self._op_name(index),
+            )
+            self._load_ops[index] = op
+        return op
 
     def store(self, index: int, value: int) -> Store:
-        return Store(self._check(index), value, flagged=self.flagged, name=f"{self.name}[{index}]")
+        return Store(self._check(index), value, flagged=self.flagged, name=self._op_name(index))
 
     def cas(self, index: int, expected: int, new: int) -> Cas:
-        return Cas(self._check(index), expected, new, flagged=self.flagged, name=f"{self.name}[{index}]")
+        return Cas(self._check(index), expected, new, flagged=self.flagged, name=self._op_name(index))
+
+    # block-boundary markers (see :func:`block`) -----------------------------
+    def load_block(self, indices) -> BlockHint:
+        """A batched gather whose loaded values are discarded.
+
+        The touch-the-lines access pattern (warming, scanning for side
+        effects on the cache) as one block boundary: each index becomes
+        a plain :meth:`load`, and the guest receives ``None`` -- use
+        individual ``yield self.load(i)`` when the value matters.
+        """
+        return block(self.load(i) for i in indices)
+
+    def store_block(self, items) -> BlockHint:
+        """A batched scatter; ``items`` yields ``(index, value)`` pairs."""
+        return block(self.store(i, v) for i, v in items)
 
     # host access ---------------------------------------------------------------
     def peek(self, index: int) -> int:

@@ -47,6 +47,7 @@ from .config import SimConfig
 from .diagnostics import SimDiagnostic, capture
 from .stats import CoreStats, SimStats
 from .timeline import core_state
+from .tracecomp import compile_program
 
 
 class SimulationFailure(RuntimeError):
@@ -136,7 +137,13 @@ class Simulator:
         if self.config.dense_loop:
             self._run_dense(limit)
         else:
-            self._run_event(limit, bound)
+            compiled = self.config.trace_compile
+            if compiled:
+                units = compile_program(self.program)
+                if units is not None:
+                    for core, thread_units in zip(self.cores, units):
+                        core.attach_units(thread_units)
+            self._run_event(limit, bound, compiled)
 
         stats = SimStats(cores=self.core_stats)
         stats.total_cycles = max((c.finish_cycle for c in self.cores), default=0)
@@ -175,7 +182,7 @@ class Simulator:
         )
 
     # ---------------------------------------------------------- event engine
-    def _run_event(self, limit: int, bound: int) -> None:
+    def _run_event(self, limit: int, bound: int, compiled: bool = False) -> None:
         """Event-driven scheduler: sleep each core until its next event.
 
         A min-heap of ``(wake_cycle, core_index)`` holds every sleeping
@@ -192,6 +199,15 @@ class Simulator:
         applied eagerly when the core goes to sleep; stuck cores are
         accounted lazily at deadlock/cycle-limit time, since only then
         is the span known.
+
+        ``compiled`` selects the trace-compiled tick
+        (:meth:`~repro.cpu.core.Core.tick_compiled`) and enables
+        same-core chaining: when the core just ticked is due again
+        strictly before every sleeping core, it keeps running without a
+        heap round trip.  Chaining only fires when the next due cycle is
+        *strictly* earlier than the heap top, so heap ties still pop in
+        core-index order and the global tick interleaving -- and with it
+        every observable -- is untouched.
         """
         cores = self.cores
         timeline = self.timeline
@@ -199,7 +215,8 @@ class Simulator:
         INF = limit + 1
         wake = [0] * n
         last_tick = [0] * n
-        ticks = [c.tick for c in cores]  # pre-bound: shaves a lookup per tick
+        # pre-bound tick methods: shaves a lookup per tick
+        ticks = [c.tick_compiled if compiled else c.tick for c in cores]
         heap = [(0, i) for i in range(n) if not cores[i].finished]
         unfinished = len(heap)
         while heap and unfinished:
@@ -210,23 +227,33 @@ class Simulator:
             while heap and heap[0][0] == cycle:
                 i = heappop(heap)[1]
                 core = cores[i]
-                if ticks[i](cycle):
-                    progress = True
-                    if timeline is not None:
-                        timeline.sample_core(cycle, core)
-                    if core.finished:
-                        unfinished -= 1
+                tick = ticks[i]
+                while True:
+                    if tick(cycle):
+                        progress = True
+                        if timeline is not None:
+                            timeline.sample_core(cycle, core)
+                        if core.finished:
+                            unfinished -= 1
+                            break
+                        nxt = cycle + 1
+                        if compiled:
+                            # probe-skip hint: every tick in
+                            # [cycle+1, skip) is a provably zero-delta
+                            # blocked probe (see Core.tick_compiled),
+                            # so replay it as idle instead of ticking
+                            skip = core._skip_until
+                            if skip > nxt and skip < limit and timeline is None:
+                                core.account_idle(skip - nxt)
+                                nxt = skip
                     else:
-                        wake[i] = cycle + 1
-                        heappush(heap, (cycle + 1, i))
-                else:
-                    if timeline is not None:
-                        timeline.sample_core(cycle, core)
-                    last_tick[i] = cycle
-                    ev = core.next_event_cycle(cycle)
-                    if ev is None:
-                        wake[i] = INF  # stuck: no event can ever wake it
-                    else:
+                        if timeline is not None:
+                            timeline.sample_core(cycle, core)
+                        last_tick[i] = cycle
+                        ev = core.next_event_cycle(cycle)
+                        if ev is None:
+                            wake[i] = INF  # stuck: no event can ever wake it
+                            break
                         # clamp to the limit so INF stays reserved for
                         # stuck cores; a wake at `limit` simply drives
                         # the loop to its cycle-limit exit
@@ -239,8 +266,24 @@ class Simulator:
                                     core.core_id, cycle + 1, span_end,
                                     core_state(core),
                                 )
-                        wake[i] = ev
-                        heappush(heap, (ev, i))
+                        nxt = ev
+                    if compiled and nxt < limit and (
+                        not heap
+                        or heap[0][0] > nxt
+                        or (heap[0][0] == nxt and heap[0][1] > i)
+                    ):
+                        # same-core chain: no other core is due before
+                        # this one -- either strictly earlier than the
+                        # heap top, or tied with it at a lower core
+                        # index (dense ticks ties in index order, and
+                        # the remaining tied cores pop right after this
+                        # chain ends because `cycle` advances with it)
+                        cycle = nxt
+                        progress = False
+                        continue
+                    wake[i] = nxt
+                    heappush(heap, (nxt, i))
+                    break
             if unfinished and not heap:
                 # Every unfinished core is stuck.  The dense loop would
                 # detect this at its first all-no-progress cycle: this

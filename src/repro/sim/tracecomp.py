@@ -1,0 +1,232 @@
+"""Trace compilation: straight-line guest op runs as admissible blocks.
+
+The event engine (PR 3) removed idle cycles; what remains of the wall
+is per-op cost -- every guest op is pulled out of a Python generator
+and walked through ``Core._dispatch_one``'s full case analysis, even
+for long fence-free runs of loads/stores/computes whose handling is
+fully determined at first sight.  This module compiles such runs once
+and lets the core admit them through a fused batch path
+(``Core._dispatch_compiled``).
+
+**Block formation.**  A *straight-line run* is a maximal sequence of
+ops that are all :class:`~repro.isa.instructions.Load` /
+:class:`~repro.isa.instructions.Store` /
+:class:`~repro.isa.instructions.Compute` with no cut point in between.
+The cut-point taxonomy (everything that ends a block and is dispatched
+through the unabridged interpreter path):
+
+* ``Branch``      -- opens speculation, may squash scope state;
+* ``Fence``       -- ordering decision, may stall or open a group;
+* ``FsStart`` / ``FsEnd`` -- change the FSS and hence the FSB mask
+  every in-block memory op is stamped with;
+* ``Cas``         -- serializes dispatch and publishes synchronously;
+* ``Probe``       -- runs arbitrary instrumentation;
+* flagged loads/stores -- carry the set-scope FSB bit;
+* ``serialize`` loads -- block younger dispatch (address dependency).
+
+Within a block the FSB mask is therefore *constant* (it only changes
+at scope delimiters, flagged ops or a squash, all of which are cut
+points or tick-phase events that cannot interleave with one
+admission), which is what makes batched scope-tracker accounting
+sound.
+
+**Where blocks come from.**  Guest control flow may depend on loaded
+values (``q = yield inter.load(...)``), so the simulator can never pull
+ahead of the op it is about to dispatch in a *dynamic* guest -- block
+formation by lookahead would change which memory state the guest
+observes.  Blocks are instead formed from the two sources where the
+op stream is known not to consume results:
+
+* **static programs** -- :func:`repro.isa.program.ops_program` threads
+  carry their op list; :func:`compile_ops` segments it once per
+  program (memoised by block signature, shared across programs);
+* **block hints** -- a dynamic guest (or the runtime layer,
+  :mod:`repro.runtime.lang`) yields a :class:`BlockHint` wrapping ops
+  whose results it promises not to consume.  Every engine expands the
+  hint to the identical per-op stream; the compiled engine additionally
+  batch-admits its straight-line runs.  The guest receives ``None``
+  back from the hint's yield.
+
+**Memoisation.**  Compiled blocks are keyed by a stable signature
+(the tuple of per-op descriptors), so the same straight-line run
+compiles once per process no matter how many programs, offsets or
+campaign jobs replay it.
+
+Dispatch-time fallback -- capacity hazards (ROB/store-buffer/MSHR),
+dispatch-width exhaustion, ``_blocked_until`` -- does not need the
+interpreter: the block keeps a cursor and admission resumes exactly
+where it stopped, while monitor/tracer instrumentation and SC dispatch
+rules route every op through ``Core._dispatch_one`` unchanged (see
+docs/architecture.md §16 for the full contract).
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Compute, Load, Op, Store
+
+# descriptor kinds, aligned with repro.cpu.rob for direct RobEntry use
+from ..cpu.rob import K_COMPUTE, K_LOAD, K_STORE  # noqa: F401  (re-exported)
+
+#: ops that may appear inside a block; anything else is a cut point
+BLOCK_OPS = (Load, Store, Compute)
+
+#: process-wide signature -> CompiledBlock memo (blocks are immutable
+#: and stateless: the admission cursor lives on the core, not here)
+_BLOCK_MEMO: dict[tuple, "CompiledBlock"] = {}
+
+
+def block_signature(ops) -> tuple:
+    """Stable per-op descriptor tuple identifying a straight-line run."""
+    sig = []
+    for op in ops:
+        cls = type(op)
+        if cls is Load:
+            sig.append((K_LOAD, op.addr, 0))
+        elif cls is Store:
+            sig.append((K_STORE, op.addr, op.value))
+        else:  # Compute
+            sig.append((K_COMPUTE, max(1, op.cycles), 0))
+    return tuple(sig)
+
+
+class CompiledBlock:
+    """One compiled straight-line run.
+
+    ``kinds``/``addrs``/``values`` are parallel tuples the fused
+    admission loop indexes without touching the op objects; ``ops``
+    keeps the originals for the instrumented (monitor/tracer/SC)
+    fallback, which dispatches them through the interpreter one by one.
+    """
+
+    __slots__ = ("signature", "ops", "kinds", "addrs", "values",
+                 "n", "n_loads", "n_stores")
+
+    def __init__(self, ops: tuple, signature: tuple) -> None:
+        self.signature = signature
+        self.ops = ops
+        self.kinds = tuple(d[0] for d in signature)
+        self.addrs = tuple(d[1] for d in signature)
+        self.values = tuple(d[2] for d in signature)
+        self.n = len(ops)
+        self.n_loads = sum(1 for k in self.kinds if k == K_LOAD)
+        self.n_stores = sum(1 for k in self.kinds if k == K_STORE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<CompiledBlock n={self.n} loads={self.n_loads} "
+                f"stores={self.n_stores}>")
+
+
+class BlockHint:
+    """Guest-yieldable batch of ops whose results the guest discards.
+
+    ``yield BlockHint(ops)`` behaves, on every engine, exactly like
+    yielding each op in sequence and ignoring every sent-back value;
+    the hint's own yield receives ``None``.  The compiled engine
+    additionally admits the hint's straight-line runs as blocks.
+
+    Ops with consumed results (a load whose value steers control flow)
+    must not be hinted -- the guest would receive ``None`` instead of
+    the value.  Cut-point ops *are* allowed: they simply segment the
+    hint into several blocks with interpreted ops in between.
+    """
+
+    __slots__ = ("ops", "_units")
+
+    def __init__(self, ops) -> None:
+        ops = tuple(ops)
+        for op in ops:
+            if not isinstance(op, Op):
+                raise TypeError(f"BlockHint contains non-Op {op!r}")
+        self.ops = ops
+        self._units = None  # lazily compiled unit list (compiled engine)
+
+    def units(self) -> list:
+        """The hint's compiled unit stream (memoised on the hint)."""
+        if self._units is None:
+            self._units = compile_ops(self.ops)
+        return self._units
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BlockHint n={len(self.ops)}>"
+
+
+def _blockable(op: Op) -> bool:
+    """May ``op`` live inside a block?  (See the cut-point taxonomy.)"""
+    cls = type(op)
+    if cls is Load:
+        return not (op.flagged or op.serialize)
+    if cls is Store:
+        return not op.flagged
+    return cls is Compute
+
+
+def _make_block(run: list) -> CompiledBlock:
+    ops = tuple(run)
+    sig = block_signature(ops)
+    blk = _BLOCK_MEMO.get(sig)
+    if blk is None:
+        blk = CompiledBlock(ops, sig)
+        _BLOCK_MEMO[sig] = blk
+    return blk
+
+
+#: runs shorter than this dispatch as plain ops: a one-op "block" costs
+#: more in cursor bookkeeping than the type switch it avoids
+MIN_BLOCK = 2
+
+
+def compile_ops(ops, min_block: int = MIN_BLOCK) -> list:
+    """Segment an op sequence into ``CompiledBlock`` / cut-op units.
+
+    Returns a list whose elements are either a :class:`CompiledBlock`
+    (a straight-line run of at least ``min_block`` ops) or an original
+    :class:`~repro.isa.instructions.Op` (a cut point, or a run too
+    short to be worth a block).
+    """
+    units: list = []
+    run: list = []
+    for op in ops:
+        if _blockable(op):
+            run.append(op)
+            continue
+        if run:
+            if len(run) >= min_block:
+                units.append(_make_block(run))
+            else:
+                units.extend(run)
+            run = []
+        units.append(op)
+    if run:
+        if len(run) >= min_block:
+            units.append(_make_block(run))
+        else:
+            units.extend(run)
+    return units
+
+
+def compile_program(program) -> list[list] | None:
+    """Per-thread unit streams for a static program; ``None`` if dynamic.
+
+    Only programs built by :func:`repro.isa.program.ops_program` carry
+    their op lists (``static_thread_ops``); a generator-backed program
+    has value-dependent control flow the compiler must not second-guess.
+    The result is memoised on the program object.
+    """
+    static = getattr(program, "static_thread_ops", None)
+    if static is None:
+        return None
+    cached = getattr(program, "_compiled_units", None)
+    if cached is not None:
+        return cached
+    units = [compile_ops(ops) for ops in static]
+    program._compiled_units = units
+    return units
+
+
+def memo_stats() -> dict:
+    """Block-cache occupancy (for the micro-benchmark and tests)."""
+    blocks = list(_BLOCK_MEMO.values())
+    return {
+        "blocks": len(blocks),
+        "ops": sum(b.n for b in blocks),
+    }

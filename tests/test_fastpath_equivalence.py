@@ -1,16 +1,19 @@
-"""Differential equivalence: event-driven fast path vs dense loop.
+"""Differential equivalence: dense loop vs event fast path vs compiled.
 
 The event scheduler's entire claim is that skipping no-progress ticks
-is unobservable.  These tests run the same workloads under both
-engines and assert *byte-identical* results at every level the
-simulator exposes: final memory contents, every per-core stats counter,
-retire logs, the full monitor event stream (dispatch/complete/drain/
-fence/scope events with their exact cycles), chaos fault-injection
-decisions, and litmus outcome sets.
+is unobservable, and the trace-compiled engine's claim is that batch
+block admission is unobservable on top of that.  These tests run the
+same workloads under all three engines and assert *byte-identical*
+results at every level the simulator exposes: final memory contents,
+every per-core stats counter, retire logs, the full monitor event
+stream (dispatch/complete/drain/fence/scope events with their exact
+cycles), chaos fault-injection decisions, and litmus outcome sets.
 
 Coverage: the whole litmus corpus, seeded fuzz programs (the same
 generator the differential fuzzer uses), a lock-free workload, and
-chaos-fault scenarios -- each at two simulated core counts.
+chaos-fault scenarios -- each at two simulated core counts -- plus
+directed tests for the wake-up contract's edge cases (zero-latency
+memory, a core that never wakes, and wake-source coincidence).
 """
 
 from __future__ import annotations
@@ -21,25 +24,36 @@ import hashlib
 import pytest
 
 from repro.chaos.faults import ChaosEngine, FaultPlan
-from repro.isa.instructions import FenceKind
+from repro.isa.instructions import Compute, Fence, FenceKind, Load, Store
+from repro.isa.program import ops_program
 from repro.litmus.corpus import CORPUS
 from repro.litmus.dsl import parse_litmus, run_litmus
 from repro.runtime.lang import Env, reset_cids
 from repro.sim.config import SimConfig
+from repro.sim.simulator import DeadlockError, Simulator
 from repro.sim.trace import OrderEventLog
 from tests.test_litmus_fuzz import generate_program
 
 OFFSETS = [0, 3, 47]
 CORE_COUNTS = (2, 4)
 
+#: engine name -> SimConfig overrides.  "compiled" is the default mode;
+#: "event" is the same scheduler with block compilation disabled (every
+#: op interpreted); "dense" is the per-cycle reference loop.
+ENGINES = {
+    "dense": dict(dense_loop=True),
+    "event": dict(dense_loop=False, trace_compile=False),
+    "compiled": dict(dense_loop=False, trace_compile=True),
+}
+
 
 # ---------------------------------------------------------------- deep harness
-def _run_workload(n_threads: int, dense: bool, plan: FaultPlan | None = None):
+def _run_workload(n_threads: int, engine: str, plan: FaultPlan | None = None):
     """One wsq-workload run; returns every observable as plain data."""
     from repro.algorithms.workloads import build_wsq_workload
 
     reset_cids()
-    cfg = SimConfig(n_cores=n_threads, retire_log_len=32, dense_loop=dense)
+    cfg = SimConfig(n_cores=n_threads, retire_log_len=32, **ENGINES[engine])
     env = Env(cfg)
     handle = build_wsq_workload(
         env, scope=FenceKind.SET, iterations=6, workload_level=1,
@@ -49,7 +63,7 @@ def _run_workload(n_threads: int, dense: bool, plan: FaultPlan | None = None):
     log = OrderEventLog()
     for core in sim.cores:
         core.monitor = log
-    engine = ChaosEngine(plan).install(sim) if plan is not None else None
+    engine_ = ChaosEngine(plan).install(sim) if plan is not None else None
     res = sim.run(max_cycles=3_000_000)
     handle.check()
     return {
@@ -59,13 +73,26 @@ def _run_workload(n_threads: int, dense: bool, plan: FaultPlan | None = None):
         "retire_logs": [list(core.retire_log) for core in sim.cores],
         "memory_sha": hashlib.sha256(sim.memory.snapshot().tobytes()).hexdigest(),
         "events": log.events,
-        "injected": engine.summary() if engine is not None else None,
+        "injected": engine_.summary() if engine_ is not None else None,
     }
 
 
-def _assert_identical(dense: dict, fast: dict) -> None:
-    for key in dense:
-        assert dense[key] == fast[key], f"dense/fast diverged on {key!r}"
+def _assert_identical(ref: dict, got: dict, engine: str) -> None:
+    for key in ref:
+        assert ref[key] == got[key], f"dense/{engine} diverged on {key!r}"
+
+
+def _run_ops(ops_per_thread, engine: str, max_cycles: int = 200_000, **cfg):
+    """Run an ops_program under one engine; returns all observables."""
+    config = SimConfig(retire_log_len=16, **ENGINES[engine], **cfg)
+    sim = Simulator(config, ops_program(ops_per_thread))
+    res = sim.run(max_cycles=max_cycles)
+    return {
+        "cycles": res.cycles,
+        "stats": [dataclasses.asdict(c) for c in res.stats.cores],
+        "retire_logs": [list(core.retire_log) for core in sim.cores],
+        "memory_sha": hashlib.sha256(sim.memory.snapshot().tobytes()).hexdigest(),
+    }
 
 
 # --------------------------------------------------------------- litmus corpus
@@ -75,10 +102,12 @@ def test_litmus_corpus_equivalence(entry, n_cores):
     test = parse_litmus(entry.source)
     cores = max(n_cores, test.n_threads)
     dense = run_litmus(test, offsets=OFFSETS, n_cores=cores, dense_loop=True)
-    fast = run_litmus(test, offsets=OFFSETS, n_cores=cores, dense_loop=False)
-    assert dense.outcomes == fast.outcomes
-    assert dense.condition_observed == fast.condition_observed
-    assert dense.total_cycles == fast.total_cycles
+    for tc in (False, True):
+        fast = run_litmus(test, offsets=OFFSETS, n_cores=cores,
+                          dense_loop=False, trace_compile=tc)
+        assert dense.outcomes == fast.outcomes
+        assert dense.condition_observed == fast.condition_observed
+        assert dense.total_cycles == fast.total_cycles
 
 
 # ---------------------------------------------------------------- fuzz corpus
@@ -86,31 +115,33 @@ def test_litmus_corpus_equivalence(entry, n_cores):
 def test_fuzz_program_equivalence(seed):
     test = parse_litmus(generate_program(seed))
     dense = run_litmus(test, offsets=OFFSETS, dense_loop=True)
-    fast = run_litmus(test, offsets=OFFSETS, dense_loop=False)
-    assert dense.outcomes == fast.outcomes
-    assert dense.condition_observed == fast.condition_observed
-    assert dense.total_cycles == fast.total_cycles
+    for tc in (False, True):
+        fast = run_litmus(test, offsets=OFFSETS, dense_loop=False,
+                          trace_compile=tc)
+        assert dense.outcomes == fast.outcomes
+        assert dense.condition_observed == fast.condition_observed
+        assert dense.total_cycles == fast.total_cycles
 
 
 # ------------------------------------------------------------ workload + chaos
 @pytest.mark.parametrize("n_threads", CORE_COUNTS)
 def test_workload_equivalence(n_threads):
     """Full observable state: memory, stats, retire logs, event stream."""
-    _assert_identical(
-        _run_workload(n_threads, dense=True),
-        _run_workload(n_threads, dense=False),
-    )
+    dense = _run_workload(n_threads, "dense")
+    for engine in ("event", "compiled"):
+        _assert_identical(dense, _run_workload(n_threads, engine), engine)
 
 
 @pytest.mark.parametrize("n_threads", CORE_COUNTS)
 def test_chaos_latency_spike_equivalence(n_threads):
-    """Latency-spike injection draws the same RNG stream in both modes."""
+    """Latency-spike injection draws the same RNG stream in all modes."""
     plan = FaultPlan(seed=7, mem_spike_prob=0.08, mem_spike_cycles=700,
                      mem_jitter=7)
-    dense = _run_workload(n_threads, dense=True, plan=plan)
-    fast = _run_workload(n_threads, dense=False, plan=plan)
+    dense = _run_workload(n_threads, "dense", plan=plan)
     assert sum(dense["injected"].values()) > 0  # scenario actually fired
-    _assert_identical(dense, fast)
+    for engine in ("event", "compiled"):
+        _assert_identical(dense, _run_workload(n_threads, engine, plan=plan),
+                          engine)
 
 
 def test_chaos_drain_throttle_equivalence():
@@ -119,7 +150,101 @@ def test_chaos_drain_throttle_equivalence():
     is consulted -- the fast path must consult on exactly the same
     ticks as the dense loop."""
     plan = FaultPlan(seed=9, drain_stall_prob=0.15, drain_stall_cycles=60)
-    dense = _run_workload(4, dense=True, plan=plan)
-    fast = _run_workload(4, dense=False, plan=plan)
+    dense = _run_workload(4, "dense", plan=plan)
     assert dense["injected"].get("drain_stall", 0) > 0
-    _assert_identical(dense, fast)
+    for engine in ("event", "compiled"):
+        _assert_identical(dense, _run_workload(4, engine, plan=plan), engine)
+
+
+# ------------------------------------------------- directed wake-up edge cases
+def test_zero_latency_memory_equivalence():
+    """Zero-latency memory: completion events land on the dispatch cycle.
+
+    Every access resolves in 0 cycles, so completion events are pushed
+    at the *current* cycle -- the degenerate case for
+    ``next_event_cycle``'s strict ``c > now`` guards (a stale event at
+    ``now`` must never be reported as a future wake-up) and for the
+    scheduler's cycle+1 rescheduling after progress.
+    """
+    ops = [
+        [Store(64 * t, t + 1), Fence(FenceKind.GLOBAL), Load(64 * (1 - t)),
+         Compute(1), Store(64 * t + 8, 7), Load(64 * t + 8)]
+        for t in range(2)
+    ]
+    dense = _run_ops(ops, "dense", n_cores=2,
+                     l1_latency=0, l2_latency=0, mem_latency=0,
+                     cache_to_cache_latency=0)
+    for engine in ("event", "compiled"):
+        got = _run_ops(ops, engine, n_cores=2,
+                       l1_latency=0, l2_latency=0, mem_latency=0,
+                       cache_to_cache_latency=0)
+        _assert_identical(dense, got, engine)
+
+
+def _wedge_core(sim: Simulator, core_id: int) -> None:
+    """Give a core a ROB entry that never completes.
+
+    The entry has no completion event, so once the core's generator is
+    drained its ``next_event_cycle`` is ``None`` -- the "this core can
+    never progress again" claim the scheduler turns into a stuck core
+    (wake = INF) and, once every core is stuck or finished, a proven
+    deadlock settled via ``_settle_stuck``.
+    """
+    from repro.cpu.rob import K_LOAD, RobEntry
+
+    sim.cores[core_id].rob.push(RobEntry(K_LOAD, 0))
+
+
+def test_never_wakes_core_settles_identically():
+    """A core that never wakes: all-idle settle at the deadlock point.
+
+    Core 0 is wedged on a never-completing ROB entry while core 1 runs
+    real work to completion.  Each engine must (a) prove the deadlock at
+    the same cycle and (b) charge the stuck core the same per-cycle idle
+    accounting the dense loop pays by ticking it (``_settle_stuck``
+    replays the span lazily since the stuck core left the heap).
+    """
+    ops = [[], [Store(64, 1), Load(4096), Compute(20)]]
+
+    def settle(engine: str):
+        config = SimConfig(n_cores=2, **ENGINES[engine])
+        sim = Simulator(config, ops_program(ops))
+        _wedge_core(sim, 0)
+        with pytest.raises(DeadlockError) as exc_info:
+            sim.run(max_cycles=100_000)
+        return (exc_info.value.diagnostic.cycle,
+                [dataclasses.asdict(c.stats) for c in sim.cores])
+
+    dense = settle("dense")
+    assert settle("event") == dense
+    assert settle("compiled") == dense
+
+
+def test_never_wakes_reports_none():
+    """The wedged core's wake-up contract: no event can ever wake it."""
+    sim = Simulator(SimConfig(n_cores=1), ops_program([[]]))
+    _wedge_core(sim, 0)
+    gens = sim.program.spawn()
+    sim.cores[0].bind(gens[0])
+    core = sim.cores[0]
+    assert not core.tick(0)          # generator drained, head never done
+    assert not core.finished
+    assert core.next_event_cycle(0) is None
+
+
+@pytest.mark.parametrize("compute_cycles", range(46, 56))
+def test_op_exactly_on_wake_cycle(compute_cycles):
+    """Wake-source coincidence: an event lands exactly on the wake cycle.
+
+    A dependent-chain block (``_blocked_until``) races a store-drain
+    completion event; sweeping the compute latency across the drain
+    latency guarantees one parameter hits exact coincidence (both wake
+    sources report the same cycle) plus both orderings around it.  The
+    scheduler must not double-tick, skip, or mis-account any of them.
+    """
+    ops = [[Store(4096, 9), Compute(compute_cycles),
+            Fence(FenceKind.GLOBAL), Load(4096), Compute(3)]]
+    dense = _run_ops(ops, "dense", n_cores=1, mem_latency=50)
+    for engine in ("event", "compiled"):
+        got = _run_ops(ops, engine, n_cores=1, mem_latency=50)
+        _assert_identical(dense, got, engine)
